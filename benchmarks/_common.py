@@ -1,0 +1,102 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Every bench prints the same rows/series the paper's figure plots and
+additionally persists them under ``benchmarks/results/`` so that
+EXPERIMENTS.md can quote them.  pytest captures stdout, so tables are
+written through ``sys.__stdout__`` to stay visible in
+``pytest benchmarks/ --benchmark-only`` runs.
+
+The default experiment regime is calibrated so that the paper's
+qualitative relationships reproduce (see DESIGN.md): per-message
+overhead dominates (``C/a = 30``), node capacity allows trees of a few
+dozen values, and the central collector is provisioned at roughly one
+node's capacity -- making both node-level overhead (hurts
+SINGLETON-SET) and single-tree relay concentration (hurts ONE-SET)
+binding in their respective regimes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.report import Series, format_table
+from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner
+from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Calibrated default regime (see module docstring).
+DEFAULT_N_NODES = 100
+DEFAULT_CAPACITY = 800.0
+DEFAULT_CENTRAL = 900.0
+DEFAULT_POOL = 40
+DEFAULT_ATTRS_PER_NODE = 20
+DEFAULT_COST = CostModel(per_message=30.0, per_value=1.0)
+
+#: Search effort used by benches (smaller than library defaults to keep
+#: total bench runtime reasonable; quality loss is minor).
+BENCH_BUDGET = 6
+BENCH_ITERS = 24
+
+
+_OPENED = set()
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table past pytest's capture and persist it.
+
+    The first emit for a given name in a process truncates the result
+    file, so stale series from earlier runs never linger.
+    """
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    mode = "a" if name in _OPENED else "w"
+    _OPENED.add(name)
+    with open(path, mode) as fh:
+        fh.write(text + "\n\n")
+
+
+def emit_series(name: str, title: str, x_label: str, xs: Sequence, series: Sequence[Series]) -> None:
+    columns = [x_label] + [s.name for s in series]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x]
+        for s in series:
+            row.append(s.values[i] if i < len(s.values) else float("nan"))
+        rows.append(row)
+    emit(name, format_table(title, columns, rows))
+
+
+def standard_cluster(
+    n_nodes: int = DEFAULT_N_NODES,
+    capacity: float = DEFAULT_CAPACITY,
+    central: float = DEFAULT_CENTRAL,
+    pool_size: int = DEFAULT_POOL,
+    attrs_per_node: int = DEFAULT_ATTRS_PER_NODE,
+    seed: int = 1,
+):
+    return make_uniform_cluster(
+        n_nodes=n_nodes,
+        capacity=capacity,
+        attrs_per_node=attrs_per_node,
+        attribute_pool=default_attribute_pool(pool_size),
+        central_capacity=central,
+        seed=seed,
+    )
+
+
+def make_planners(cost: CostModel = DEFAULT_COST, **remo_kwargs):
+    """The three Fig. 5/6/8 comparands, keyed by their paper names."""
+    remo_kwargs.setdefault("candidate_budget", BENCH_BUDGET)
+    remo_kwargs.setdefault("max_iterations", BENCH_ITERS)
+    return {
+        "REMO": RemoPlanner(cost, **remo_kwargs),
+        "SINGLETON-SET": SingletonSetPlanner(cost),
+        "ONE-SET": OneSetPlanner(cost),
+    }

@@ -1,0 +1,132 @@
+"""Ablations for the planner's design choices (DESIGN.md, "Implementation
+decisions beyond the paper's text").
+
+Not a paper figure: these isolate the contribution of each mechanism we
+added where the paper under-specifies, so regressions in any of them
+are visible:
+
+- **seed ladder**: initialization from both endpoint partitions plus
+  similarity-clustered k-way partitions, vs the paper-literal
+  singleton start;
+- **full-rebuild fallback**: granting top-ranked candidates one full
+  forest rebuild when incremental evaluation finds nothing;
+- **construction preference**: the blended slots/depth rule vs the
+  paper-literal STAR construction inside the adaptive builder.
+"""
+
+import pytest
+
+from _common import BENCH_BUDGET, BENCH_ITERS, emit, standard_cluster
+from repro.analysis.report import format_table
+from repro.core.cost import CostModel
+from repro.core.partition import Partition
+from repro.core.planner import RemoPlanner
+from repro.core.schemes import observable_pairs
+from repro.trees.adaptive import AdaptiveTreeBuilder
+from repro.workloads.tasks import TaskSampler
+
+COST = CostModel(per_message=20.0, per_value=1.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cluster = standard_cluster(n_nodes=80, capacity=500.0, central=800.0)
+    tasks = TaskSampler(cluster, seed=55).sample_many(18, (2, 6), (20, 60), prefix="abl-")
+    return cluster, tasks
+
+
+def coverage_of(planner, tasks, cluster, **plan_kwargs):
+    return planner.plan(tasks, cluster, **plan_kwargs).coverage()
+
+
+def test_ablation_seed_ladder(workload, benchmark):
+    cluster, tasks = workload
+    planner = RemoPlanner(COST, candidate_budget=BENCH_BUDGET, max_iterations=BENCH_ITERS)
+    pairs = observable_pairs(tasks, cluster)
+    attrs = frozenset(p.attribute for p in pairs)
+
+    def run():
+        seeded = coverage_of(planner, tasks, cluster)
+        singleton_start = coverage_of(
+            planner, tasks, cluster, initial_partition=Partition.singletons(attrs)
+        )
+        return seeded, singleton_start
+
+    seeded, singleton_start = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation",
+        format_table(
+            "Ablation: initialization seed ladder",
+            ["variant", "coverage"],
+            [
+                ["endpoints + k-way seeds", round(seeded, 4)],
+                ["singletons only (paper-literal)", round(singleton_start, 4)],
+            ],
+        ),
+    )
+    assert seeded >= singleton_start - 1e-9
+
+
+def test_ablation_full_rebuild_fallback(workload, benchmark):
+    cluster, tasks = workload
+
+    def run():
+        with_fallback = RemoPlanner(
+            COST, candidate_budget=BENCH_BUDGET, max_iterations=BENCH_ITERS
+        )
+        without = RemoPlanner(
+            COST, candidate_budget=BENCH_BUDGET, max_iterations=BENCH_ITERS
+        )
+        without._full_rebuild_budget = 0
+        return (
+            coverage_of(with_fallback, tasks, cluster),
+            coverage_of(without, tasks, cluster),
+        )
+
+    with_fb, without_fb = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation",
+        format_table(
+            "Ablation: full-rebuild fallback in candidate evaluation",
+            ["variant", "coverage"],
+            [
+                ["with fallback", round(with_fb, 4)],
+                ["incremental only", round(without_fb, 4)],
+            ],
+        ),
+    )
+    assert with_fb >= without_fb - 1e-9
+
+
+def test_ablation_construction_preference(workload, benchmark):
+    cluster, tasks = workload
+
+    def run():
+        blend = RemoPlanner(
+            COST,
+            tree_builder=AdaptiveTreeBuilder(COST, construction="blend"),
+            candidate_budget=BENCH_BUDGET,
+            max_iterations=BENCH_ITERS,
+        )
+        star = RemoPlanner(
+            COST,
+            tree_builder=AdaptiveTreeBuilder(COST, construction="star"),
+            candidate_budget=BENCH_BUDGET,
+            max_iterations=BENCH_ITERS,
+        )
+        return coverage_of(blend, tasks, cluster), coverage_of(star, tasks, cluster)
+
+    blend_cov, star_cov = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation",
+        format_table(
+            "Ablation: adaptive-builder construction preference",
+            ["variant", "coverage"],
+            [
+                ["blend (slots/depth)", round(blend_cov, 4)],
+                ["star (paper-literal)", round(star_cov, 4)],
+            ],
+        ),
+    )
+    # The blend must never be materially worse than the literal rule.
+    assert blend_cov >= star_cov - 0.02

@@ -1,0 +1,152 @@
+"""Fig. 5 -- partition schemes under varying workload characteristics.
+
+Four sub-figures, all plotting the percentage of collected
+node-attribute values for REMO vs SINGLETON-SET vs ONE-SET:
+
+- 5a: increasing attributes per task ``|A_t|``;
+- 5b: increasing nodes per task ``|N_t|`` under a large ``|A_t|``
+  (REMO converges towards SINGLETON-SET under extreme load);
+- 5c: increasing number of small-scale tasks;
+- 5d: increasing number of large-scale tasks.
+
+Expected shape (paper): REMO on top everywhere; ONE-SET competitive
+only at small scales; SINGLETON-SET degrades least under extreme load.
+Also includes the guided-search ablation called out in DESIGN.md
+(candidate_budget=None evaluates the whole neighborhood).
+"""
+
+import pytest
+
+from _common import (
+    BENCH_BUDGET,
+    BENCH_ITERS,
+    DEFAULT_COST,
+    emit_series,
+    make_planners,
+    standard_cluster,
+)
+from repro.analysis.report import Series, format_table
+from repro.core.planner import RemoPlanner
+from repro.workloads.tasks import TaskSampler
+from _common import emit
+
+N_NODES = 80
+
+
+def sweep(xs, make_tasks, cluster, planners):
+    series = {name: Series(name) for name in planners}
+    for x in xs:
+        tasks = make_tasks(x)
+        for name, planner in planners.items():
+            plan = planner.plan(tasks, cluster)
+            series[name].add(round(plan.coverage(), 4))
+    return [series["REMO"], series["SINGLETON-SET"], series["ONE-SET"]]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return standard_cluster(n_nodes=N_NODES)
+
+
+def test_fig5a_attributes_per_task(cluster, benchmark):
+    xs = [1, 2, 4, 8]
+    sampler = TaskSampler(cluster, seed=9)
+    make_tasks = lambda at: sampler.sample_many(  # noqa: E731
+        20, (at, at), (30, 60), prefix=f"a{at}-"
+    )
+    planners = make_planners()
+    result = benchmark.pedantic(
+        lambda: sweep(xs, make_tasks, cluster, planners), rounds=1, iterations=1
+    )
+    emit_series("fig05", "Fig 5a: % collected vs attributes per task", "|At|", xs, result)
+    remo, sp, op = result
+    # REMO dominates both baselines at every point.
+    assert all(r >= s - 1e-9 for r, s in zip(remo.values, sp.values))
+    assert all(r >= o - 1e-9 for r, o in zip(remo.values, op.values))
+
+
+def test_fig5b_nodes_per_task_heavy(cluster, benchmark):
+    xs = [20, 40, 80]
+    sampler = TaskSampler(cluster, seed=11)
+    make_tasks = lambda nt: sampler.sample_many(  # noqa: E731
+        12, (10, 16), (nt, nt), prefix=f"n{nt}-"
+    )
+    planners = make_planners()
+    result = benchmark.pedantic(
+        lambda: sweep(xs, make_tasks, cluster, planners), rounds=1, iterations=1
+    )
+    emit_series(
+        "fig05", "Fig 5b: % collected vs nodes per task (heavy |At|)", "|Nt|", xs, result
+    )
+    remo, sp, op = result
+    assert all(r >= s - 1e-9 for r, s in zip(remo.values, sp.values))
+    # Under extreme load REMO converges towards SINGLETON-SET: the gap
+    # at the heaviest point is smaller than ONE-SET's deficit.
+    assert remo.values[-1] - sp.values[-1] <= remo.values[-1] - op.values[-1]
+
+
+def test_fig5c_small_task_count(cluster, benchmark):
+    xs = [10, 20, 40]
+    sampler = TaskSampler(cluster, seed=13)
+    make_tasks = lambda count: sampler.sample_many(  # noqa: E731
+        count, (1, 4), (5, 20), prefix=f"s{count}-"
+    )
+    planners = make_planners()
+    result = benchmark.pedantic(
+        lambda: sweep(xs, make_tasks, cluster, planners), rounds=1, iterations=1
+    )
+    emit_series(
+        "fig05", "Fig 5c: % collected vs number of small-scale tasks", "tasks", xs, result
+    )
+    remo, sp, op = result
+    assert all(r >= max(s, o) - 1e-9 for r, s, o in zip(remo.values, sp.values, op.values))
+
+
+def test_fig5d_large_task_count(cluster, benchmark):
+    xs = [5, 10, 20]
+    sampler = TaskSampler(cluster, seed=15)
+    make_tasks = lambda count: sampler.sample_many(  # noqa: E731
+        count, (6, 12), (40, 70), prefix=f"l{count}-"
+    )
+    planners = make_planners()
+    result = benchmark.pedantic(
+        lambda: sweep(xs, make_tasks, cluster, planners), rounds=1, iterations=1
+    )
+    emit_series(
+        "fig05", "Fig 5d: % collected vs number of large-scale tasks", "tasks", xs, result
+    )
+    remo, sp, op = result
+    assert all(r >= s - 1e-9 for r, s in zip(remo.values, sp.values))
+
+
+def test_fig5_ablation_guided_vs_exhaustive(cluster, benchmark):
+    """DESIGN.md ablation: the guided candidate budget should retain
+    most of the exhaustive search's quality at a fraction of the
+    evaluations."""
+    sampler = TaskSampler(cluster, seed=17)
+    tasks = sampler.sample_many(16, (2, 4), (20, 50), prefix="ab-")
+
+    def run(budget):
+        planner = RemoPlanner(
+            DEFAULT_COST, candidate_budget=budget, max_iterations=BENCH_ITERS
+        )
+        plan, stats = planner.plan_with_stats(tasks, cluster)
+        return plan.coverage(), stats.candidates_evaluated
+
+    guided_cov, guided_evals = benchmark.pedantic(
+        lambda: run(BENCH_BUDGET), rounds=1, iterations=1
+    )
+    exhaustive_cov, exhaustive_evals = run(None)
+    emit(
+        "fig05",
+        format_table(
+            "Ablation: guided vs exhaustive candidate evaluation",
+            ["variant", "coverage", "evaluations"],
+            [
+                ["guided(6)", round(guided_cov, 4), guided_evals],
+                ["exhaustive", round(exhaustive_cov, 4), exhaustive_evals],
+            ],
+        ),
+    )
+    assert guided_evals <= exhaustive_evals
+    assert guided_cov >= exhaustive_cov * 0.9

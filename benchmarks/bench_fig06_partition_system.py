@@ -1,0 +1,115 @@
+"""Fig. 6 -- partition schemes under varying system characteristics.
+
+Four sub-figures plotting percentage of collected values:
+
+- 6a: increasing cluster size, small-scale tasks;
+- 6b: increasing cluster size, large-scale tasks;
+- 6c: increasing per-message overhead ratio ``C/a``, small tasks;
+- 6d: increasing ``C/a``, large tasks.
+
+Expected shape (paper): REMO dominates both baselines across system
+sizes (up to ~90% extra pairs); growing ``C/a`` hits SINGLETON-SET
+hardest (it sends the most messages) while ONE-SET degrades most
+gracefully, with REMO shrinking its tree count as ``C/a`` rises.
+"""
+
+import pytest
+
+from _common import DEFAULT_COST, emit_series, make_planners, standard_cluster
+from repro.analysis.report import Series
+from repro.core.cost import CostModel
+from repro.workloads.tasks import TaskSampler
+
+
+def run_point(planners, tasks, cluster):
+    return {
+        name: round(planner.plan(tasks, cluster).coverage(), 4)
+        for name, planner in planners.items()
+    }
+
+
+def series_from(points, names):
+    series = [Series(n) for n in names]
+    for point in points:
+        for s in series:
+            s.add(point[s.name])
+    return series
+
+
+NAMES = ["REMO", "SINGLETON-SET", "ONE-SET"]
+
+
+def test_fig6a_nodes_small_tasks(benchmark):
+    xs = [40, 80, 120]
+
+    def run():
+        points = []
+        for n in xs:
+            cluster = standard_cluster(n_nodes=n)
+            tasks = TaskSampler(cluster, seed=21).sample_many(
+                20, (1, 4), (max(5, n // 8), n // 2), prefix=f"n{n}-"
+            )
+            points.append(run_point(make_planners(), tasks, cluster))
+        return series_from(points, NAMES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig06", "Fig 6a: % collected vs nodes (small tasks)", "nodes", xs, result)
+    remo, sp, op = result
+    assert all(r >= max(s, o) - 1e-9 for r, s, o in zip(remo.values, sp.values, op.values))
+
+
+def test_fig6b_nodes_large_tasks(benchmark):
+    xs = [40, 80, 120]
+
+    def run():
+        points = []
+        for n in xs:
+            cluster = standard_cluster(n_nodes=n)
+            tasks = TaskSampler(cluster, seed=23).sample_many(
+                10, (6, 12), (n // 2, int(n * 0.9)), prefix=f"N{n}-"
+            )
+            points.append(run_point(make_planners(), tasks, cluster))
+        return series_from(points, NAMES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig06", "Fig 6b: % collected vs nodes (large tasks)", "nodes", xs, result)
+    remo, sp, op = result
+    assert all(r >= s - 1e-9 for r, s in zip(remo.values, sp.values))
+    # Large-scale tasks: SINGLETON-SET beats ONE-SET (the paper's claim).
+    assert sum(sp.values) >= sum(op.values)
+
+
+@pytest.mark.parametrize(
+    "label,attr_range,node_frac",
+    [("small", (1, 4), (0.1, 0.4)), ("large", (6, 12), (0.5, 0.9))],
+)
+def test_fig6cd_overhead_ratio(benchmark, label, attr_range, node_frac):
+    ratios = [2.0, 10.0, 30.0, 60.0]
+    cluster = standard_cluster(n_nodes=80)
+    lo = max(2, int(node_frac[0] * 80))
+    hi = int(node_frac[1] * 80)
+    tasks = TaskSampler(cluster, seed=25).sample_many(
+        14, attr_range, (lo, hi), prefix=f"{label}-"
+    )
+
+    def run():
+        points = []
+        for ratio in ratios:
+            cost = CostModel(per_message=ratio, per_value=1.0)
+            points.append(run_point(make_planners(cost), tasks, cluster))
+        return series_from(points, NAMES)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series(
+        "fig06",
+        f"Fig 6{'c' if label == 'small' else 'd'}: % collected vs C/a ({label} tasks)",
+        "C/a",
+        ratios,
+        result,
+    )
+    remo, sp, op = result
+    assert all(r >= max(s, o) - 1e-9 for r, s, o in zip(remo.values, sp.values, op.values))
+    # Growing C/a hurts SINGLETON-SET more than ONE-SET, relatively:
+    # SP's retained fraction from cheapest to priciest C/a is smaller.
+    if sp.values[0] > 0 and op.values[0] > 0:
+        assert sp.values[-1] / sp.values[0] <= op.values[-1] / op.values[0] + 0.05

@@ -1,0 +1,150 @@
+"""Fig. 7 -- tree construction schemes under varying workload/system.
+
+Compares STAR, CHAIN, MAX_AVB (the TMON heuristic) and REMO's
+ADAPTIVE construction as the tree builder inside the monitoring
+planner.  A single tree's size is largely pinned by its root's relay
+budget, so construction quality shows up at the *forest* level: a
+scheme that wastes node capacity (CHAIN's relaying, STAR's root
+overhead) leaves less for the other trees sharing those nodes and
+collects fewer values overall.
+
+- 7a: increasing number of tasks (workload), moderate overhead;
+- 7b: increasing nodes per task (workload concentration);
+- 7c: increasing node capacity (light -> generous headroom);
+- 7d: increasing per-message overhead ``C/a``.
+
+Expected shape (paper): ADAPTIVE best or tied everywhere; STAR
+strongest among the baselines under heavy workload (minimum relay
+cost); CHAIN competitive only under light workload; MAX_AVB good at
+small workloads, degrading as load grows.
+"""
+
+import pytest
+
+from _common import emit_series, standard_cluster
+from repro.analysis.report import Series
+from repro.core.cost import CostModel
+from repro.core.schemes import SingletonSetPlanner
+from repro.trees.adaptive import AdaptiveTreeBuilder
+from repro.trees.chain import ChainTreeBuilder
+from repro.trees.max_avb import MaxAvailableTreeBuilder
+from repro.trees.star import StarTreeBuilder
+from repro.workloads.tasks import TaskSampler
+
+BUILDERS = {
+    "ADAPTIVE": AdaptiveTreeBuilder,
+    "STAR": StarTreeBuilder,
+    "CHAIN": ChainTreeBuilder,
+    "MAX_AVB": MaxAvailableTreeBuilder,
+}
+NAMES = list(BUILDERS)
+
+
+def run_point(cost, tasks, cluster):
+    point = {}
+    for name, builder_cls in BUILDERS.items():
+        planner = SingletonSetPlanner(cost, tree_builder=builder_cls(cost))
+        point[name] = round(planner.plan(tasks, cluster).coverage(), 4)
+    return point
+
+
+def to_series(points):
+    series = [Series(n) for n in NAMES]
+    for point in points:
+        for s in series:
+            s.add(point[s.name])
+    return series
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return standard_cluster(n_nodes=80, capacity=600.0, central=2400.0)
+
+
+def test_fig7a_task_count(cluster, benchmark):
+    xs = [5, 10, 20, 40]
+    cost = CostModel(10.0, 1.0)
+    sampler = TaskSampler(cluster, seed=41)
+
+    def run():
+        return to_series(
+            [
+                run_point(
+                    cost,
+                    sampler.sample_many(n, (2, 5), (20, 60), prefix=f"t{n}-"),
+                    cluster,
+                )
+                for n in xs
+            ]
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig07", "Fig 7a: % collected vs number of tasks", "tasks", xs, result)
+    adaptive = result[0]
+    for other in result[1:]:
+        assert all(a >= o - 0.01 for a, o in zip(adaptive.values, other.values))
+
+
+def test_fig7b_nodes_per_task(cluster, benchmark):
+    xs = [20, 40, 70]
+    cost = CostModel(10.0, 1.0)
+    sampler = TaskSampler(cluster, seed=43)
+
+    def run():
+        return to_series(
+            [
+                run_point(
+                    cost,
+                    sampler.sample_many(15, (2, 5), (nt, nt), prefix=f"n{nt}-"),
+                    cluster,
+                )
+                for nt in xs
+            ]
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig07", "Fig 7b: % collected vs nodes per task", "|Nt|", xs, result)
+    adaptive = result[0]
+    for other in result[1:]:
+        assert all(a >= o - 0.01 for a, o in zip(adaptive.values, other.values))
+
+
+def test_fig7c_capacity(benchmark):
+    xs = [300.0, 600.0, 1200.0, 2400.0]
+    cost = CostModel(10.0, 1.0)
+
+    def run():
+        points = []
+        for b in xs:
+            cluster = standard_cluster(n_nodes=80, capacity=b, central=4.0 * b)
+            tasks = TaskSampler(cluster, seed=45).sample_many(
+                15, (2, 5), (20, 60), prefix=f"b{b}-"
+            )
+            points.append(run_point(cost, tasks, cluster))
+        return to_series(points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig07", "Fig 7c: % collected vs node capacity", "capacity", xs, result)
+    named = dict(zip(NAMES, result))
+    adaptive = named["ADAPTIVE"]
+    for other_name in ("STAR", "CHAIN", "MAX_AVB"):
+        assert all(
+            a >= o - 0.01 for a, o in zip(adaptive.values, named[other_name].values)
+        )
+    # Generous capacity: everything collected.
+    assert adaptive.values[-1] == pytest.approx(1.0, abs=0.02)
+
+
+def test_fig7d_overhead_ratio(cluster, benchmark):
+    xs = [2.0, 10.0, 30.0]
+    sampler = TaskSampler(cluster, seed=47)
+    tasks = sampler.sample_many(15, (2, 5), (20, 60), prefix="c-")
+
+    def run():
+        return to_series([run_point(CostModel(c, 1.0), tasks, cluster) for c in xs])
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig07", "Fig 7d: % collected vs C/a", "C/a", xs, result)
+    adaptive = result[0]
+    for other in result[1:]:
+        assert all(a >= o - 0.01 for a, o in zip(adaptive.values, other.values))

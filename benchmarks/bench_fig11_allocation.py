@@ -1,0 +1,100 @@
+"""Fig. 11 -- tree-wise capacity allocation schemes.
+
+Compares how a node's capacity is divided among the trees it serves:
+
+- UNIFORM: equal slice per tree;
+- PROPORTIONAL: slice proportional to the node's contribution per tree;
+- ON-DEMAND: build trees sequentially, each taking what is left;
+- ORDERED: on-demand with smallest-trees-first construction.
+
+Expected shape (paper): ON-DEMAND and ORDERED consistently beat the
+pre-divided schemes, with ORDERED's advantage growing with nodes and
+tasks (mixed tree sizes make construction order matter).
+"""
+
+import pytest
+
+from _common import BENCH_BUDGET, BENCH_ITERS, emit_series, standard_cluster
+from repro.analysis.report import Series
+from repro.core.allocation import AllocationPolicy
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner
+from repro.workloads.tasks import TaskSampler
+
+COST = CostModel(per_message=20.0, per_value=1.0)
+POLICIES = {
+    "ORDERED": AllocationPolicy.ORDERED,
+    "ON-DEMAND": AllocationPolicy.ON_DEMAND,
+    "UNIFORM": AllocationPolicy.UNIFORM,
+    "PROPORTIONAL": AllocationPolicy.PROPORTIONAL,
+}
+
+
+def coverage_for(policy, tasks, cluster):
+    planner = RemoPlanner(
+        COST,
+        allocation=policy,
+        candidate_budget=BENCH_BUDGET,
+        max_iterations=BENCH_ITERS,
+    )
+    return planner.plan(tasks, cluster).coverage()
+
+
+def to_series(points):
+    series = [Series(n) for n in POLICIES]
+    for point in points:
+        for s in series:
+            s.add(round(point[s.name], 4))
+    return series
+
+
+def test_fig11a_vs_nodes(benchmark):
+    xs = [40, 80, 120]
+
+    def run():
+        points = []
+        for n in xs:
+            cluster = standard_cluster(n_nodes=n)
+            # Mixed task sizes so trees differ widely in volume --
+            # exactly the regime where construction order matters.
+            sampler = TaskSampler(cluster, seed=81)
+            tasks = sampler.sample_many(8, (1, 3), (5, 15), prefix=f"sm{n}-")
+            tasks += sampler.sample_many(8, (5, 10), (n // 2, int(0.9 * n)), prefix=f"lg{n}-")
+            points.append(
+                {name: coverage_for(policy, tasks, cluster) for name, policy in POLICIES.items()}
+            )
+        return to_series(points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig11", "Fig 11a: % collected vs nodes", "nodes", xs, result)
+    by_name = {s.name: s.values for s in result}
+    for i in range(len(xs)):
+        best_sequential = max(by_name["ORDERED"][i], by_name["ON-DEMAND"][i])
+        worst_predivided = min(by_name["UNIFORM"][i], by_name["PROPORTIONAL"][i])
+        assert best_sequential >= worst_predivided - 1e-9
+    assert sum(by_name["ORDERED"]) >= sum(by_name["ON-DEMAND"]) - 0.05
+
+
+def test_fig11b_vs_tasks(benchmark):
+    xs = [8, 16, 32]
+    cluster = standard_cluster(n_nodes=80)
+
+    def run():
+        points = []
+        for count in xs:
+            sampler = TaskSampler(cluster, seed=83)
+            tasks = sampler.sample_many(count // 2, (1, 3), (5, 15), prefix=f"s{count}-")
+            tasks += sampler.sample_many(
+                count - count // 2, (5, 10), (40, 70), prefix=f"l{count}-"
+            )
+            points.append(
+                {name: coverage_for(policy, tasks, cluster) for name, policy in POLICIES.items()}
+            )
+        return to_series(points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_series("fig11", "Fig 11b: % collected vs tasks", "tasks", xs, result)
+    by_name = {s.name: s.values for s in result}
+    mean = lambda vs: sum(vs) / len(vs)  # noqa: E731
+    assert mean(by_name["ORDERED"]) >= mean(by_name["UNIFORM"]) - 1e-9
+    assert mean(by_name["ORDERED"]) >= mean(by_name["PROPORTIONAL"]) - 1e-9

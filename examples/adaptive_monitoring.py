@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Runtime topology adaptation under task churn.
+
+Monitoring tasks in real deployments change constantly: debugging
+sessions swap attributes in and out, ad hoc usage checks come and go.
+This example runs the :class:`AdaptiveMonitoringService` over a stream
+of task-update batches (the paper's protocol: each batch touches 5% of
+the nodes and replaces half the attributes monitored there) and
+compares the four adaptation strategies of Section 4.
+
+Run:  python examples/adaptive_monitoring.py
+"""
+
+import time
+
+from repro import AdaptationStrategy, AdaptiveMonitoringService, CostModel
+from repro.cluster.topology import make_uniform_cluster, default_attribute_pool
+from repro.workloads.tasks import TaskSampler
+from repro.workloads.updates import TaskUpdateStream
+
+
+def main() -> None:
+    cluster = make_uniform_cluster(
+        n_nodes=60,
+        capacity=500.0,
+        attrs_per_node=16,
+        attribute_pool=default_attribute_pool(32),
+        central_capacity=1500.0,
+        seed=5,
+    )
+    cost = CostModel(per_message=20.0, per_value=1.0)
+    tasks = TaskSampler(cluster, seed=6).sample_many(20, (2, 5), (15, 40), prefix="job-")
+
+    print("Applying 6 update batches under each adaptation strategy...\n")
+    header = f"{'strategy':<13} {'plan CPU s':>11} {'adapt msgs':>11} {'coverage':>9} {'ops':>4}"
+    print(header)
+    print("-" * len(header))
+    for strategy in AdaptationStrategy:
+        svc = AdaptiveMonitoringService(cluster, cost, strategy=strategy)
+        svc.initialize(tasks, now=0.0)
+        stream = TaskUpdateStream(cluster, tasks, seed=7)
+        cpu = 0.0
+        adapt_msgs = 0
+        applied = 0
+        for step in range(6):
+            batch = stream.next_batch()
+            started = time.perf_counter()
+            report = svc.apply_changes(batch, now=float(step + 1))
+            cpu += time.perf_counter() - started
+            adapt_msgs += report.adaptation_messages
+            applied += len(report.applied_ops)
+        print(
+            f"{strategy.value:<13} {cpu:>11.3f} {adapt_msgs:>11} "
+            f"{svc.plan.coverage():>9.3f} {applied:>4}"
+        )
+
+    print(
+        "\nDIRECT_APPLY is cheapest but never optimizes; REBUILD pays "
+        "full planning and reconfiguration on every batch; ADAPTIVE "
+        "optimizes only when the benefit outweighs the reconfiguration "
+        "cost (Section 4.2's cost-benefit throttling)."
+    )
+
+
+if __name__ == "__main__":
+    main()

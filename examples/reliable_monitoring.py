@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Reliable monitoring with SSDP replication under link failures.
+
+Mission-critical tasks can ask REMO for same-source/different-paths
+(SSDP) delivery: every attribute is duplicated under an alias, and the
+planner is constrained to route alias and original through *different*
+monitoring trees.  This example plans a replicated workload, then
+injects link outages into the simulator and shows that the collector
+keeps receiving values through the surviving path.
+
+Run:  python examples/reliable_monitoring.py
+"""
+
+from repro import CostModel, MonitoringTask, RemoPlanner, make_uniform_cluster
+from repro.cluster.metrics import MetricRegistry
+from repro.ext.reliability import (
+    ReplicatedRegistry,
+    alias_cluster,
+    replica_plan_coverage,
+    rewrite_ssdp,
+)
+from repro.simulation import (
+    FailureInjector,
+    LinkOutage,
+    MonitoringSimulation,
+    SimulationConfig,
+)
+
+
+def main() -> None:
+    cluster = make_uniform_cluster(
+        n_nodes=24, capacity=300.0, attrs_per_node=8, central_capacity=900.0, seed=3
+    )
+    cost = CostModel(per_message=15.0, per_value=1.0)
+    pool = sorted({a for node in cluster for a in node.attributes})
+    tasks = [
+        MonitoringTask("critical-latency", pool[:2], range(24)),
+        MonitoringTask("critical-queue", pool[2:4], range(24)),
+    ]
+
+    # Rewrite with replication factor 2: aliased copies forced into
+    # disjoint trees via the forbidden-pair constraint.
+    rewrite = rewrite_ssdp(tasks, factor=2)
+    repl_cluster = alias_cluster(cluster, rewrite)
+    planner = RemoPlanner(cost, forbidden_pairs=rewrite.forbidden_pairs)
+    plan = planner.plan(rewrite.tasks, repl_cluster)
+    print(
+        f"replicated plan: {plan.tree_count()} trees, raw coverage "
+        f"{plan.coverage():.3f}, base-pair coverage "
+        f"{replica_plan_coverage(plan, rewrite):.3f}"
+    )
+
+    # Sever every edge of the tree carrying one base attribute for the
+    # whole run; its alias travels through a different tree.
+    victim_attr = sorted(rewrite.alias_groups)[0]
+    victim_set = next(s for s in plan.partition.sets if victim_attr in s)
+    victim_tree = plan.trees[victim_set].tree
+    outages = [LinkOutage(node, victim_set, 0.0, 1e9) for node in victim_tree.nodes]
+    print(
+        f"severing all {len(outages)} links of the tree delivering "
+        f"{sorted(victim_set)}"
+    )
+
+    base_pairs = [p for p in plan.pairs if p.attribute in rewrite.alias_groups]
+    registry = ReplicatedRegistry(
+        MetricRegistry(base_pairs, seed=1), rewrite.alias_to_base
+    )
+    for label, injector in [
+        ("no failures", FailureInjector()),
+        ("path severed", FailureInjector(link_outages=outages)),
+    ]:
+        stats = MonitoringSimulation(
+            plan,
+            repl_cluster,
+            registry=registry,
+            config=SimulationConfig(seed=2),
+            failures=injector,
+        ).run(15)
+        print(
+            f"  {label:<13} fresh={stats.mean_fresh_coverage:.3f} "
+            f"dropped(failure)={stats.messages_dropped_failure}"
+        )
+    print(
+        "\nWith SSDP, the aliased copies keep flowing through the "
+        "second tree: the collector still sees every attribute value "
+        "despite the dead path."
+    )
+
+
+if __name__ == "__main__":
+    main()

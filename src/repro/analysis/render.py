@@ -1,0 +1,72 @@
+"""Human-readable rendering of trees and plans.
+
+Debugging a planner means staring at topologies; these helpers print
+monitoring trees as indented ASCII outlines annotated with the numbers
+that matter (depth, local pairs, outgoing values, capacity usage) and
+whole plans as per-tree summaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.plan import MonitoringPlan
+from repro.trees.model import MonitoringTree
+
+
+def render_tree(tree: MonitoringTree, max_nodes: int = 200) -> str:
+    """Indented outline of a monitoring tree.
+
+    Each line shows ``node(local_pairs) y=outgoing used/capacity``; the
+    collector is the implicit super-root.  Output is truncated after
+    ``max_nodes`` lines to keep giant trees printable.
+    """
+    if len(tree) == 0:
+        return "(empty tree)"
+    lines: List[str] = [
+        f"tree[{','.join(sorted(tree.attributes))}] "
+        f"nodes={len(tree)} height={tree.height()} pairs={tree.pair_count()}"
+    ]
+    count = 0
+
+    def visit(node, depth):
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        cap = tree.capacities.get(node, 0.0)
+        lines.append(
+            f"{'  ' * (depth + 1)}{node} "
+            f"({len(tree.local_demand(node))} local) "
+            f"y={tree.outgoing_values(node):.1f} "
+            f"used={tree.used(node):.1f}/{cap:.1f}"
+        )
+        for child in sorted(tree.children(node)):
+            visit(child, depth + 1)
+
+    visit(tree.root, 0)
+    if count >= max_nodes and len(tree) > max_nodes:
+        lines.append(f"  ... ({len(tree) - max_nodes} more nodes)")
+    return "\n".join(lines)
+
+
+def render_plan(plan: MonitoringPlan, max_trees: int = 50) -> str:
+    """One-line-per-tree overview of a monitoring plan."""
+    lines = [
+        f"plan: coverage={plan.coverage():.3f} "
+        f"({plan.collected_pair_count()}/{plan.requested_pair_count()} pairs), "
+        f"{plan.tree_count()} trees, traffic={plan.total_message_cost():.1f}/period, "
+        f"collector={plan.central_usage():.1f}"
+    ]
+    ordered = sorted(plan.trees.items(), key=lambda kv: -kv[1].tree.pair_count())
+    for attr_set, result in ordered[:max_trees]:
+        tree = result.tree
+        attrs = ",".join(sorted(attr_set)[:5]) + ("..." if len(attr_set) > 5 else "")
+        lines.append(
+            f"  [{attrs}] nodes={len(tree)} height={tree.height()} "
+            f"pairs={tree.pair_count()} excluded={len(result.excluded)} "
+            f"root={tree.root}"
+        )
+    if plan.tree_count() > max_trees:
+        lines.append(f"  ... ({plan.tree_count() - max_trees} more trees)")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Aligned-text reporting for benchmark output.
+
+Every figure-reproduction benchmark prints the same rows/series the
+paper plots, using these helpers so EXPERIMENTS.md can quote the
+output verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Series:
+    """One plotted line: a name plus y-values over a shared x-axis."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+
+def _format_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    min_width: int = 10,
+) -> str:
+    """Render an aligned table with a title rule."""
+    rows = [list(r) for r in rows]
+    widths = []
+    for i, col in enumerate(columns):
+        cells = [col] + [
+            f"{r[i]:.4f}" if isinstance(r[i], float) else str(r[i]) for r in rows
+        ]
+        widths.append(max(min_width, max(len(c) for c in cells)))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_format_cell(cell, w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    print()
+    print(format_table(title, columns, rows))
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[Series],
+) -> None:
+    """Print plotted lines as a table: one row per x, one column per line."""
+    columns = [x_label] + [s.name for s in series]
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for s in series:
+            row.append(s.values[i] if i < len(s.values) else float("nan"))
+        rows.append(row)
+    print_table(title, columns, rows)

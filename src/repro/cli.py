@@ -1,0 +1,209 @@
+"""Command-line interface: plan, simulate, and adapt from a shell.
+
+Three subcommands over synthetic workloads, mirroring the examples:
+
+- ``plan``       build a monitoring forest and print its summary;
+- ``simulate``   run the planned forest in the discrete-event simulator
+  and report coverage / percentage error / traffic;
+- ``adapt``      drive the adaptive service through task-churn batches.
+
+Usage::
+
+    python -m repro plan --nodes 80 --tasks 20 --scheme remo
+    python -m repro simulate --nodes 60 --tasks 15 --periods 25
+    python -m repro adapt --nodes 60 --tasks 20 --batches 5 --strategy adaptive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
+from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner
+from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
+from repro.simulation import MonitoringSimulation, SimulationConfig
+from repro.workloads.tasks import TaskSampler
+from repro.workloads.updates import TaskUpdateStream
+
+SCHEMES = {
+    "remo": RemoPlanner,
+    "singleton": SingletonSetPlanner,
+    "one-set": OneSetPlanner,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=64, help="cluster size")
+    parser.add_argument("--capacity", type=float, default=400.0, help="node budget b_i")
+    parser.add_argument(
+        "--central", type=float, default=None, help="collector budget (default 3x capacity)"
+    )
+    parser.add_argument("--pool", type=int, default=32, help="attribute pool size")
+    parser.add_argument(
+        "--attrs-per-node", type=int, default=16, help="attributes observable per node"
+    )
+    parser.add_argument("--tasks", type=int, default=15, help="number of monitoring tasks")
+    parser.add_argument("--cost-c", type=float, default=20.0, help="per-message overhead C")
+    parser.add_argument("--cost-a", type=float, default=1.0, help="per-value cost a")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument(
+        "--scheme",
+        choices=sorted(SCHEMES),
+        default="remo",
+        help="partition scheme",
+    )
+
+
+def _setup(args):
+    cluster = make_uniform_cluster(
+        n_nodes=args.nodes,
+        capacity=args.capacity,
+        attrs_per_node=min(args.attrs_per_node, args.pool),
+        attribute_pool=default_attribute_pool(args.pool),
+        central_capacity=args.central if args.central is not None else 3.0 * args.capacity,
+        seed=args.seed,
+    )
+    cost = CostModel(per_message=args.cost_c, per_value=args.cost_a)
+    tasks = TaskSampler(cluster, seed=args.seed + 1).sample_many(
+        args.tasks, (2, 5), (max(5, args.nodes // 6), max(6, args.nodes // 2))
+    )
+    return cluster, cost, tasks
+
+
+def _plan(args) -> int:
+    cluster, cost, tasks = _setup(args)
+    planner = SCHEMES[args.scheme](cost)
+    started = time.perf_counter()
+    plan = planner.plan(tasks, cluster)
+    elapsed = time.perf_counter() - started
+    print(
+        format_table(
+            f"{args.scheme} plan ({args.nodes} nodes, {args.tasks} tasks)",
+            ["metric", "value"],
+            [
+                ["coverage", round(plan.coverage(), 4)],
+                ["collected pairs", plan.collected_pair_count()],
+                ["requested pairs", plan.requested_pair_count()],
+                ["trees", plan.tree_count()],
+                ["max tree depth", plan.max_tree_depth()],
+                ["traffic / period", round(plan.total_message_cost(), 1)],
+                ["collector usage", round(plan.central_usage(), 1)],
+                ["planning seconds", round(elapsed, 3)],
+            ],
+        )
+    )
+    rows = [
+        [
+            ",".join(sorted(attr_set)[:4]) + ("..." if len(attr_set) > 4 else ""),
+            len(result.tree),
+            result.tree.height(),
+            result.tree.pair_count(),
+        ]
+        for attr_set, result in sorted(plan.trees.items(), key=lambda kv: sorted(kv[0]))
+    ]
+    print()
+    print(format_table("trees", ["attributes", "nodes", "height", "pairs"], rows))
+    plan.validate(
+        {n.node_id: n.capacity for n in cluster}, cluster.central_capacity
+    )
+    return 0
+
+
+def _simulate(args) -> int:
+    cluster, cost, tasks = _setup(args)
+    plan = SCHEMES[args.scheme](cost).plan(tasks, cluster)
+    stats = MonitoringSimulation(
+        plan, cluster, config=SimulationConfig(seed=args.seed)
+    ).run(args.periods)
+    print(
+        format_table(
+            f"{args.scheme} simulated over {args.periods} periods",
+            ["metric", "value"],
+            [
+                ["coverage (planned)", round(plan.coverage(), 4)],
+                ["mean % error", round(stats.mean_percentage_error, 4)],
+                ["mean freshness", round(stats.mean_fresh_coverage, 4)],
+                ["messages sent", stats.messages_sent],
+                ["messages delivered", stats.messages_delivered],
+                ["dropped (capacity)", stats.messages_dropped_capacity],
+                ["dropped (failure)", stats.messages_dropped_failure],
+                ["values trimmed", stats.values_trimmed],
+            ],
+        )
+    )
+    return 0
+
+
+def _adapt(args) -> int:
+    cluster, cost, tasks = _setup(args)
+    strategy = AdaptationStrategy(args.strategy)
+    svc = AdaptiveMonitoringService(cluster, cost, strategy=strategy)
+    svc.initialize(tasks, now=0.0)
+    stream = TaskUpdateStream(cluster, tasks, seed=args.seed + 2)
+    rows = []
+    for step in range(args.batches):
+        batch = stream.next_batch()
+        report = svc.apply_changes(batch, now=float(step + 1))
+        rows.append(
+            [
+                step + 1,
+                len(batch),
+                round(report.planning_seconds, 3),
+                report.adaptation_messages,
+                round(report.coverage, 4),
+                len(report.applied_ops),
+                report.throttled_ops,
+            ]
+        )
+    print(
+        format_table(
+            f"{strategy.value} over {args.batches} update batches",
+            ["batch", "ops", "cpu_s", "adapt_msgs", "coverage", "applied", "throttled"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REMO resource-aware monitoring planner (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan_p = sub.add_parser("plan", help="plan a monitoring forest")
+    _add_common(plan_p)
+    plan_p.set_defaults(func=_plan)
+
+    sim_p = sub.add_parser("simulate", help="plan then simulate")
+    _add_common(sim_p)
+    sim_p.add_argument("--periods", type=int, default=20, help="collection periods")
+    sim_p.set_defaults(func=_simulate)
+
+    adapt_p = sub.add_parser("adapt", help="run the adaptive service under churn")
+    _add_common(adapt_p)
+    adapt_p.add_argument("--batches", type=int, default=5, help="update batches")
+    adapt_p.add_argument(
+        "--strategy",
+        choices=[s.value for s in AdaptationStrategy],
+        default="adaptive",
+    )
+    adapt_p.set_defaults(func=_adapt)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Simulated cluster substrate.
+
+REMO targets datacenter-like environments where any two nodes can
+communicate at similar cost (the BlueGene/P torus of the paper's
+deployment behaves as a fully connected network for all practical
+purposes).  The cluster substrate therefore models nodes -- not links
+-- as the constrained resource: every node carries a CPU capacity
+budget for sending and receiving monitoring messages, plus the set of
+attributes it can observe locally and generators producing those
+attributes' time-varying values.
+"""
+
+from repro.cluster.node import Cluster, SimNode
+from repro.cluster.topology import (
+    make_heterogeneous_cluster,
+    make_uniform_cluster,
+)
+from repro.cluster.metrics import (
+    AR1Metric,
+    BurstyMetric,
+    ConstantNoiseMetric,
+    MetricGenerator,
+    MetricRegistry,
+    RandomWalkMetric,
+)
+
+__all__ = [
+    "AR1Metric",
+    "BurstyMetric",
+    "Cluster",
+    "ConstantNoiseMetric",
+    "MetricGenerator",
+    "MetricRegistry",
+    "RandomWalkMetric",
+    "SimNode",
+    "make_heterogeneous_cluster",
+    "make_uniform_cluster",
+]

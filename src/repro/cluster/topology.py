@@ -1,0 +1,111 @@
+"""Cluster generators.
+
+Builders for the synthetic deployments used throughout the paper's
+evaluation: clusters of ``n`` nodes, each observing a random subset of
+an attribute pool, with uniform or heterogeneous capacities, plus a
+central collector.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.cluster.node import Cluster, SimNode
+from repro.core.attributes import AttributeId
+
+
+def default_attribute_pool(n_attributes: int) -> List[AttributeId]:
+    """Attribute names ``attr00 .. attrNN`` used by synthetic workloads."""
+    if n_attributes <= 0:
+        raise ValueError(f"n_attributes must be > 0, got {n_attributes}")
+    width = max(2, len(str(n_attributes - 1)))
+    return [f"attr{i:0{width}d}" for i in range(n_attributes)]
+
+
+def make_uniform_cluster(
+    n_nodes: int,
+    capacity: float,
+    attrs_per_node: int = 10,
+    attribute_pool: Optional[Sequence[AttributeId]] = None,
+    central_capacity: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> Cluster:
+    """A cluster of ``n_nodes`` identical-capacity nodes.
+
+    Each node observes ``attrs_per_node`` attributes sampled uniformly
+    without replacement from ``attribute_pool`` (default: a pool of
+    ``2 * attrs_per_node`` generated names, so attribute sets overlap
+    across nodes as in the paper's synthetic experiments).
+
+    ``central_capacity`` defaults to 4x a node's capacity: the collector
+    is better provisioned, but still finite -- the premise of the whole
+    planning problem.
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be > 0, got {n_nodes}")
+    if attrs_per_node <= 0:
+        raise ValueError(f"attrs_per_node must be > 0, got {attrs_per_node}")
+    rng = random.Random(seed)
+    pool = list(attribute_pool) if attribute_pool is not None else default_attribute_pool(
+        2 * attrs_per_node
+    )
+    if attrs_per_node > len(pool):
+        raise ValueError(
+            f"attrs_per_node={attrs_per_node} exceeds pool size {len(pool)}"
+        )
+    nodes = [
+        SimNode(
+            node_id=i,
+            capacity=capacity,
+            attributes=frozenset(rng.sample(pool, attrs_per_node)),
+        )
+        for i in range(n_nodes)
+    ]
+    return Cluster(
+        nodes,
+        central_capacity=central_capacity if central_capacity is not None else 4.0 * capacity,
+    )
+
+
+def make_heterogeneous_cluster(
+    n_nodes: int,
+    capacity_low: float,
+    capacity_high: float,
+    attrs_per_node: int = 10,
+    attribute_pool: Optional[Sequence[AttributeId]] = None,
+    central_capacity: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> Cluster:
+    """A cluster whose node capacities are uniform in ``[low, high]``.
+
+    Used to exercise the planner's load-balancing behaviour when nodes
+    are not interchangeable (e.g. co-located application load leaves
+    different headroom on different hosts).
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be > 0, got {n_nodes}")
+    if not 0 < capacity_low <= capacity_high:
+        raise ValueError(
+            f"need 0 < capacity_low <= capacity_high, got "
+            f"[{capacity_low}, {capacity_high}]"
+        )
+    rng = random.Random(seed)
+    pool = list(attribute_pool) if attribute_pool is not None else default_attribute_pool(
+        2 * attrs_per_node
+    )
+    if attrs_per_node > len(pool):
+        raise ValueError(
+            f"attrs_per_node={attrs_per_node} exceeds pool size {len(pool)}"
+        )
+    nodes = [
+        SimNode(
+            node_id=i,
+            capacity=rng.uniform(capacity_low, capacity_high),
+            attributes=frozenset(rng.sample(pool, attrs_per_node)),
+        )
+        for i in range(n_nodes)
+    ]
+    if central_capacity is None:
+        central_capacity = 4.0 * capacity_high
+    return Cluster(nodes, central_capacity=central_capacity)

@@ -1,0 +1,136 @@
+"""Capacity allocation across trees (Section 5.2).
+
+A node that participates in several monitoring trees must divide its
+capacity ``b_i`` among them, and the division matters: give a tree too
+little and it sheds nodes, give it too much and later trees starve.
+Four policies are implemented, matching Fig. 11's comparands:
+
+- ``UNIFORM`` -- equal slice per participating tree;
+- ``PROPORTIONAL`` -- slices proportional to each tree's pair volume;
+- ``ON_DEMAND`` -- trees are built sequentially and each sees all
+  capacity left over by its predecessors;
+- ``ORDERED`` -- on-demand, but trees are built smallest-first, so
+  cheap small trees are placed before big relay-hungry ones can hog
+  shared nodes (the paper's refinement, and REMO's default).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.attributes import NodeId
+from repro.core.partition import AttributeSet, Partition
+
+
+class AllocationPolicy(enum.Enum):
+    """How node capacity is divided among the trees sharing the node."""
+
+    UNIFORM = "uniform"
+    PROPORTIONAL = "proportional"
+    ON_DEMAND = "on_demand"
+    ORDERED = "ordered"
+
+    @property
+    def is_sequential(self) -> bool:
+        """Whether trees see leftover capacity (vs a pre-divided slice)."""
+        return self in (AllocationPolicy.ON_DEMAND, AllocationPolicy.ORDERED)
+
+
+def build_order(
+    policy: "AllocationPolicy",
+    partition: Partition,
+    set_volumes: Mapping[AttributeSet, int],
+) -> List[AttributeSet]:
+    """The order in which a forest builder should construct trees.
+
+    ``set_volumes`` maps each partition set to its pair volume (the
+    number of node-attribute pairs its tree must carry).  ORDERED
+    builds smallest-first; every other policy uses a deterministic
+    canonical order (volume is irrelevant once slices are fixed, but
+    determinism keeps plans reproducible).
+    """
+    sets = list(partition.sets)
+    if policy is AllocationPolicy.ORDERED:
+        return sorted(sets, key=lambda s: (set_volumes.get(s, 0), sorted(s)))
+    return sorted(sets, key=lambda s: sorted(s))
+
+
+def preallocate(
+    policy: "AllocationPolicy",
+    partition: Partition,
+    participation: Mapping[NodeId, List[AttributeSet]],
+    capacities: Mapping[NodeId, float],
+    set_volumes: Mapping[AttributeSet, int],
+    node_volumes: Mapping[Tuple[NodeId, AttributeSet], int],
+) -> Dict[AttributeSet, Dict[NodeId, float]]:
+    """Fixed per-tree capacity slices for the pre-divided policies.
+
+    Only meaningful for UNIFORM and PROPORTIONAL; sequential policies
+    do not pre-divide (see :func:`sequential_view`).
+
+    ``participation`` maps each node to the partition sets it serves;
+    ``node_volumes`` maps ``(node, set)`` to the number of values the
+    node contributes to that set's tree (used as the PROPORTIONAL
+    weight, falling back to the tree's total volume when a node's own
+    contribution is zero).
+    """
+    if policy.is_sequential:
+        raise ValueError(f"{policy} does not pre-divide capacity")
+    slices: Dict[AttributeSet, Dict[NodeId, float]] = {s: {} for s in partition.sets}
+    for node, sets in participation.items():
+        if not sets:
+            continue
+        budget = capacities[node]
+        if policy is AllocationPolicy.UNIFORM:
+            share = budget / len(sets)
+            for s in sets:
+                slices[s][node] = share
+        else:  # PROPORTIONAL
+            weights = []
+            for s in sets:
+                w = node_volumes.get((node, s), 0)
+                if w <= 0:
+                    w = max(set_volumes.get(s, 1), 1)
+                weights.append(float(w))
+            total = sum(weights)
+            for s, w in zip(sets, weights):
+                slices[s][node] = budget * (w / total)
+    return slices
+
+
+class CapacityLedger:
+    """Mutable remaining-capacity tracker for the sequential policies.
+
+    The forest builder hands each tree a *live view* of this ledger as
+    its capacity mapping (on-demand allocation: "assign all current
+    available capacity to the tree under construction"), then calls
+    :meth:`charge` with the tree's final per-node usage before moving
+    to the next tree.
+    """
+
+    def __init__(self, capacities: Mapping[NodeId, float], central_capacity: float) -> None:
+        self._remaining: Dict[NodeId, float] = dict(capacities)
+        self._central_remaining = central_capacity
+
+    @property
+    def central_remaining(self) -> float:
+        return self._central_remaining
+
+    def remaining(self, node: NodeId) -> float:
+        return self._remaining.get(node, 0.0)
+
+    def view(self) -> Mapping[NodeId, float]:
+        """A snapshot of remaining capacities for one tree build.
+
+        A shallow copy: the tree must see capacities frozen at build
+        start, not shrinking under its feet as it itself consumes.
+        """
+        return dict(self._remaining)
+
+    def charge(self, usage: Mapping[NodeId, float], central_usage: float) -> None:
+        """Deduct a finished tree's usage from the ledger."""
+        for node, used in usage.items():
+            remaining = self._remaining.get(node, 0.0) - used
+            self._remaining[node] = max(remaining, 0.0)
+        self._central_remaining = max(self._central_remaining - central_usage, 0.0)

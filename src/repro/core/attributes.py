@@ -1,0 +1,85 @@
+"""Attribute and node-attribute-pair primitives.
+
+The paper models each monitoring node as exposing a set of observable
+*attributes* (interchangeably called *metrics*): locally observable,
+continuously changing variables such as CPU utilization or a stream
+operator's tuple rate.  Attributes at different nodes with the same
+name are attributes of the same *type*.
+
+A monitoring task ultimately reduces to a set of *node-attribute
+pairs* ``(i, j)`` -- "collect attribute ``j`` from node ``i``" -- and
+the planner's objective (Problem Statement 1) is to maximize the
+number of such pairs delivered to the central collector without
+violating any node's resource constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
+
+#: Node identifiers are small integers assigned by the cluster substrate.
+NodeId = int
+
+#: Attribute identifiers are short strings such as ``"cpu"`` or
+#: ``"op12.tuple_rate"``.  Equal strings denote the same attribute type.
+AttributeId = str
+
+
+@dataclass(frozen=True, order=True)
+class NodeAttributePair:
+    """A single unit of monitoring work: attribute ``attribute`` at node ``node``.
+
+    Instances are immutable, hashable, and totally ordered so they can
+    be used in sets, as dict keys, and in deterministic sorted output.
+    """
+
+    node: NodeId
+    attribute: AttributeId
+
+    def as_tuple(self) -> Tuple[NodeId, AttributeId]:
+        """Return the pair as a plain ``(node, attribute)`` tuple."""
+        return (self.node, self.attribute)
+
+    def __str__(self) -> str:  # pragma: no cover - display convenience
+        return f"{self.node}:{self.attribute}"
+
+
+def pairs_for(nodes: Iterable[NodeId], attributes: Iterable[AttributeId]) -> Set[NodeAttributePair]:
+    """Cartesian helper: every attribute observed at every node.
+
+    This mirrors how a monitoring task ``t = (A_t, N_t)`` expands into
+    its node-attribute pair list (Definition 1).
+    """
+    attrs = tuple(attributes)
+    return {NodeAttributePair(n, a) for n in nodes for a in attrs}
+
+
+def attributes_of(pairs: Iterable[NodeAttributePair]) -> FrozenSet[AttributeId]:
+    """The set of attribute types appearing in ``pairs``."""
+    return frozenset(p.attribute for p in pairs)
+
+
+def nodes_of(pairs: Iterable[NodeAttributePair]) -> FrozenSet[NodeId]:
+    """The set of nodes appearing in ``pairs``."""
+    return frozenset(p.node for p in pairs)
+
+
+def group_by_attribute(pairs: Iterable[NodeAttributePair]) -> dict:
+    """Group pairs into ``{attribute: set_of_nodes}``.
+
+    The partition machinery works at attribute granularity; this is the
+    canonical bridge from a flat pair set to that view.
+    """
+    grouped: dict = {}
+    for pair in pairs:
+        grouped.setdefault(pair.attribute, set()).add(pair.node)
+    return grouped
+
+
+def group_by_node(pairs: Iterable[NodeAttributePair]) -> dict:
+    """Group pairs into ``{node: set_of_attributes}``."""
+    grouped: dict = {}
+    for pair in pairs:
+        grouped.setdefault(pair.node, set()).add(pair.attribute)
+    return grouped

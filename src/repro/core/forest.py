@@ -1,0 +1,223 @@
+"""Forest construction: one capacity-constrained tree per partition set.
+
+This is the resource-aware evaluation procedure of Section 3.2: given
+an attribute partition, build the corresponding monitoring trees under
+an allocation policy and package them as a :class:`MonitoringPlan`
+whose collected-pair count is the objective the local search compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.cluster.node import Cluster
+from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
+from repro.core.allocation import (
+    AllocationPolicy,
+    CapacityLedger,
+    build_order,
+    preallocate,
+)
+from repro.core.cost import AggregationMap, CostModel
+from repro.core.partition import AttributeSet, Partition
+from repro.core.plan import MonitoringPlan
+from repro.trees.base import GreedyTreeBuilder, TreeBuildRequest, TreeBuildResult
+from repro.trees.adaptive import AdaptiveTreeBuilder
+
+#: Optional per-pair value weights (frequency extension): expected
+#: values per base collection period, in ``(0, 1]``.
+PairWeights = Mapping[NodeAttributePair, float]
+
+
+class ForestBuilder:
+    """Builds monitoring forests for arbitrary partitions.
+
+    Parameters
+    ----------
+    cost_model:
+        The shared ``C + a*x`` model.
+    tree_builder:
+        Any :class:`GreedyTreeBuilder`; defaults to REMO's adaptive
+        builder.
+    allocation:
+        Capacity division policy across trees (default ORDERED, the
+        paper's best performer in Fig. 11).
+    aggregation:
+        Optional in-network aggregation specs to plan with.  Passing
+        them makes the planner aggregation-aware (Section 6.1); the
+        oblivious baseline simply omits them.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        tree_builder: Optional[GreedyTreeBuilder] = None,
+        allocation: AllocationPolicy = AllocationPolicy.ORDERED,
+        aggregation: Optional[AggregationMap] = None,
+    ) -> None:
+        self.cost = cost_model
+        self.tree_builder = (
+            tree_builder if tree_builder is not None else AdaptiveTreeBuilder(cost_model)
+        )
+        self.allocation = allocation
+        self.aggregation = aggregation
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        partition: Partition,
+        pairs: Iterable[NodeAttributePair],
+        cluster: Cluster,
+        pair_weights: Optional[PairWeights] = None,
+        msg_weights: Optional[Mapping[NodeId, float]] = None,
+        keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
+    ) -> MonitoringPlan:
+        """Build a plan for ``partition`` over the de-duplicated ``pairs``.
+
+        ``keep`` maps partition sets to existing tree results that must
+        be retained verbatim (the DIRECT-APPLY adaptation path); their
+        usage is charged to the capacity ledger before any new tree is
+        built.  Only supported under sequential allocation policies.
+        """
+        pair_set = frozenset(pairs)
+        universe = {p.attribute for p in pair_set}
+        missing = universe - set(partition.universe)
+        if missing:
+            raise ValueError(
+                f"partition does not cover requested attributes: {sorted(missing)}"
+            )
+        keep = dict(keep or {})
+        unknown_keep = set(keep) - set(partition.sets)
+        if unknown_keep:
+            raise ValueError(
+                f"keep references sets outside the partition: {sorted(map(sorted, unknown_keep))}"
+            )
+        if keep and not self.allocation.is_sequential:
+            raise ValueError("keep is only supported under sequential allocation")
+
+        demands = self._demands_by_set(partition, pair_set, pair_weights)
+        set_volumes = {
+            s: sum(len(d) for d in demands[s].values()) for s in partition.sets
+        }
+
+        if self.allocation.is_sequential:
+            results = self._build_sequential(
+                partition, cluster, demands, set_volumes, msg_weights, keep
+            )
+        else:
+            results = self._build_predivided(
+                partition, cluster, demands, set_volumes, msg_weights
+            )
+        return MonitoringPlan(partition, results, pair_set, self.cost)
+
+    # ------------------------------------------------------------------
+    def _demands_by_set(
+        self,
+        partition: Partition,
+        pairs: Iterable[NodeAttributePair],
+        pair_weights: Optional[PairWeights],
+    ) -> Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]]:
+        attr_to_set = {a: s for s in partition.sets for a in s}
+        demands: Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]] = {
+            s: {} for s in partition.sets
+        }
+        for pair in pairs:
+            target = attr_to_set[pair.attribute]
+            weight = 1.0
+            if pair_weights is not None:
+                weight = pair_weights.get(pair, 1.0)
+                if not 0.0 < weight <= 1.0:
+                    raise ValueError(
+                        f"pair weight for {pair} must be in (0, 1], got {weight}"
+                    )
+            demands[target].setdefault(pair.node, {})[pair.attribute] = weight
+        return demands
+
+    def _build_sequential(
+        self,
+        partition: Partition,
+        cluster: Cluster,
+        demands: Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]],
+        set_volumes: Dict[AttributeSet, int],
+        msg_weights: Optional[Mapping[NodeId, float]],
+        keep: Dict[AttributeSet, TreeBuildResult],
+    ) -> Dict[AttributeSet, TreeBuildResult]:
+        ledger = CapacityLedger(
+            {node.node_id: node.capacity for node in cluster},
+            cluster.central_capacity,
+        )
+        results: Dict[AttributeSet, TreeBuildResult] = {}
+        for attr_set, kept in keep.items():
+            tree = kept.tree
+            ledger.charge(
+                {node: tree.used(node) for node in tree.nodes}, tree.central_used()
+            )
+            results[attr_set] = kept
+        for attr_set in build_order(self.allocation, partition, set_volumes):
+            if attr_set in results:
+                continue
+            request = TreeBuildRequest(
+                attributes=attr_set,
+                demands=demands[attr_set],
+                capacities=ledger.view(),
+                central_capacity=ledger.central_remaining,
+                aggregation=self.aggregation,
+                msg_weights=msg_weights,
+            )
+            result = self.tree_builder.build(request)
+            tree = result.tree
+            ledger.charge(
+                {node: tree.used(node) for node in tree.nodes}, tree.central_used()
+            )
+            results[attr_set] = result
+        return results
+
+    def _build_predivided(
+        self,
+        partition: Partition,
+        cluster: Cluster,
+        demands: Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]],
+        set_volumes: Dict[AttributeSet, int],
+        msg_weights: Optional[Mapping[NodeId, float]],
+    ) -> Dict[AttributeSet, TreeBuildResult]:
+        participation: Dict[NodeId, List[AttributeSet]] = {}
+        node_volumes: Dict[Tuple[NodeId, AttributeSet], int] = {}
+        for attr_set in partition.sets:
+            for node, demand in demands[attr_set].items():
+                if demand:
+                    participation.setdefault(node, []).append(attr_set)
+                    node_volumes[(node, attr_set)] = len(demand)
+        slices = preallocate(
+            self.allocation,
+            partition,
+            participation,
+            {node.node_id: node.capacity for node in cluster},
+            set_volumes,
+            node_volumes,
+        )
+        active_sets = [s for s in partition.sets if demands[s]] or list(partition.sets)
+        if self.allocation is AllocationPolicy.UNIFORM:
+            central_slices = {
+                s: cluster.central_capacity / len(active_sets) for s in partition.sets
+            }
+        else:
+            total_volume = sum(max(set_volumes.get(s, 0), 1) for s in active_sets)
+            central_slices = {
+                s: cluster.central_capacity
+                * (max(set_volumes.get(s, 0), 1) / total_volume)
+                if s in active_sets
+                else 0.0
+                for s in partition.sets
+            }
+        results: Dict[AttributeSet, TreeBuildResult] = {}
+        for attr_set in partition.sets:
+            request = TreeBuildRequest(
+                attributes=attr_set,
+                demands=demands[attr_set],
+                capacities=slices.get(attr_set, {}),
+                central_capacity=central_slices[attr_set],
+                aggregation=self.aggregation,
+                msg_weights=msg_weights,
+            )
+            results[attr_set] = self.tree_builder.build(request)
+        return results

@@ -1,0 +1,190 @@
+"""Monitoring plans: an evaluated forest of collection trees.
+
+A :class:`MonitoringPlan` is the planner's output and the unit the
+local search compares: the partition, one built tree per partition
+set, and the de-duplicated pair set the forest was asked to collect.
+It exposes the two quantities every algorithm in the paper optimizes
+or measures -- the number of node-attribute pairs actually collected
+(Problem Statement 1's objective) and the monitoring message volume
+per unit time (the adaptation machinery's ``C_cur``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.core.cost import CostModel
+from repro.core.partition import AttributeSet, Partition
+from repro.trees.base import TreeBuildResult
+
+#: One monitoring edge: node -> parent within the tree for a given
+#: attribute set.  Parent ``-1`` denotes the central collector.
+Assignment = Tuple[NodeId, AttributeSet, NodeId]
+
+
+class MonitoringPlan:
+    """An immutable-by-convention snapshot of a planned forest."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        trees: Mapping[AttributeSet, TreeBuildResult],
+        pairs: Iterable[NodeAttributePair],
+        cost_model: CostModel,
+    ) -> None:
+        if set(trees) != set(partition.sets):
+            raise ValueError("plan must contain exactly one tree per partition set")
+        self.partition = partition
+        self.trees: Dict[AttributeSet, TreeBuildResult] = dict(trees)
+        self.pairs: FrozenSet[NodeAttributePair] = frozenset(pairs)
+        self.cost = cost_model
+
+    # ------------------------------------------------------------------
+    # Objective metrics
+    # ------------------------------------------------------------------
+    def collected_pair_count(self) -> int:
+        """Node-attribute pairs the forest delivers to the collector."""
+        return sum(result.tree.pair_count() for result in self.trees.values())
+
+    def requested_pair_count(self) -> int:
+        return len(self.pairs)
+
+    def coverage(self) -> float:
+        """Fraction of requested pairs collected (the paper's headline
+        "percentage of collected values")."""
+        total = self.requested_pair_count()
+        if total == 0:
+            return 1.0
+        return self.collected_pair_count() / total
+
+    def total_message_cost(self) -> float:
+        """Send-side monitoring traffic per unit time across the forest.
+
+        Includes each tree root's message to the central collector;
+        this is the ``C_cur`` volume in the cost-benefit throttling
+        formula (Section 4.2).
+        """
+        return sum(result.tree.total_message_cost() for result in self.trees.values())
+
+    def uncollected_by_set(self) -> Dict[AttributeSet, int]:
+        """Per-tree count of requested pairs the tree failed to include."""
+        requested: Dict[AttributeSet, int] = {s: 0 for s in self.partition.sets}
+        attr_to_set = {a: s for s in self.partition.sets for a in s}
+        for pair in self.pairs:
+            target = attr_to_set.get(pair.attribute)
+            if target is not None:
+                requested[target] += 1
+        return {
+            s: requested[s] - self.trees[s].tree.pair_count() for s in self.partition.sets
+        }
+
+    def collected_pairs(self) -> Set[NodeAttributePair]:
+        """The concrete pairs the forest delivers (for the simulator)."""
+        result: Set[NodeAttributePair] = set()
+        for attr_set, build in self.trees.items():
+            tree = build.tree
+            for node in tree.nodes:
+                for attr in tree.local_demand(node):
+                    result.add(NodeAttributePair(node, attr))
+        return result
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+    def node_usage(self) -> Dict[NodeId, float]:
+        """Total capacity consumed per node across all trees."""
+        usage: Dict[NodeId, float] = {}
+        for result in self.trees.values():
+            tree = result.tree
+            for node in tree.nodes:
+                usage[node] = usage.get(node, 0.0) + tree.used(node)
+        return usage
+
+    def central_usage(self) -> float:
+        """Capacity consumed at the central collector (one message per tree)."""
+        return sum(result.tree.central_used() for result in self.trees.values())
+
+    def tree_count(self) -> int:
+        return len(self.trees)
+
+    def max_tree_depth(self) -> int:
+        """Deepest tree in the forest (drives worst-case staleness)."""
+        heights = [result.tree.height() for result in self.trees.values()]
+        return max(heights) if heights else -1
+
+    # ------------------------------------------------------------------
+    # Structure (for adaptation diffs and the simulator)
+    # ------------------------------------------------------------------
+    def assignments(self) -> Set[Assignment]:
+        """Every monitoring edge, tagged by its tree's attribute set.
+
+        The symmetric difference between two plans' assignments counts
+        the connect/disconnect control messages an adaptation would
+        send -- the paper's ``M_adapt``.
+        """
+        edges: Set[Assignment] = set()
+        for attr_set, result in self.trees.items():
+            tree = result.tree
+            for node in tree.nodes:
+                parent = tree.parent(node)
+                edges.add((node, attr_set, parent if parent is not None else -1))
+        return edges
+
+    def edge_multiset(self) -> Dict[Tuple[NodeId, NodeId], int]:
+        """Structural ``(node, parent)`` connections with multiplicity.
+
+        Attribute-set labels are deliberately excluded: a tree whose set
+        shrinks (an attribute retired system-wide) keeps its structure,
+        and no connect/disconnect control message is sent for it.
+        """
+        edges: Dict[Tuple[NodeId, NodeId], int] = {}
+        for result in self.trees.values():
+            tree = result.tree
+            for node in tree.nodes:
+                parent = tree.parent(node)
+                key = (node, parent if parent is not None else -1)
+                edges[key] = edges.get(key, 0) + 1
+        return edges
+
+    @staticmethod
+    def edge_multiset_diff(
+        old: Dict[Tuple[NodeId, NodeId], int],
+        new: Dict[Tuple[NodeId, NodeId], int],
+    ) -> int:
+        """Connect/disconnect messages between two edge multisets."""
+        keys = set(old) | set(new)
+        return sum(abs(old.get(k, 0) - new.get(k, 0)) for k in keys)
+
+    def adaptation_cost_from(self, previous: "MonitoringPlan") -> int:
+        """Number of edge changes relative to ``previous`` (``M_adapt``)."""
+        return self.edge_multiset_diff(previous.edge_multiset(), self.edge_multiset())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, node_capacities: Mapping[NodeId, float], central_capacity: float) -> None:
+        """Check every per-tree invariant plus the cross-tree budget.
+
+        ``node_capacities`` are full node budgets ``b_i``; the sum of a
+        node's usage across all trees must stay within them (and the
+        collector within ``central_capacity``).
+        """
+        for result in self.trees.values():
+            result.tree.validate()
+        for node, used in self.node_usage().items():
+            budget = node_capacities.get(node, 0.0)
+            if used > budget + 1e-6:
+                raise AssertionError(
+                    f"cross-tree capacity violated at node {node}: "
+                    f"used {used:.6f} > budget {budget:.6f}"
+                )
+        if self.central_usage() > central_capacity + 1e-6:
+            raise AssertionError(
+                f"central capacity violated: {self.central_usage():.6f} > "
+                f"{central_capacity:.6f}"
+            )
+        collected = self.collected_pairs()
+        if not collected <= self.pairs:
+            extra = collected - self.pairs
+            raise AssertionError(f"plan collects pairs never requested: {sorted(extra)[:5]}")

@@ -1,0 +1,397 @@
+"""The REMO planner: guided local search over attribute partitions.
+
+This is the basic REMO approach of Section 3: starting from the
+singleton-set partition, iterate two phases --
+
+1. *partition augmentation*: enumerate the merge/split neighborhood
+   of the current partition, rank candidates by estimated
+   capacity-usage reduction (:mod:`repro.core.gain`), and keep only
+   the most promising few (the guided search that makes the scheme
+   scale);
+2. *resource-aware evaluation*: build the forest for each surviving
+   candidate with the capacity-constrained tree builder and measure
+   the number of node-attribute pairs it collects.
+
+The best strictly improving candidate becomes the new incumbent; the
+search stops when no candidate improves (or after ``max_iterations``).
+The objective follows Problem Statement 1: maximize collected pairs,
+tie-broken by lower total message volume (freed capacity is the
+paper's rationale for ranking by usage reduction in the first place).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.cluster.node import Cluster
+from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
+from repro.core.allocation import AllocationPolicy
+from repro.core.cost import AggregationMap, CostModel
+from repro.core.forest import ForestBuilder, PairWeights
+from repro.core.gain import GainContext, rank_candidates
+from repro.core.partition import MergeOp, Partition, PartitionOp
+from repro.core.plan import MonitoringPlan
+from repro.core.schemes import TaskSource, observable_pairs
+
+#: Cost comparisons use this tolerance so float noise cannot drive
+#: endless "improvements".
+_COST_EPS = 1e-6
+
+
+@dataclass
+class PlanningStats:
+    """Search-effort accounting for one :meth:`RemoPlanner.plan` call."""
+
+    iterations: int = 0
+    candidates_ranked: int = 0
+    candidates_evaluated: int = 0
+    accepted_ops: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+
+def objective(plan: MonitoringPlan) -> Tuple[int, float]:
+    """Lexicographic objective: collected pairs up, message volume down."""
+    return (plan.collected_pair_count(), -plan.total_message_cost())
+
+
+def _separate_forbidden(sets, forbidden_pairs):
+    """Split groups until no forbidden attribute pair shares a set."""
+    result = []
+    work = [set(s) for s in sets if s]
+    while work:
+        group = work.pop()
+        violated = None
+        for pair in forbidden_pairs:
+            if pair <= group:
+                violated = pair
+                break
+        if violated is None:
+            result.append(group)
+            continue
+        a, b = tuple(violated)
+        work.append(group - {a})
+        work.append({a})
+    return [s for s in result if s]
+
+
+def _improves(
+    candidate: MonitoringPlan,
+    incumbent: MonitoringPlan,
+    cost_fn=None,
+) -> bool:
+    """Strict improvement under the (coverage up, cost down) objective.
+
+    ``cost_fn`` overrides the cost tie-break term (default: per-period
+    message volume); the network-aware extension passes a scorer that
+    adds forwarding cost (Section 3.3).
+    """
+    cost_of = cost_fn if cost_fn is not None else MonitoringPlan.total_message_cost
+    cand_pairs, cand_cost = candidate.collected_pair_count(), cost_of(candidate)
+    inc_pairs, inc_cost = incumbent.collected_pair_count(), cost_of(incumbent)
+    if cand_pairs != inc_pairs:
+        return cand_pairs > inc_pairs
+    return cand_cost < inc_cost - _COST_EPS
+
+
+class RemoPlanner:
+    """Resource-aware multi-task monitoring topology planner.
+
+    Parameters
+    ----------
+    cost_model:
+        The shared ``C + a*x`` model.
+    tree_builder:
+        Tree construction scheme (default: REMO's adaptive builder).
+    allocation:
+        Cross-tree capacity policy (default ORDERED).
+    aggregation:
+        Optional in-network aggregation specs; passing them enables
+        aggregation-aware planning (Section 6.1).
+    candidate_budget:
+        How many top-ranked neighbors to fully evaluate per iteration.
+        The paper's guided augmentation exists precisely to keep this
+        small; ``None`` evaluates the whole neighborhood (the ablation
+        baseline).
+    max_iterations:
+        Hard cap on local-search steps.
+    first_improvement:
+        Accept the first evaluated candidate that improves instead of
+        the best of the budget (cheaper, slightly worse plans).
+    forbidden_pairs:
+        Attribute pairs that must never share a partition set (the
+        reliability extension's SSDP/DSDP constraint, Section 6.2).
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        tree_builder=None,
+        allocation: AllocationPolicy = AllocationPolicy.ORDERED,
+        aggregation: Optional[AggregationMap] = None,
+        candidate_budget: Optional[int] = 8,
+        max_iterations: int = 64,
+        first_improvement: bool = False,
+        forbidden_pairs: Optional[Set[FrozenSet[AttributeId]]] = None,
+        plan_cost_fn=None,
+    ) -> None:
+        if candidate_budget is not None and candidate_budget <= 0:
+            raise ValueError(f"candidate_budget must be > 0 or None, got {candidate_budget}")
+        if max_iterations <= 0:
+            raise ValueError(f"max_iterations must be > 0, got {max_iterations}")
+        self.cost = cost_model
+        self.forest = ForestBuilder(
+            cost_model,
+            tree_builder=tree_builder,
+            allocation=allocation,
+            aggregation=aggregation,
+        )
+        self.candidate_budget = candidate_budget
+        self.max_iterations = max_iterations
+        self.first_improvement = first_improvement
+        self.forbidden_pairs = set(forbidden_pairs or set())
+        #: Top-ranked candidates granted a full forest rebuild when the
+        #: cheap incremental evaluation finds no improvement.
+        self._full_rebuild_budget = 3
+        #: Optional override of the cost tie-break term in plan
+        #: comparisons (e.g. adding network forwarding cost, Section
+        #: 3.3's extension); ``None`` uses per-period message volume.
+        self.plan_cost_fn = plan_cost_fn
+
+    def _improves(self, candidate: MonitoringPlan, incumbent: MonitoringPlan) -> bool:
+        return _improves(candidate, incumbent, cost_fn=self.plan_cost_fn)
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        tasks: TaskSource,
+        cluster: Cluster,
+        pair_weights: Optional[PairWeights] = None,
+        msg_weights: Optional[Mapping[NodeId, float]] = None,
+        initial_partition: Optional[Partition] = None,
+    ) -> MonitoringPlan:
+        """Plan a monitoring forest; see :meth:`plan_with_stats`."""
+        plan, _stats = self.plan_with_stats(
+            tasks,
+            cluster,
+            pair_weights=pair_weights,
+            msg_weights=msg_weights,
+            initial_partition=initial_partition,
+        )
+        return plan
+
+    def plan_with_stats(
+        self,
+        tasks: TaskSource,
+        cluster: Cluster,
+        pair_weights: Optional[PairWeights] = None,
+        msg_weights: Optional[Mapping[NodeId, float]] = None,
+        initial_partition: Optional[Partition] = None,
+    ) -> Tuple[MonitoringPlan, PlanningStats]:
+        """Plan a monitoring forest and report search effort.
+
+        ``initial_partition`` overrides the singleton-set starting
+        point (used by REBUILD-from-current ablations and tests).
+        """
+        started = time.perf_counter()
+        stats = PlanningStats()
+        pairs = observable_pairs(tasks, cluster)
+        if not pairs:
+            raise ValueError("cannot plan for an empty workload")
+        attributes = frozenset(p.attribute for p in pairs)
+        if initial_partition is not None:
+            if frozenset(initial_partition.universe) != attributes:
+                raise ValueError(
+                    "initial partition universe must equal the workload's attributes"
+                )
+            partition = initial_partition
+        else:
+            partition = None
+
+        def build(part: Partition, keep=None) -> MonitoringPlan:
+            return self.forest.build(
+                part,
+                pairs,
+                cluster,
+                pair_weights=pair_weights,
+                msg_weights=msg_weights,
+                keep=keep,
+            )
+
+        if partition is not None:
+            incumbent = build(partition)
+        else:
+            # REMO seeks the middle ground between the two extreme
+            # partitions, but a merge-walk from singletons cannot reach
+            # merge-heavy optima within bounded iterations when there
+            # are many attribute types (nor can a split-walk from the
+            # one-set partition reach balanced k-way groupings).  Seed
+            # the local search with both endpoints plus a ladder of
+            # k-way partitions that cluster attributes by node-set
+            # similarity, and start from whichever evaluates best.
+            incumbent = build(Partition.singletons(attributes))
+            for seed in self._seed_partitions(pairs, attributes):
+                candidate = build(seed)
+                stats.candidates_evaluated += 1
+                if self._improves(candidate, incumbent):
+                    incumbent = candidate
+        for _ in range(self.max_iterations):
+            stats.iterations += 1
+            accepted = self._improve_once(incumbent, pairs, build, stats)
+            if accepted is None:
+                break
+            incumbent = accepted
+        if stats.accepted_ops:
+            # Candidate evaluation carries unaffected trees over, which
+            # charges capacity in stale order; one final full rebuild of
+            # the winning partition restores the allocation policy's
+            # global ordering and is kept only if it helps.
+            final = build(incumbent.partition)
+            if self._improves(final, incumbent):
+                incumbent = final
+        stats.elapsed_seconds = time.perf_counter() - started
+        return incumbent, stats
+
+    # ------------------------------------------------------------------
+    def _seed_partitions(
+        self, pairs: FrozenSet[NodeAttributePair], attributes: FrozenSet[AttributeId]
+    ) -> List[Partition]:
+        """Initialization ladder: one-set plus similarity-clustered k-way
+        partitions (k = 2, 4, 8, ...).
+
+        Attributes are greedily assigned, largest node set first, to the
+        group whose members they overlap most (ties: emptiest group), so
+        attributes observed on the same nodes share a tree and fold their
+        messages.  Groups containing a forbidden attribute pair are split
+        apart afterwards to respect the reliability constraint.
+        """
+        if len(attributes) < 2:
+            return []
+        masks: Dict[AttributeId, int] = {}
+        for pair in pairs:
+            masks[pair.attribute] = masks.get(pair.attribute, 0) | (1 << pair.node)
+        ordered = sorted(
+            attributes, key=lambda a: (-masks.get(a, 0).bit_count(), a)
+        )
+        total_volume = sum(m.bit_count() for m in masks.values())
+        seeds: List[Partition] = [Partition.one_set(attributes)]
+        k = 2
+        while k < len(attributes):
+            # Volume cap keeps groups balanced: without it, broadly
+            # observed attributes (e.g. OS gauges on every node) pull
+            # everything into the first group and the "k-way" seed
+            # degenerates back to the one-set partition.
+            cap = 1.25 * total_volume / k
+            group_masks = [0] * k
+            group_attrs: List[List[AttributeId]] = [[] for _ in range(k)]
+            group_volume = [0.0] * k
+            for attr in ordered:
+                mask = masks.get(attr, 0)
+                volume = mask.bit_count()
+                open_groups = [
+                    g for g in range(k) if group_volume[g] + volume <= cap
+                ]
+                pool = open_groups if open_groups else list(range(k))
+                best = max(
+                    pool,
+                    key=lambda g: (
+                        (group_masks[g] & mask).bit_count(),
+                        -group_volume[g],
+                    ),
+                )
+                group_attrs[best].append(attr)
+                group_masks[best] |= mask
+                group_volume[best] += volume
+            sets = [g for g in group_attrs if g]
+            if self.forbidden_pairs:
+                sets = _separate_forbidden(sets, self.forbidden_pairs)
+            if len(sets) > 1:
+                seeds.append(Partition(sets))
+            k *= 2
+        if self.forbidden_pairs:
+            filtered = []
+            for seed in seeds:
+                sets = _separate_forbidden(
+                    [sorted(s) for s in seed.sets], self.forbidden_pairs
+                )
+                filtered.append(Partition(sets))
+            seeds = filtered
+        return seeds
+
+    # ------------------------------------------------------------------
+    def _improve_once(
+        self,
+        incumbent: MonitoringPlan,
+        pairs: FrozenSet[NodeAttributePair],
+        build,
+        stats: PlanningStats,
+    ) -> Optional[MonitoringPlan]:
+        partition = incumbent.partition
+        ctx = GainContext.from_plan(incumbent, self.cost)
+        ops: List[PartitionOp] = list(
+            partition.merge_ops(forbidden_pairs=self.forbidden_pairs or None)
+        )
+        ops.extend(partition.split_ops())
+        ranked = rank_candidates(ops, ctx, budget=self.candidate_budget)
+        stats.candidates_ranked += len(ops)
+
+        best_plan: Optional[MonitoringPlan] = None
+        best_op: Optional[PartitionOp] = None
+        for _gain, op in ranked:
+            candidate = self._evaluate_candidate(incumbent, pairs, op, build)
+            stats.candidates_evaluated += 1
+            if not self._improves(candidate, incumbent):
+                continue
+            if self.first_improvement:
+                stats.accepted_ops.append(op.describe())
+                return candidate
+            if best_plan is None or self._improves(candidate, best_plan):
+                best_plan = candidate
+                best_op = op
+        if best_plan is None:
+            # Incremental evaluation charges kept trees' capacity before
+            # the touched trees see any, so gains that require
+            # *redistributing* capacity (typically central-collector
+            # budget freed by a merge) are invisible.  Give the few
+            # top-ranked candidates one full rebuild before giving up.
+            for _gain, op in ranked[: self._full_rebuild_budget]:
+                candidate = build(incumbent.partition.apply(op))
+                stats.candidates_evaluated += 1
+                if self._improves(candidate, incumbent) and (
+                    best_plan is None or self._improves(candidate, best_plan)
+                ):
+                    best_plan = candidate
+                    best_op = op
+        if best_plan is not None and best_op is not None:
+            stats.accepted_ops.append(best_op.describe())
+        return best_plan
+
+    def _evaluate_candidate(
+        self,
+        incumbent: MonitoringPlan,
+        pairs: FrozenSet[NodeAttributePair],
+        op: PartitionOp,
+        build,
+    ) -> MonitoringPlan:
+        """Resource-aware evaluation of one augmentation.
+
+        Per Section 3.2, only the trees affected by the operation are
+        reconstructed; untouched trees are carried over (their capacity
+        usage is charged to the ledger before the affected trees are
+        rebuilt against the remainder).  Pre-divided allocation
+        policies cannot keep trees, so they fall back to full rebuild.
+        """
+        candidate_partition = incumbent.partition.apply(op)
+        if not self.forest.allocation.is_sequential:
+            return build(candidate_partition)
+        if isinstance(op, MergeOp):
+            touched = {op.left | op.right}
+        else:
+            touched = {op.source - {op.attribute}, frozenset({op.attribute})}
+        keep = {
+            s: incumbent.trees[s]
+            for s in candidate_partition.sets
+            if s not in touched and s in incumbent.trees
+        }
+        return build(candidate_partition, keep=keep)

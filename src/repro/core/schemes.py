@@ -1,0 +1,118 @@
+"""Baseline partition schemes: SINGLETON-SET and ONE-SET (Section 3.1).
+
+These are the two state-of-the-art approaches REMO is evaluated
+against throughout Figs. 5, 6 and 8:
+
+- the **singleton-set partition** (SP) builds one tree per attribute
+  type, as PIER does per query -- best load balance across trees, but
+  every node sends one message per attribute and drowns in per-message
+  overhead;
+- the **one-set partition** (OP) delivers all attributes in a single
+  tree -- one message per node per period (minimal overhead), but
+  messages grow with every hop, so the tree saturates early and cannot
+  include many nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.cluster.node import Cluster
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.core.allocation import AllocationPolicy
+from repro.core.cost import AggregationMap, CostModel
+from repro.core.forest import ForestBuilder, PairWeights
+from repro.core.partition import Partition
+from repro.core.plan import MonitoringPlan
+from repro.core.tasks import MonitoringTask, TaskManager
+
+#: Planner inputs: a task list, a task manager, or raw pair sets.
+TaskSource = Union[Iterable[MonitoringTask], TaskManager, Iterable[NodeAttributePair]]
+
+
+def as_pair_set(source: TaskSource) -> frozenset:
+    """Normalize any supported task source into a de-duplicated pair set."""
+    if isinstance(source, TaskManager):
+        return frozenset(source.pairs())
+    items = list(source)
+    if not items:
+        return frozenset()
+    if all(isinstance(item, MonitoringTask) for item in items):
+        manager = TaskManager(items)
+        return frozenset(manager.pairs())
+    if all(isinstance(item, NodeAttributePair) for item in items):
+        return frozenset(items)
+    raise TypeError(
+        "task source must be MonitoringTasks, NodeAttributePairs, or a TaskManager"
+    )
+
+
+def observable_pairs(source: TaskSource, cluster: Cluster) -> frozenset:
+    """De-duplicated pairs clipped to what the cluster can observe.
+
+    A task ``(A_t, N_t)`` expands to its full cross product, but only
+    pairs ``(i, j)`` with ``j in A_i`` are collectable (Problem
+    Statement 1); the rest are silently dropped, as the paper's task
+    manager does.
+    """
+    return frozenset(
+        p
+        for p in as_pair_set(source)
+        if p.node in cluster and cluster.node(p.node).observes(p.attribute)
+    )
+
+
+class FixedPartitionPlanner:
+    """Common machinery for planners with a workload-derived fixed partition."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        tree_builder=None,
+        allocation: AllocationPolicy = AllocationPolicy.ORDERED,
+        aggregation: Optional[AggregationMap] = None,
+    ) -> None:
+        self.forest = ForestBuilder(
+            cost_model,
+            tree_builder=tree_builder,
+            allocation=allocation,
+            aggregation=aggregation,
+        )
+
+    def partition_for(self, attributes: frozenset) -> Partition:
+        raise NotImplementedError
+
+    def plan(
+        self,
+        tasks: TaskSource,
+        cluster: Cluster,
+        pair_weights: Optional[PairWeights] = None,
+        msg_weights: Optional[Mapping[NodeId, float]] = None,
+    ) -> MonitoringPlan:
+        """Build the scheme's forest for the given workload."""
+        pairs = observable_pairs(tasks, cluster)
+        if not pairs:
+            raise ValueError("cannot plan for an empty workload")
+        attributes = frozenset(p.attribute for p in pairs)
+        partition = self.partition_for(attributes)
+        return self.forest.build(
+            partition,
+            pairs,
+            cluster,
+            pair_weights=pair_weights,
+            msg_weights=msg_weights,
+        )
+
+
+class SingletonSetPlanner(FixedPartitionPlanner):
+    """One tree per attribute type (the SP baseline)."""
+
+    def partition_for(self, attributes: frozenset) -> Partition:
+        return Partition.singletons(attributes)
+
+
+class OneSetPlanner(FixedPartitionPlanner):
+    """A single tree for all attributes (the OP baseline)."""
+
+    def partition_for(self, attributes: frozenset) -> Partition:
+        return Partition.one_set(attributes)

@@ -1,0 +1,254 @@
+"""Monitoring tasks and the task manager.
+
+A monitoring task ``t = (A_t, N_t)`` (Definition 1) periodically
+collects the values of every attribute in ``A_t`` from every node in
+``N_t``.  Different tasks routinely overlap -- e.g. two tasks both
+collecting ``cpu`` from node ``b`` -- and sending the same value twice
+is pure waste, so the *task manager* (Section 2.2) flattens the live
+task set into a de-duplicated list of node-attribute pairs before any
+topology planning happens.
+
+The task manager is also the mutation point for the runtime-adaptation
+machinery (Section 4): adding, removing, or modifying a task yields a
+:class:`TaskSetDelta` describing exactly which node-attribute pairs
+became newly required or are no longer required by *any* task.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
+
+
+@dataclass(frozen=True)
+class MonitoringTask:
+    """An application state monitoring task (Definition 1).
+
+    Parameters
+    ----------
+    task_id:
+        User-assigned unique identifier.
+    attributes:
+        The attribute types ``A_t`` to collect.
+    nodes:
+        The nodes ``N_t`` to collect them from.
+    frequency:
+        Collection frequency relative to the system's base collection
+        period (1.0 = every period).  Values in ``(0, 1]``; used by the
+        heterogeneous-update-frequency extension (Section 6.3).
+    """
+
+    task_id: str
+    attributes: FrozenSet[AttributeId]
+    nodes: FrozenSet[NodeId]
+    frequency: float = 1.0
+
+    def __init__(
+        self,
+        task_id: str,
+        attributes: Iterable[AttributeId],
+        nodes: Iterable[NodeId],
+        frequency: float = 1.0,
+    ) -> None:
+        object.__setattr__(self, "task_id", task_id)
+        object.__setattr__(self, "attributes", frozenset(attributes))
+        object.__setattr__(self, "nodes", frozenset(nodes))
+        object.__setattr__(self, "frequency", frequency)
+        if not self.task_id:
+            raise ValueError("task_id must be a non-empty string")
+        if not self.attributes:
+            raise ValueError(f"task {task_id!r} must monitor at least one attribute")
+        if not self.nodes:
+            raise ValueError(f"task {task_id!r} must monitor at least one node")
+        if not 0.0 < self.frequency <= 1.0:
+            raise ValueError(
+                f"task {task_id!r} frequency must be in (0, 1], got {frequency}"
+            )
+
+    def pairs(self) -> Set[NodeAttributePair]:
+        """Expand the task into its node-attribute pair list."""
+        return {NodeAttributePair(n, a) for n in self.nodes for a in self.attributes}
+
+    @property
+    def size(self) -> int:
+        """Number of node-attribute pairs the task requests."""
+        return len(self.attributes) * len(self.nodes)
+
+    def with_attributes(self, attributes: Iterable[AttributeId]) -> "MonitoringTask":
+        """A copy of this task monitoring a different attribute set."""
+        return MonitoringTask(self.task_id, attributes, self.nodes, self.frequency)
+
+    def with_nodes(self, nodes: Iterable[NodeId]) -> "MonitoringTask":
+        """A copy of this task monitoring a different node set."""
+        return MonitoringTask(self.task_id, self.attributes, nodes, self.frequency)
+
+
+@dataclass(frozen=True)
+class TaskSetDelta:
+    """The pair-level effect of one task-set mutation.
+
+    ``added`` holds pairs that were not required by any task before the
+    mutation and are required now; ``removed`` holds pairs no longer
+    required by any task.  Pairs that stay covered by some other task
+    appear in neither set -- exactly the de-duplication semantics the
+    adaptation planner needs.
+    """
+
+    added: FrozenSet[NodeAttributePair]
+    removed: FrozenSet[NodeAttributePair]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+class DuplicateTaskError(ValueError):
+    """Raised when adding a task whose id is already registered."""
+
+
+class UnknownTaskError(KeyError):
+    """Raised when removing or modifying a task id that is not registered."""
+
+
+class TaskManager:
+    """Registry of live monitoring tasks with pair-level de-duplication.
+
+    The manager maintains a reference count per node-attribute pair so
+    that the de-duplicated pair set -- the planner's input -- can be
+    kept incrementally and every mutation reports an exact
+    :class:`TaskSetDelta`.
+    """
+
+    def __init__(self, tasks: Iterable[MonitoringTask] = ()) -> None:
+        self._tasks: Dict[str, MonitoringTask] = {}
+        self._refcount: Counter = Counter()
+        for task in tasks:
+            self.add_task(task)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def __iter__(self) -> Iterator[MonitoringTask]:
+        return iter(self._tasks.values())
+
+    def get(self, task_id: str) -> MonitoringTask:
+        """Return the registered task with ``task_id``."""
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise UnknownTaskError(task_id) from None
+
+    @property
+    def tasks(self) -> List[MonitoringTask]:
+        """All registered tasks, in registration order."""
+        return list(self._tasks.values())
+
+    def pairs(self) -> Set[NodeAttributePair]:
+        """The de-duplicated node-attribute pair set (the planner input)."""
+        return set(self._refcount)
+
+    def pair_count(self) -> int:
+        """Number of distinct node-attribute pairs currently required."""
+        return len(self._refcount)
+
+    def multiplicity(self, pair: NodeAttributePair) -> int:
+        """How many registered tasks require ``pair``."""
+        return self._refcount.get(pair, 0)
+
+    def tasks_requiring(self, pair: NodeAttributePair) -> List[MonitoringTask]:
+        """All tasks whose expansion contains ``pair``."""
+        return [
+            t
+            for t in self._tasks.values()
+            if pair.node in t.nodes and pair.attribute in t.attributes
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation side
+    # ------------------------------------------------------------------
+    def add_task(self, task: MonitoringTask) -> TaskSetDelta:
+        """Register ``task``; return the newly required pairs."""
+        if task.task_id in self._tasks:
+            raise DuplicateTaskError(task.task_id)
+        added = set()
+        for pair in task.pairs():
+            if self._refcount[pair] == 0:
+                added.add(pair)
+            self._refcount[pair] += 1
+        self._tasks[task.task_id] = task
+        return TaskSetDelta(frozenset(added), frozenset())
+
+    def remove_task(self, task_id: str) -> TaskSetDelta:
+        """Deregister the task; return the pairs no longer required."""
+        task = self.get(task_id)
+        removed = set()
+        for pair in task.pairs():
+            self._refcount[pair] -= 1
+            if self._refcount[pair] == 0:
+                del self._refcount[pair]
+                removed.add(pair)
+        del self._tasks[task_id]
+        return TaskSetDelta(frozenset(), frozenset(removed))
+
+    def modify_task(self, task: MonitoringTask) -> TaskSetDelta:
+        """Replace the registered task with the same id; return the net delta."""
+        old = self.get(task.task_id)
+        old_pairs = old.pairs()
+        new_pairs = task.pairs()
+        removed = set()
+        for pair in old_pairs - new_pairs:
+            self._refcount[pair] -= 1
+            if self._refcount[pair] == 0:
+                del self._refcount[pair]
+                removed.add(pair)
+        added = set()
+        for pair in new_pairs - old_pairs:
+            if self._refcount[pair] == 0:
+                added.add(pair)
+            self._refcount[pair] += 1
+        self._tasks[task.task_id] = task
+        return TaskSetDelta(frozenset(added), frozenset(removed))
+
+    def apply(self, delta_ops: Iterable[Tuple[str, Optional[MonitoringTask]]]) -> TaskSetDelta:
+        """Apply a batch of ``(op, task)`` mutations, returning the net delta.
+
+        ``op`` is ``"add"``, ``"remove"`` (task may be the task object or
+        just carry the id), or ``"modify"``.  Batching matters for
+        adaptation: the net delta of a batch can be far smaller than the
+        union of per-op deltas when ops cancel out.
+        """
+        added: Set[NodeAttributePair] = set()
+        removed: Set[NodeAttributePair] = set()
+        for op, task in delta_ops:
+            if op == "add":
+                assert task is not None
+                delta = self.add_task(task)
+            elif op == "remove":
+                assert task is not None
+                delta = self.remove_task(task.task_id)
+            elif op == "modify":
+                assert task is not None
+                delta = self.modify_task(task)
+            else:
+                raise ValueError(f"unknown task operation {op!r}")
+            # Net the deltas: an add followed by a remove cancels.
+            for pair in delta.added:
+                if pair in removed:
+                    removed.discard(pair)
+                else:
+                    added.add(pair)
+            for pair in delta.removed:
+                if pair in added:
+                    added.discard(pair)
+                else:
+                    removed.add(pair)
+        return TaskSetDelta(frozenset(added), frozenset(removed))

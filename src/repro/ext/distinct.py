@@ -1,0 +1,128 @@
+"""Sampling-based DISTINCT funnel estimation (the paper's future work).
+
+Section 6.1 notes that data-dependent aggregations such as DISTINCT are
+planned with the holistic upper bound, and that "accurate estimation
+may require sampling-based techniques which we leave as our future
+work".  This module implements that technique: a tiny k-minimum-values
+(KMV) sketch estimates each attribute's distinct-value count from
+sampled observations, which the planner turns into a tighter funnel.
+
+The KMV estimator keeps the ``k`` smallest hash values seen; if the
+k-th smallest is ``h`` (hashes normalized to (0, 1)), the distinct
+count is approximately ``(k - 1) / h`` -- a standard result with
+relative error ~ 1/sqrt(k).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.attributes import AttributeId
+from repro.core.cost import AggregationKind, AggregationMap, AggregationSpec
+
+
+def _normalized_hash(value: float) -> float:
+    """Deterministic hash of a value into (0, 1]."""
+    digest = hashlib.blake2b(
+        struct.pack("!d", float(value)), digest_size=8
+    ).digest()
+    as_int = int.from_bytes(digest, "big")
+    return (as_int + 1) / float(2**64)
+
+
+class KMVSketch:
+    """k-minimum-values distinct-count sketch."""
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        self.k = k
+        self._mins: List[float] = []
+        self._seen = 0
+
+    def add(self, value: float) -> None:
+        """Observe one value."""
+        self._seen += 1
+        h = _normalized_hash(value)
+        if h in self._mins:
+            return
+        if len(self._mins) < self.k:
+            self._mins.append(h)
+            self._mins.sort()
+        elif h < self._mins[-1]:
+            self._mins[-1] = h
+            self._mins.sort()
+
+    @property
+    def observations(self) -> int:
+        return self._seen
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values observed."""
+        if not self._mins:
+            return 0.0
+        if len(self._mins) < self.k:
+            # Fewer than k distinct hashes: the sketch is exact.
+            return float(len(self._mins))
+        return (self.k - 1) / self._mins[-1]
+
+
+@dataclass
+class DistinctEstimator:
+    """Per-attribute DISTINCT cardinality estimation from samples.
+
+    Feed it observed attribute values (e.g. from the metric registry or
+    collected monitoring data); ask it for an aggregation map in which
+    DISTINCT attributes carry a TOP-k-style funnel bounded by the
+    estimated cardinality instead of the holistic worst case.
+    """
+
+    k: int = 64
+    _sketches: Dict[AttributeId, KMVSketch] = field(default_factory=dict)
+
+    def observe(self, attribute: AttributeId, value: float) -> None:
+        sketch = self._sketches.get(attribute)
+        if sketch is None:
+            sketch = self._sketches[attribute] = KMVSketch(self.k)
+        sketch.add(value)
+
+    def observe_many(self, attribute: AttributeId, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(attribute, value)
+
+    def cardinality(self, attribute: AttributeId) -> Optional[float]:
+        """Estimated distinct count, or ``None`` if never observed."""
+        sketch = self._sketches.get(attribute)
+        if sketch is None or sketch.observations == 0:
+            return None
+        return sketch.estimate()
+
+    def refine(
+        self,
+        aggregation: AggregationMap,
+        safety_factor: float = 1.5,
+    ) -> AggregationMap:
+        """Tighten DISTINCT entries of ``aggregation`` using the sketches.
+
+        A DISTINCT attribute whose estimated cardinality is ``d`` gets a
+        funnel that forwards at most ``ceil(safety_factor * d)`` values
+        (expressed through the TOP_K mechanism); attributes without
+        observations keep the holistic upper bound.
+        """
+        if safety_factor < 1.0:
+            raise ValueError(f"safety_factor must be >= 1, got {safety_factor}")
+        refined: AggregationMap = {}
+        for attr, spec in aggregation.items():
+            if spec.kind is not AggregationKind.DISTINCT:
+                refined[attr] = spec
+                continue
+            estimate = self.cardinality(attr)
+            if estimate is None:
+                refined[attr] = spec
+                continue
+            bound = max(1, int(safety_factor * estimate + 0.999))
+            refined[attr] = AggregationSpec(AggregationKind.TOP_K, k=bound)
+        return refined

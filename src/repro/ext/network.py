@@ -1,0 +1,116 @@
+"""Network-aware planning (Section 3.3's discussed extension).
+
+REMO's core model assumes a datacenter-like fabric where any two nodes
+communicate at similar endpoint cost.  For peer-to-peer overlays or
+sensor networks, longer paths also incur *forwarding* cost, and the
+paper notes the local search "can incorporate the forwarding cost in
+the resource evaluation of a candidate plan".  This module provides
+exactly that hook:
+
+- a :class:`NetworkModel` mapping node pairs to hop distances (with
+  ready-made grid and ring constructors);
+- :func:`forwarding_cost` scoring a plan's per-period forwarding load;
+- :func:`network_cost_fn` producing a ``plan_cost_fn`` for
+  :class:`~repro.core.planner.RemoPlanner`, so candidate comparison
+  penalizes topologies whose edges span long network paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.core.attributes import NodeId
+from repro.core.plan import MonitoringPlan
+
+#: Distance oracle signature: hops between two monitoring nodes (the
+#: collector is node ``-1``).
+DistanceFn = Callable[[NodeId, NodeId], float]
+
+
+class NetworkModel:
+    """Hop-distance model over monitoring nodes plus the collector."""
+
+    def __init__(self, distance: DistanceFn) -> None:
+        self._distance = distance
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        d = self._distance(a, b)
+        if d < 0:
+            raise ValueError(f"distance({a}, {b}) must be >= 0, got {d}")
+        return d
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, hops: float = 1.0) -> "NetworkModel":
+        """The paper's datacenter assumption: every pair one hop apart."""
+        return cls(lambda a, b: 0.0 if a == b else hops)
+
+    @classmethod
+    def ring(cls, n_nodes: int, collector_position: float = 0.0) -> "NetworkModel":
+        """Nodes on a ring; distance is the shorter arc.
+
+        The collector sits at ``collector_position`` (a fractional ring
+        coordinate in [0, 1)).
+        """
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be > 0, got {n_nodes}")
+
+        def position(node: NodeId) -> float:
+            if node == -1:
+                return collector_position
+            return (node % n_nodes) / n_nodes
+
+        def distance(a: NodeId, b: NodeId) -> float:
+            if a == b:
+                return 0.0
+            gap = abs(position(a) - position(b))
+            return min(gap, 1.0 - gap) * n_nodes
+
+        return cls(distance)
+
+    @classmethod
+    def grid(cls, width: int, collector: Tuple[int, int] = (0, 0)) -> "NetworkModel":
+        """Nodes on a 2D grid (row-major ids); Manhattan distance."""
+        if width <= 0:
+            raise ValueError(f"width must be > 0, got {width}")
+
+        def coords(node: NodeId) -> Tuple[int, int]:
+            if node == -1:
+                return collector
+            return (node // width, node % width)
+
+        def distance(a: NodeId, b: NodeId) -> float:
+            (ra, ca), (rb, cb) = coords(a), coords(b)
+            return float(abs(ra - rb) + abs(ca - cb))
+
+        return cls(distance)
+
+
+def forwarding_cost(plan: MonitoringPlan, network: NetworkModel) -> float:
+    """Per-period forwarding load of a plan's monitoring edges.
+
+    Each tree edge carries one message per period whose endpoints pay
+    the usual ``C + a*x``; intermediate network hops forward it, so an
+    edge spanning ``d`` hops costs ``(d - 1)`` extra message-forwards
+    (zero in a datacenter where everything is one hop).
+    """
+    total = 0.0
+    for attr_set, result in plan.trees.items():
+        tree = result.tree
+        for node in tree.nodes:
+            parent = tree.parent(node)
+            target = parent if parent is not None else -1
+            hops = network.distance(node, target)
+            extra = max(hops - 1.0, 0.0)
+            total += extra * plan.cost.message_cost(int(round(tree.outgoing_values(node))))
+    return total
+
+
+def network_cost_fn(network: NetworkModel) -> Callable[[MonitoringPlan], float]:
+    """A ``plan_cost_fn`` for :class:`RemoPlanner`: endpoint volume plus
+    forwarding cost under ``network``."""
+
+    def score(plan: MonitoringPlan) -> float:
+        return plan.total_message_cost() + forwarding_cost(plan, network)
+
+    return score

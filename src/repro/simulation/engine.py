@@ -1,0 +1,238 @@
+"""The monitoring simulation engine.
+
+Runs a :class:`~repro.core.plan.MonitoringPlan` over discrete
+collection periods.  Within each period:
+
+1. ground-truth metric values advance (one unit of time);
+2. every member node of every tree sends one update message, phased
+   bottom-up: a node at depth ``d`` of a height-``H`` tree sends at
+   ``(H - d) * hop_latency`` after the period start, so children's
+   messages arrive (half a hop later) before the parent merges and
+   forwards;
+3. each message costs ``C + a*x`` against the sender's and receiver's
+   per-period budget; with capacity enforcement on, unaffordable
+   messages are dropped whole (this is the overload behaviour the
+   paper's resource-awareness exists to avoid);
+4. at the period deadline the collector's view is scored against the
+   ground truth (percentage error, freshness).
+
+Deep trees whose bottom-up wave ``(H+1) * hop_latency`` spills past
+the period deadline deliver one period late -- the latency-induced
+staleness that makes bushier trees more accurate in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.metrics import MetricRegistry
+from repro.cluster.node import Cluster
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.core.partition import AttributeSet
+from repro.core.plan import MonitoringPlan
+from repro.simulation.collection import CollectionStats, CollectorState, PeriodSample
+from repro.simulation.events import EventQueue
+from repro.simulation.failures import FailureInjector
+from repro.simulation.messages import Message, Reading
+
+
+@dataclass
+class SimulationConfig:
+    """Tunable knobs of one simulation run."""
+
+    period: float = 1.0
+    hop_latency: float = 0.02
+    enforce_capacity: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.hop_latency <= 0:
+            raise ValueError(f"hop_latency must be > 0, got {self.hop_latency}")
+
+
+class MonitoringSimulation:
+    """Discrete-event execution of one monitoring plan."""
+
+    def __init__(
+        self,
+        plan: MonitoringPlan,
+        cluster: Cluster,
+        registry: Optional[MetricRegistry] = None,
+        config: Optional[SimulationConfig] = None,
+        failures: Optional[FailureInjector] = None,
+    ) -> None:
+        self.plan = plan
+        self.cluster = cluster
+        self.config = config if config is not None else SimulationConfig()
+        self.failures = failures if failures is not None else FailureInjector()
+        self.registry = (
+            registry
+            if registry is not None
+            else MetricRegistry(plan.pairs, seed=self.config.seed)
+        )
+        for pair in plan.pairs:
+            self.registry.ensure(pair)
+
+        self.queue = EventQueue()
+        self.collector = CollectorState()
+        self.stats = CollectionStats(requested_pairs=len(plan.pairs))
+        self._budget: Dict[NodeId, float] = {}
+        self._central_budget = 0.0
+        # Relay buffers: readings received by (node, tree), pending merge.
+        self._buffers: Dict[Tuple[NodeId, AttributeSet], Dict[NodeAttributePair, Reading]] = {}
+        # Per-tree static structure snapshots.
+        self._tree_info: List[Tuple[AttributeSet, Dict[NodeId, Optional[NodeId]], Dict[NodeId, int], int, Dict[NodeId, List[NodeAttributePair]]]] = []
+        for attr_set, result in plan.trees.items():
+            tree = result.tree
+            parents: Dict[NodeId, Optional[NodeId]] = {}
+            depths: Dict[NodeId, int] = {}
+            locals_: Dict[NodeId, List[NodeAttributePair]] = {}
+            for node in tree.nodes:
+                parents[node] = tree.parent(node)
+                depths[node] = tree.depth(node)
+                locals_[node] = [
+                    NodeAttributePair(node, attr) for attr in tree.local_demand(node)
+                ]
+            self._tree_info.append((attr_set, parents, depths, tree.height(), locals_))
+
+    # ------------------------------------------------------------------
+    def run(self, n_periods: int) -> CollectionStats:
+        """Run ``n_periods`` collection periods and return the stats."""
+        if n_periods <= 0:
+            raise ValueError(f"n_periods must be > 0, got {n_periods}")
+        for k in range(n_periods):
+            t0 = k * self.config.period
+            self.queue.schedule(t0, self._begin_period)
+            for attr_set, parents, depths, height, locals_ in self._tree_info:
+                for node, depth in depths.items():
+                    phase = (height - depth) * self.config.hop_latency
+                    self.queue.schedule(
+                        t0 + phase,
+                        self._make_send(node, attr_set, parents[node], locals_[node], k),
+                    )
+            deadline = t0 + self.config.period - 1e-9
+            self.queue.schedule(deadline, self._make_measure(k))
+            self.queue.run_until(deadline)
+        # Drain any stragglers scheduled past the last deadline so late
+        # arrivals are at least accounted in message statistics.
+        self.queue.run_all()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Event actions
+    # ------------------------------------------------------------------
+    def _begin_period(self, _time: float) -> None:
+        self.registry.advance_all()
+        self._budget = {node.node_id: node.capacity for node in self.cluster}
+        self._central_budget = self.cluster.central_capacity
+
+    def _make_send(self, node, attr_set, parent, local_pairs, period):
+        def action(now: float) -> None:
+            payload: Dict[NodeAttributePair, Reading] = {}
+            buffered = self._buffers.pop((node, attr_set), None)
+            if buffered:
+                payload.update(buffered)
+            for pair in local_pairs:
+                payload[pair] = Reading(self.registry.value(pair), sampled_at=now)
+            if not payload:
+                return
+            receiver = parent if parent is not None else -1
+            if self.config.enforce_capacity:
+                # Graceful degradation: a node short on budget sheds
+                # *values* (keeping as many as it can afford) before it
+                # sheds the whole message -- monitoring agents trim
+                # payload rather than go silent.
+                budget = self._budget.get(node, 0.0)
+                if budget < self.plan.cost.per_message - 1e-9:
+                    self.stats.messages_dropped_capacity += 1
+                    return
+                affordable = int(
+                    (budget - self.plan.cost.per_message) / self.plan.cost.per_value + 1e-9
+                )
+                if affordable <= 0:
+                    self.stats.messages_dropped_capacity += 1
+                    return
+                if affordable < len(payload):
+                    keep = sorted(payload)[:affordable]
+                    self.stats.values_trimmed += len(payload) - len(keep)
+                    payload = {pair: payload[pair] for pair in keep}
+            message = Message(
+                sender=node,
+                receiver=receiver,
+                tree=attr_set,
+                period=period,
+                payload=payload,
+            )
+            cost = message.cost(self.plan.cost)
+            if self.config.enforce_capacity:
+                self._budget[node] = self._budget.get(node, 0.0) - cost
+            self.stats.messages_sent += 1
+            self.stats.cost_units_spent += cost
+            if self.failures.blocks(node, receiver, attr_set, now):
+                self.stats.messages_dropped_failure += 1
+                return
+            arrival = now + 0.5 * self.config.hop_latency
+            self.queue.schedule(arrival, self._make_arrive(message))
+
+        return action
+
+    def _make_arrive(self, message: Message):
+        def action(_now: float) -> None:
+            cost = message.cost(self.plan.cost)
+            if message.receiver == -1:
+                if self.config.enforce_capacity:
+                    if self._central_budget < cost - 1e-9:
+                        self.stats.messages_dropped_capacity += 1
+                        return
+                    self._central_budget -= cost
+                for pair, reading in message.payload.items():
+                    self.collector.record(pair, reading)
+                self.stats.messages_delivered += 1
+                self.stats.cost_units_spent += cost
+                return
+            if self.config.enforce_capacity:
+                if self._budget.get(message.receiver, 0.0) < cost - 1e-9:
+                    self.stats.messages_dropped_capacity += 1
+                    return
+                self._budget[message.receiver] = (
+                    self._budget.get(message.receiver, 0.0) - cost
+                )
+            buffer = self._buffers.setdefault((message.receiver, message.tree), {})
+            message.merge_into(buffer)
+            self.stats.messages_delivered += 1
+            self.stats.cost_units_spent += cost
+
+        return action
+
+    def _make_measure(self, period: int):
+        def action(now: float) -> None:
+            pairs = self.plan.pairs
+            if not pairs:
+                self.stats.record_period(PeriodSample(period, 0.0, 1.0, 1.0))
+                return
+            period_start = period * self.config.period
+            total_error = 0.0
+            fresh = 0
+            received = 0
+            for pair in pairs:
+                truth = self.registry.value(pair)
+                total_error += self.collector.percentage_error(pair, truth)
+                reading = self.collector.reading(pair)
+                if reading is not None:
+                    received += 1
+                    if reading.sampled_at >= period_start - 1e-9:
+                        fresh += 1
+            n = len(pairs)
+            self.stats.record_period(
+                PeriodSample(
+                    period=period,
+                    mean_error=total_error / n,
+                    fresh_fraction=fresh / n,
+                    received_fraction=received / n,
+                )
+            )
+
+        return action

@@ -1,0 +1,83 @@
+"""A minimal deterministic discrete-event queue.
+
+Events are ordered by time, then by a monotone sequence number so
+same-time events fire in scheduling order -- determinism matters more
+here than raw speed, because every experiment must be reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``action`` is called with the event's time when it fires.
+    Cancelled events stay in the heap but are skipped on pop.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[float], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently fired event."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, action: Callable[[float], None]) -> Event:
+        """Schedule ``action`` at ``time`` (must not be in the past)."""
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event with ``time <= deadline``; return count fired."""
+        fired = 0
+        while self._heap and self._heap[0].time <= deadline + 1e-12:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action(event.time)
+            fired += 1
+        self._now = max(self._now, deadline)
+        return fired
+
+    def run_all(self, max_events: Optional[int] = None) -> int:
+        """Fire events until the queue drains (or ``max_events``)."""
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action(event.time)
+            fired += 1
+        return fired

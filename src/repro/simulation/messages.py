@@ -1,0 +1,53 @@
+"""Monitoring update messages.
+
+A message carries readings for a set of node-attribute pairs and is
+charged ``C + a * len(payload)`` against both the sender's and the
+receiver's per-period budget -- the same model the planner uses, so a
+plan that respects capacities runs drop-free in the simulator (absent
+failures), and an overloaded plan sheds exactly the traffic the model
+predicts it cannot afford.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.core.cost import CostModel
+from repro.core.partition import AttributeSet
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One attribute observation: the value and when it was sampled."""
+
+    value: float
+    sampled_at: float
+
+
+@dataclass
+class Message:
+    """An update message travelling one hop up a monitoring tree.
+
+    ``receiver`` is ``-1`` when the destination is the central
+    collector.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    tree: AttributeSet
+    period: int
+    payload: Dict[NodeAttributePair, Reading] = field(default_factory=dict)
+
+    def cost(self, model: CostModel) -> float:
+        """Processing cost on each endpoint under ``model``."""
+        return model.message_cost(len(self.payload))
+
+    def merge_into(self, buffer: Dict[NodeAttributePair, Reading]) -> None:
+        """Fold this message's readings into a relay buffer, keeping the
+        freshest reading per pair."""
+        for pair, reading in self.payload.items():
+            existing = buffer.get(pair)
+            if existing is None or reading.sampled_at >= existing.sampled_at:
+                buffer[pair] = reading

@@ -1,0 +1,28 @@
+"""System S-like distributed stream-processing substrate.
+
+The paper's real-system evaluation deploys REMO on IBM System S: a
+dataflow of analytic operators placed across hosts, every host
+exposing 30-50 monitorable attributes (operator-level rates and
+queues, middleware and OS gauges).  This package provides a synthetic
+equivalent: operator graphs with rate propagation and queueing, a
+placement layer mapping operators to cluster nodes, a metric registry
+bridging operator state into the monitoring simulator, and a
+YieldMonitor-like chip-manufacturing-test analytics application with
+the published deployment shape (~200 processes over 200 nodes).
+"""
+
+from repro.streams.operators import Operator, OperatorKind
+from repro.streams.dataflow import DataflowGraph
+from repro.streams.app import StreamApp, StreamMetricRegistry, build_stream_cluster
+from repro.streams.yieldmonitor import make_yieldmonitor, yieldmonitor_tasks
+
+__all__ = [
+    "DataflowGraph",
+    "Operator",
+    "OperatorKind",
+    "StreamApp",
+    "StreamMetricRegistry",
+    "build_stream_cluster",
+    "make_yieldmonitor",
+    "yieldmonitor_tasks",
+]

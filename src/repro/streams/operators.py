@@ -1,0 +1,107 @@
+"""Stream operators.
+
+Each operator is a node in a dataflow graph with simple but
+serviceable dynamics: its output rate is its input rate scaled by a
+*selectivity* (sources are driven by bursty rate generators instead),
+and a finite *service rate* induces queue growth under burst -- the
+"perceived bottleneck" scenario the paper's diagnosis tasks monitor
+for.  Every operator exposes four monitorable metrics: ``rate_in``,
+``rate_out``, ``queue``, and ``cpu``.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+#: Metric name suffixes every operator exposes.
+OPERATOR_METRICS = ("rate_in", "rate_out", "queue", "cpu")
+
+
+class OperatorKind(enum.Enum):
+    """Operator roles in an analytic dataflow."""
+
+    SOURCE = "source"
+    FUNCTOR = "functor"  # parse / filter / transform
+    AGGREGATE = "aggregate"
+    JOIN = "join"
+    SINK = "sink"
+
+
+@dataclass
+class Operator:
+    """One analytic operator.
+
+    Parameters
+    ----------
+    op_id:
+        Unique name, e.g. ``"parse07"``.
+    kind:
+        Role in the dataflow.
+    selectivity:
+        Output tuples per input tuple (ignored for sources).
+    service_rate:
+        Tuples per unit time the operator can process; the excess
+        queues up.
+    burst_calm / burst_peak:
+        Source rate regime levels (sources only).
+    """
+
+    op_id: str
+    kind: OperatorKind
+    selectivity: float = 1.0
+    service_rate: float = 2000.0
+    burst_calm: float = 100.0
+    burst_peak: float = 1000.0
+
+    # Dynamic state (updated by StreamApp.step()).
+    rate_in: float = 0.0
+    rate_out: float = 0.0
+    queue: float = 0.0
+    cpu: float = 0.0
+    _bursting: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.selectivity < 0:
+            raise ValueError(f"{self.op_id}: selectivity must be >= 0")
+        if self.service_rate <= 0:
+            raise ValueError(f"{self.op_id}: service_rate must be > 0")
+
+    # ------------------------------------------------------------------
+    def source_rate(self, rng: random.Random) -> float:
+        """Advance and return a bursty source rate (sources only)."""
+        if self.kind is not OperatorKind.SOURCE:
+            raise ValueError(f"{self.op_id} is not a source")
+        if self._bursting:
+            if rng.random() < 0.3:
+                self._bursting = False
+        elif rng.random() < 0.05:
+            self._bursting = True
+        level = self.burst_peak if self._bursting else self.burst_calm
+        return level * (1.0 + rng.uniform(-0.1, 0.1))
+
+    def update(self, rate_in: float) -> None:
+        """Advance one unit of time given the incoming tuple rate."""
+        self.rate_in = rate_in
+        served = min(rate_in + self.queue, self.service_rate)
+        self.queue = max(self.queue + rate_in - served, 0.0)
+        self.rate_out = served * self.selectivity if self.kind is not OperatorKind.SINK else 0.0
+        self.cpu = min(served / self.service_rate, 1.0)
+
+    def metric(self, name: str) -> float:
+        """Current value of one of :data:`OPERATOR_METRICS`."""
+        if name == "rate_in":
+            return self.rate_in
+        if name == "rate_out":
+            return self.rate_out
+        if name == "queue":
+            return self.queue
+        if name == "cpu":
+            return self.cpu * 100.0
+        raise KeyError(f"unknown operator metric {name!r}")
+
+    def metric_names(self) -> List[str]:
+        """Fully qualified metric attribute names for this operator."""
+        return [f"{self.op_id}.{m}" for m in OPERATOR_METRICS]

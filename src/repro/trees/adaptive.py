@@ -1,0 +1,112 @@
+"""REMO's adaptive tree construction (Section 3.2.1).
+
+The adaptive algorithm iterates two procedures:
+
+- the *construction* procedure runs the STAR scheme, attaching new
+  nodes to the shallowest host with room -- resource-efficient but
+  root-heavy;
+- when the tree saturates, the *adjusting* procedure (see
+  :mod:`repro.trees.adjust`) prunes the cheapest branch of a congested
+  node and re-attaches it deeper, freeing per-message overhead
+  (CHAIN-like height growth).
+
+The interleaving seeks the middle ground Fig. 4(e) illustrates: trade
+relay cost for overhead, and vice versa, whenever doing so lets more
+nodes join the tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.attributes import NodeId
+from repro.core.cost import CostModel
+from repro.trees.adjust import TreeAdjuster
+from repro.trees.base import GreedyTreeBuilder, TreeBuildRequest
+from repro.trees.model import MonitoringTree
+
+
+class AdaptiveTreeBuilder(GreedyTreeBuilder):
+    """Construction/adjusting iteration (the paper's ADAPTIVE scheme).
+
+    Parameters
+    ----------
+    cost_model:
+        The shared message cost model.
+    adjuster:
+        The adjusting procedure; defaults to the fully optimized one
+        (branch-based + subtree-only).  Pass
+        ``TreeAdjuster(branch_based=False, subtree_only=False)`` for the
+        basic procedure (Fig. 10 baseline).
+    max_adjust_rounds_per_node:
+        How many construct/adjust iterations to attempt for a single
+        node before declaring it excluded.  Each successful adjustment
+        strictly reduces some congested node's branch count, so small
+        values suffice; the cap guards against pathological cycling.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        adjuster: Optional[TreeAdjuster] = None,
+        max_adjust_rounds_per_node: int = 4,
+        construction: str = "blend",
+    ) -> None:
+        super().__init__(cost_model)
+        self.adjuster = adjuster if adjuster is not None else TreeAdjuster()
+        if max_adjust_rounds_per_node < 0:
+            raise ValueError(
+                f"max_adjust_rounds_per_node must be >= 0, got {max_adjust_rounds_per_node}"
+            )
+        self.max_adjust_rounds_per_node = max_adjust_rounds_per_node
+        if construction not in ("blend", "star"):
+            raise ValueError(
+                f"construction must be 'blend' or 'star', got {construction!r}"
+            )
+        #: ``star`` is the paper's literal construction procedure
+        #: (shallowest feasible host first); ``blend`` additionally
+        #: weighs relay depth against parent headroom, which performs
+        #: better at the forest level (see parent_preference).
+        self.construction = construction
+
+    def parent_preference(self, tree: MonitoringTree, parent: NodeId) -> tuple:
+        # Trade relay cost against load spreading: attaching under a
+        # parent at depth d adds ~2*a*payload*d relay cost along the
+        # path (send + receive at every ancestor level), so prefer the
+        # parent with the most capacity left *after* paying for that
+        # depth.  With cheap relays (overhead-dominated regimes) this
+        # behaves like MAX_AVB's load spreading; with expensive relays
+        # it collapses to STAR's shallow-first rule -- the middle
+        # ground the paper's construction/adjusting iteration seeks.
+        if self.construction == "star":
+            return (tree.depth(parent), -tree.available(parent), parent)
+        # Trade relay cost against load spreading.  Attaching under a
+        # parent at depth d adds ~2*a*payload*d relay cost along the
+        # path, so discount the parent's headroom by that toll, then
+        # quantize headroom into "how many more children like this one
+        # could it host" (capped).  Parents with ample slack tie on the
+        # slot count and the STAR rule (shallowest first) decides --
+        # minimum relay cost; under scarcity the slot count dominates
+        # and load spreads like MAX_AVB.  This is the construction-side
+        # half of the middle ground Fig. 4(e) motivates.
+        payload = getattr(self, "_inserting_payload", 1.0)
+        relay_toll = 2.0 * self.cost.per_value * payload * tree.depth(parent)
+        per_child = self.cost.per_message + 2.0 * self.cost.per_value * payload
+        slots = min(64.0, max(0.0, (tree.available(parent) - relay_toll) / per_child))
+        return (-int(slots), tree.depth(parent), -tree.available(parent), parent)
+
+    def _max_retry_rounds(self) -> int:
+        return self.max_adjust_rounds_per_node
+
+    def on_saturated(
+        self,
+        tree: MonitoringTree,
+        request: TreeBuildRequest,
+        node: NodeId,
+        failed_parents: List[NodeId],
+    ) -> bool:
+        demand = request.demands[node]
+        failed_cost = self.cost.per_message * request.msg_weight(node) + self.cost.per_value * sum(
+            w for w in demand.values() if w > 0
+        )
+        return self.adjuster.relieve(tree, failed_parents, failed_cost)

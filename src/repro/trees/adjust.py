@@ -1,0 +1,173 @@
+"""The adjusting procedure and its optimizations (Sections 3.2.1 and 5.1).
+
+When the construction procedure saturates -- the next node fits under
+no existing parent -- the adjusting procedure relieves *congested*
+nodes by pruning their cheapest branch and re-attaching it deeper in
+the tree.  Moving a branch from congested node ``dc`` into ``dc``'s own
+subtree frees exactly one message's per-message overhead ``C`` at
+``dc`` while leaving its relayed payload unchanged, trading relay cost
+for overhead to grow the tree.
+
+Two independent optimizations from Section 5.1 are implemented as
+flags on :class:`TreeAdjuster`:
+
+- ``branch_based`` -- re-attach the pruned branch as a whole instead
+  of breaking it into nodes and re-homing them one by one, dropping
+  the procedure from O(n^2) to O(n);
+- ``subtree_only`` -- restrict candidate re-attachment points to the
+  congested node's subtree, justified by Theorem 1: if the node that
+  failed to insert demands no more than the pruned branch, any host
+  outside ``dc``'s subtree would already have accepted the failed node
+  during construction, so testing it again is wasted work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.attributes import NodeId
+from repro.trees.model import MonitoringTree
+
+
+class TreeAdjuster:
+    """Relieves congested nodes by pruning and re-attaching branches.
+
+    Parameters
+    ----------
+    branch_based:
+        Re-attach pruned branches whole (Section 5.1.1) instead of
+        node-by-node (the basic procedure).
+    subtree_only:
+        Restrict the re-attachment search to the congested node's
+        subtree when Theorem 1 applies (Section 5.1.2).
+    """
+
+    def __init__(self, branch_based: bool = True, subtree_only: bool = True) -> None:
+        self.branch_based = branch_based
+        self.subtree_only = subtree_only
+        #: Counts candidate-parent feasibility probes; exposed so the
+        #: Fig. 10 bench can report search effort alongside wall time.
+        self.probe_count = 0
+
+    def relieve(
+        self,
+        tree: MonitoringTree,
+        congested: Sequence[NodeId],
+        failed_cost: float,
+    ) -> bool:
+        """Try to free per-message overhead at one congested node.
+
+        ``congested`` lists nodes that refused the failed insertion;
+        ``failed_cost`` is the send cost the failed node would have
+        incurred (``u_df``), used to decide Theorem 1 applicability.
+        Returns ``True`` if the tree was restructured.
+        """
+        ordered = sorted(set(congested) & set(tree.nodes), key=tree.depth)
+        for dc in ordered:
+            if self._relieve_node(tree, dc, failed_cost):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _relieve_node(self, tree: MonitoringTree, dc: NodeId, failed_cost: float) -> bool:
+        children = sorted(tree.children(dc), key=tree.send_cost)
+        if len(children) < 2 and tree.parent(dc) is not None:
+            # Pruning the only branch of a non-root just shifts the
+            # problem to the parent without freeing overhead at dc's
+            # ancestors; skip.
+            return False
+        for branch in children:
+            branch_cost = tree.send_cost(branch)
+            targets = self._candidate_targets(tree, dc, branch, branch_cost, failed_cost)
+            if self.branch_based:
+                if self._reattach_branch(tree, branch, targets):
+                    return True
+            else:
+                if self._reattach_nodes(tree, dc, branch, targets):
+                    return True
+        return False
+
+    def _candidate_targets(
+        self,
+        tree: MonitoringTree,
+        dc: NodeId,
+        branch: NodeId,
+        branch_cost: float,
+        failed_cost: float,
+    ) -> List[NodeId]:
+        """Candidate re-attachment parents, deepest first (to grow height)."""
+        branch_nodes = set(tree.subtree_nodes(branch))
+        if self.subtree_only and failed_cost <= branch_cost:
+            # Theorem 1: hosts outside dc's subtree cannot accept the
+            # branch, since they already refused the cheaper failed node.
+            pool = [
+                n
+                for n in tree.subtree_nodes(dc)
+                if n != dc and n not in branch_nodes
+            ]
+        else:
+            pool = [n for n in tree.nodes if n != dc and n not in branch_nodes]
+        return sorted(pool, key=lambda n: (-tree.depth(n), -tree.available(n), n))
+
+    def _reattach_branch(self, tree: MonitoringTree, branch: NodeId, targets: List[NodeId]) -> bool:
+        """Branch-based re-attaching: one move_branch per candidate.
+
+        A target must at least absorb the branch's message on its
+        receive side, so candidates with less headroom are skipped
+        without attempting the (expensive) move.
+        """
+        branch_cost = tree.send_cost(branch)
+        for target in targets:
+            if tree.available(target) < branch_cost - 1e-9:
+                continue
+            self.probe_count += 1
+            if tree.move_branch(branch, target):
+                return True
+        return False
+
+    def _reattach_nodes(
+        self,
+        tree: MonitoringTree,
+        dc: NodeId,
+        branch: NodeId,
+        targets: List[NodeId],
+    ) -> bool:
+        """Basic per-node re-attaching with full rollback on failure.
+
+        The branch is dismantled and each node re-homed independently
+        (anywhere but ``dc``).  If any node cannot be placed, all
+        placements are undone and the original branch is restored.
+        """
+        records = tree.remove_branch(branch)
+        placed: List[NodeId] = []
+        target_pool = [t for t in targets if t in tree]
+        success = True
+        for node, _old_parent, demand, msgw in records:
+            placed_here = False
+            # Previously placed branch nodes are valid hosts too.
+            candidates = sorted(
+                set(target_pool) | set(placed),
+                key=lambda n: (-tree.depth(n), -tree.available(n), n),
+            )
+            for target in candidates:
+                self.probe_count += 1
+                if tree.add_node(node, target, demand, msgw):
+                    placed.append(node)
+                    placed_here = True
+                    break
+            if not placed_here:
+                success = False
+                break
+        if success:
+            return True
+        # Roll back: remove re-homed nodes in reverse placement order,
+        # then restore the original branch under dc verbatim.
+        for node in reversed(placed):
+            tree.remove_branch(node)
+        first = True
+        for node, old_parent, demand, msgw in records:
+            parent = dc if first else old_parent
+            added = tree.add_node(node, parent, demand, msgw, check=False)
+            assert added, "restoring a previously feasible branch must succeed"
+            first = False
+        return False

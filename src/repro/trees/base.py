@@ -1,0 +1,174 @@
+"""Shared scaffolding for tree construction schemes.
+
+All builders implement the same greedy insertion template: nodes are
+considered in order of decreasing allocated capacity (as the paper's
+STAR/CHAIN descriptions specify) and attached to the most-preferred
+feasible parent, where "preferred" is the single knob distinguishing
+STAR (shallowest), CHAIN (deepest) and MAX_AVB (most spare capacity).
+The adaptive builder overrides the saturation handler to interleave
+the adjusting procedure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.attributes import NodeId
+from repro.core.cost import AggregationMap, CostModel
+from repro.trees.model import MonitoringTree, NodeDemand
+
+
+@dataclass
+class TreeBuildRequest:
+    """Everything needed to construct one collection tree.
+
+    Parameters
+    ----------
+    attributes:
+        The partition set the tree will deliver.
+    demands:
+        ``{node: {attribute: weight}}`` -- each candidate member's local
+        contribution.  Nodes with empty demand are not candidates.
+    capacities:
+        Capacity slice allocated to this tree per node.  Builders read
+        the mapping live, so an on-demand allocator may share one
+        mutable view across trees.
+    central_capacity:
+        Collector-side capacity available to this tree's root message.
+    aggregation:
+        Optional in-network aggregation specs.
+    msg_weights:
+        Optional per-node message weights (frequency extension);
+        defaults to 1.0 everywhere.
+    """
+
+    attributes: frozenset
+    demands: Dict[NodeId, NodeDemand]
+    capacities: Mapping[NodeId, float]
+    central_capacity: float = math.inf
+    aggregation: Optional[AggregationMap] = None
+    msg_weights: Optional[Mapping[NodeId, float]] = None
+
+    def msg_weight(self, node: NodeId) -> float:
+        if self.msg_weights is None:
+            return 1.0
+        return self.msg_weights.get(node, 1.0)
+
+
+@dataclass
+class TreeBuildResult:
+    """A constructed tree plus the candidates that did not fit."""
+
+    tree: MonitoringTree
+    excluded: List[NodeId] = field(default_factory=list)
+
+    @property
+    def included_count(self) -> int:
+        return len(self.tree)
+
+    @property
+    def excluded_count(self) -> int:
+        return len(self.excluded)
+
+
+class GreedyTreeBuilder:
+    """Template-method greedy builder.
+
+    Subclasses override :meth:`parent_preference` to order candidate
+    parents, and may override :meth:`on_saturated` to attempt recovery
+    (the adaptive builder's adjusting procedure) before a node is
+    declared excluded.
+    """
+
+    #: How many candidate parents to try per insertion; ``None`` scans
+    #: every feasible-looking node in preference order.
+    max_parent_candidates: Optional[int] = None
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost = cost_model
+
+    # -- extension points ------------------------------------------------
+    def parent_preference(self, tree: MonitoringTree, parent: NodeId) -> tuple:
+        """Sort key for candidate parents; lower sorts first."""
+        raise NotImplementedError
+
+    def on_saturated(
+        self,
+        tree: MonitoringTree,
+        request: TreeBuildRequest,
+        node: NodeId,
+        failed_parents: List[NodeId],
+    ) -> bool:
+        """Called when ``node`` fits under no parent.  Return ``True`` if
+        the tree was restructured and the insertion should be retried."""
+        return False
+
+    # -- template --------------------------------------------------------
+    def insertion_order(self, request: TreeBuildRequest) -> List[NodeId]:
+        """Candidates ordered by decreasing allocated capacity.
+
+        Ties break on node id for determinism.
+        """
+        candidates = [n for n, d in request.demands.items() if d]
+        return sorted(
+            candidates,
+            key=lambda n: (-request.capacities.get(n, 0.0), n),
+        )
+
+    def build(self, request: TreeBuildRequest) -> TreeBuildResult:
+        """Construct a tree for ``request`` and report exclusions."""
+        tree = MonitoringTree(
+            attributes=request.attributes,
+            cost_model=self.cost,
+            capacities=request.capacities,
+            central_capacity=request.central_capacity,
+            aggregation=request.aggregation,
+        )
+        excluded: List[NodeId] = []
+        for node in self.insertion_order(request):
+            if not self._insert(tree, request, node):
+                excluded.append(node)
+        return TreeBuildResult(tree=tree, excluded=excluded)
+
+    # -- helpers -----------------------------------------------------------
+    def _insert(self, tree: MonitoringTree, request: TreeBuildRequest, node: NodeId) -> bool:
+        demand = request.demands[node]
+        msgw = request.msg_weight(node)
+        if len(tree) == 0:
+            return tree.add_node(node, None, demand, msgw)
+        entry_cost = tree.entry_cost(demand, msgw)
+        # Payload of the insertion, available to parent_preference
+        # implementations that trade relay depth against headroom.
+        self._inserting_payload = sum(w for w in demand.values() if w > 0)
+        attempts = 0
+        while True:
+            viable = self._ordered_parents(tree, entry_cost)
+            failed: List[NodeId] = []
+            for parent in viable:
+                if tree.add_node(node, parent, demand, msgw):
+                    return True
+                failed.append(parent)
+            attempts += 1
+            if attempts > self._max_retry_rounds():
+                return False
+            # Every node that could not host the insertion -- whether it
+            # failed the cheap headroom pre-filter or the full path walk
+            # -- is congested in the paper's sense.
+            pruned = [p for p in tree.nodes if p not in set(viable)]
+            if not self.on_saturated(tree, request, node, failed + pruned):
+                return False
+
+    def _ordered_parents(self, tree: MonitoringTree, entry_cost: float = 0.0) -> List[NodeId]:
+        # A parent must at least absorb the new child's message on its
+        # receive side; anything with less headroom cannot host it, so
+        # skip the (much costlier) full path walk for those.
+        viable = [p for p in tree.nodes if tree.available(p) >= entry_cost - 1e-9]
+        viable.sort(key=lambda p: self.parent_preference(tree, p))
+        if self.max_parent_candidates is not None:
+            return viable[: self.max_parent_candidates]
+        return viable
+
+    def _max_retry_rounds(self) -> int:
+        return 0

@@ -1,0 +1,21 @@
+"""CHAIN tree construction (Section 3.2.1).
+
+Gives priority to increasing the *height* of the tree: each new node
+attaches to the deepest node with sufficient available capacity.  The
+resulting chain-like trees spread per-message overhead evenly -- every
+node has at most one child -- but every value is relayed many hops, so
+total relay cost is the worst of all schemes (Fig. 4(e), upper-right).
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import NodeId
+from repro.trees.base import GreedyTreeBuilder
+from repro.trees.model import MonitoringTree
+
+
+class ChainTreeBuilder(GreedyTreeBuilder):
+    """Attach to the highest-depth feasible node (ties: most spare capacity)."""
+
+    def parent_preference(self, tree: MonitoringTree, parent: NodeId) -> tuple:
+        return (-tree.depth(parent), -tree.available(parent), parent)

@@ -1,0 +1,33 @@
+"""MAX_AVB tree construction -- the TMON heuristic baseline.
+
+Re-implementation of the heuristic from Kashyap et al., "Efficient
+Trees for Continuous Monitoring" (TMON), as the paper uses it in
+Fig. 7: always attach the new node to the existing node with the most
+available capacity.  This avoids over-stretching the tree in breadth
+or height and works well under light load, but degrades under heavy
+load because it ignores relay cost entirely.
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import NodeId
+from repro.trees.base import GreedyTreeBuilder
+from repro.trees.model import MonitoringTree
+
+
+class MaxAvailableTreeBuilder(GreedyTreeBuilder):
+    """Attach to *the* node with the most available capacity.
+
+    Faithful to TMON's one-line rule: exactly one candidate parent is
+    considered per insertion.  When the max-available node cannot host
+    the newcomer (typically because the path to the root cannot absorb
+    the extra relay load), the node is excluded -- the blindness to
+    relay cost that degrades this heuristic under heavy workloads in
+    Fig. 7.
+    """
+
+    #: TMON considers a single attachment point per insertion.
+    max_parent_candidates = 1
+
+    def parent_preference(self, tree: MonitoringTree, parent: NodeId) -> tuple:
+        return (-tree.available(parent), tree.depth(parent), parent)

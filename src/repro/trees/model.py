@@ -1,0 +1,710 @@
+"""The monitoring tree data structure.
+
+This module implements the bookkeeping that every tree-construction
+scheme relies on: for each member node the number of values it
+forwards (``y_i`` in Problem Statement 2, generalized to fractional
+*weights* for the heterogeneous-frequency extension and to per-metric
+*funnel functions* for in-network aggregation), its message send cost
+``u_i = C*w_i + a*y_i``, its receive cost (the sum of its children's
+send costs), and the resulting capacity usage, all maintained
+incrementally so that feasibility of attaching a node or moving a
+branch can be checked in ``O(depth * |attributes|)``.
+
+Capacity semantics (Problem Statement 2, constraint 1): for every
+member node ``i``, ``send(i) + recv(i) <= capacity(i)``, where
+``capacity(i)`` is the slice of node ``i``'s budget allocated to this
+tree.  The tree root additionally charges the central collector
+``send(root)`` against the tree's ``central_capacity`` slice.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.attributes import AttributeId, NodeId
+from repro.core.cost import AggregationKind, AggregationMap, AggregationSpec, CostModel
+
+#: A node's local contribution to a tree: ``{attribute: weight}`` where
+#: weight is the expected number of values per collection period (1.0
+#: unless the frequency extension scales it down).
+NodeDemand = Dict[AttributeId, float]
+
+#: Tolerance for floating-point capacity comparisons.
+EPSILON = 1e-9
+
+
+class TreeInvariantError(AssertionError):
+    """Raised by :meth:`MonitoringTree.validate` when bookkeeping drifts."""
+
+
+class _Content:
+    """Outgoing message content: per-attribute value weights + message weight.
+
+    ``msg_weight`` is the expected number of messages per collection
+    period (1.0 for ordinary nodes; the frequency extension can lower
+    a leaf's weight, and a relay inherits the max over itself and its
+    children because it must forward whenever anything arrives).
+    """
+
+    __slots__ = ("values", "msg_weight")
+
+    def __init__(self, values: Optional[Dict[AttributeId, float]] = None, msg_weight: float = 0.0):
+        self.values = values if values is not None else {}
+        self.msg_weight = msg_weight
+
+    def total(self) -> float:
+        return sum(self.values.values())
+
+
+class MonitoringTree:
+    """One collection tree for a set of attributes.
+
+    Parameters
+    ----------
+    attributes:
+        The partition set this tree delivers.
+    cost_model:
+        The shared ``C + a*x`` model.
+    capacities:
+        Allocated capacity slice per node for *this* tree.  Nodes not in
+        the mapping cannot join.  The mapping is read live, so an
+        on-demand allocator can update it between attachments.
+    central_capacity:
+        Capacity slice at the central collector available to this
+        tree's root message.
+    aggregation:
+        Optional per-attribute aggregation specs (Section 6.1).
+        Attributes absent from the map are holistic.
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[AttributeId],
+        cost_model: CostModel,
+        capacities: Mapping[NodeId, float],
+        central_capacity: float = math.inf,
+        aggregation: Optional[AggregationMap] = None,
+    ) -> None:
+        self.attributes = frozenset(attributes)
+        if not self.attributes:
+            raise ValueError("a monitoring tree must deliver at least one attribute")
+        self.cost = cost_model
+        self.capacities = capacities
+        self.central_capacity = central_capacity
+        self._agg: Dict[AttributeId, AggregationSpec] = {}
+        for attr, spec in (aggregation or {}).items():
+            if attr in self.attributes and spec.kind not in (
+                AggregationKind.HOLISTIC,
+                AggregationKind.DISTINCT,
+            ):
+                self._agg[attr] = spec
+
+        self._parent: Dict[NodeId, Optional[NodeId]] = {}
+        self._children: Dict[NodeId, Set[NodeId]] = {}
+        self._depth: Dict[NodeId, int] = {}
+        self._local: Dict[NodeId, NodeDemand] = {}
+        self._local_msgw: Dict[NodeId, float] = {}
+        # Incoming per-attribute weights (local + children outputs).
+        self._in: Dict[NodeId, Dict[AttributeId, float]] = {}
+        # Cached outgoing content (funnel applied) and costs.
+        self._out: Dict[NodeId, _Content] = {}
+        self._send: Dict[NodeId, float] = {}
+        self._recv: Dict[NodeId, float] = {}
+        self._root: Optional[NodeId] = None
+        self._pair_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._parent
+
+    @property
+    def root(self) -> Optional[NodeId]:
+        """The tree root (sends directly to the central collector)."""
+        return self._root
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """Member nodes in no particular order."""
+        return list(self._parent)
+
+    def parent(self, node: NodeId) -> Optional[NodeId]:
+        """Parent of ``node`` (``None`` for the root)."""
+        return self._parent[node]
+
+    def children(self, node: NodeId) -> Set[NodeId]:
+        """Children of ``node`` (a copy)."""
+        return set(self._children[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Number of children of ``node``."""
+        return len(self._children[node])
+
+    def depth(self, node: NodeId) -> int:
+        """Hops from the root (root = 0)."""
+        return self._depth[node]
+
+    def height(self) -> int:
+        """Maximum node depth (empty tree: -1)."""
+        return max(self._depth.values()) if self._depth else -1
+
+    def local_demand(self, node: NodeId) -> NodeDemand:
+        """The node's own contribution (a copy)."""
+        return dict(self._local[node])
+
+    def send_cost(self, node: NodeId) -> float:
+        """``u_i``: cost of the node's periodic update message(s)."""
+        return self._send[node]
+
+    def recv_cost(self, node: NodeId) -> float:
+        """Cost of receiving all children's update messages."""
+        return self._recv[node]
+
+    def used(self, node: NodeId) -> float:
+        """Total capacity consumed at ``node`` by this tree."""
+        return self._send[node] + self._recv[node]
+
+    def available(self, node: NodeId) -> float:
+        """Remaining allocated capacity at ``node`` for this tree."""
+        return self.capacities.get(node, 0.0) - self.used(node)
+
+    def central_used(self) -> float:
+        """Cost charged to the central collector by this tree's root."""
+        if self._root is None:
+            return 0.0
+        return self._send[self._root]
+
+    def outgoing_values(self, node: NodeId) -> float:
+        """``y_i``: total value weight in the node's update message."""
+        return self._out[node].total()
+
+    def message_weight(self, node: NodeId) -> float:
+        """Expected messages per period sent by ``node``."""
+        return self._out[node].msg_weight
+
+    def pair_count(self) -> int:
+        """Number of node-attribute pairs this tree collects."""
+        return self._pair_count
+
+    def subtree_nodes(self, node: NodeId) -> List[NodeId]:
+        """All nodes in the subtree rooted at ``node`` (preorder)."""
+        result: List[NodeId] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self._children[current])
+        return result
+
+    def subtree_size(self, node: NodeId) -> int:
+        """Number of nodes in the subtree rooted at ``node``."""
+        return len(self.subtree_nodes(node))
+
+    def edges(self) -> Set[Tuple[NodeId, NodeId]]:
+        """All ``(child, parent)`` edges; the root edge uses parent ``-1``."""
+        result: Set[Tuple[NodeId, NodeId]] = set()
+        for node, parent in self._parent.items():
+            result.add((node, parent if parent is not None else -1))
+        return result
+
+    def total_message_cost(self) -> float:
+        """Send-side cost per period summed over all members.
+
+        This is the tree's contribution to the paper's ``C_cur`` --
+        the volume of monitoring traffic per unit time -- used by the
+        adaptation throttling formula.
+        """
+        return sum(self._send.values())
+
+    # ------------------------------------------------------------------
+    # Funnel helpers
+    # ------------------------------------------------------------------
+    def _funnel(self, attr: AttributeId, incoming: float) -> float:
+        spec = self._agg.get(attr)
+        if spec is None or incoming <= 0.0:
+            return max(incoming, 0.0)
+        if spec.kind is AggregationKind.TOP_K:
+            return min(float(spec.k), incoming)
+        # SUM/MAX/MIN/AVG/COUNT collapse to one partial result; when the
+        # incoming weight is already below one message-worth of values
+        # (fractional frequencies) nothing can be saved.
+        return min(1.0, incoming)
+
+    def _compute_out(self, node: NodeId) -> _Content:
+        incoming = self._in[node]
+        values = {}
+        for attr, weight in incoming.items():
+            out = self._funnel(attr, weight)
+            if out > 0.0:
+                values[attr] = out
+        msgw = self._local_msgw[node]
+        for child in self._children[node]:
+            msgw = max(msgw, self._out[child].msg_weight)
+        return _Content(values, msgw)
+
+    def _send_cost_of(self, content: _Content) -> float:
+        if content.msg_weight <= 0.0:
+            return 0.0
+        return self.cost.per_message * content.msg_weight + self.cost.per_value * content.total()
+
+    # ------------------------------------------------------------------
+    # Structural mutation
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node: NodeId,
+        parent: Optional[NodeId],
+        demand: NodeDemand,
+        msg_weight: float = 1.0,
+        check: bool = True,
+    ) -> bool:
+        """Attach ``node`` under ``parent`` (``None`` => become the root).
+
+        Returns ``True`` on success.  With ``check=True`` the attachment
+        is refused (returning ``False``) if it would violate any
+        capacity constraint along the path to the collector; with
+        ``check=False`` it is applied unconditionally (used by tests and
+        by callers that have already validated).
+        """
+        if node in self._parent:
+            raise ValueError(f"node {node} is already in the tree")
+        unknown = set(demand) - self.attributes
+        if unknown:
+            raise ValueError(
+                f"demand for node {node} names attributes outside the tree: {sorted(unknown)}"
+            )
+        if any(w < 0 for w in demand.values()):
+            raise ValueError(f"demand weights must be >= 0 for node {node}")
+        if msg_weight <= 0:
+            raise ValueError(f"msg_weight must be > 0, got {msg_weight}")
+        if parent is None:
+            if self._root is not None:
+                raise ValueError("tree already has a root; attach under an existing node")
+        elif parent not in self._parent:
+            raise ValueError(f"parent {parent} is not in the tree")
+
+        demand = {a: w for a, w in demand.items() if w > 0}
+        content = _Content(
+            {a: self._funnel(a, w) for a, w in demand.items()},
+            msg_weight,
+        )
+        content.values = {a: w for a, w in content.values.items() if w > 0}
+        if check and not self._attach_feasible(content, parent, extra_node=(node, demand)):
+            return False
+
+        self._parent[node] = parent
+        self._children[node] = set()
+        self._depth[node] = 0 if parent is None else self._depth[parent] + 1
+        self._local[node] = dict(demand)
+        self._local_msgw[node] = msg_weight
+        self._in[node] = dict(demand)
+        self._out[node] = content
+        self._send[node] = self._send_cost_of(content)
+        self._recv[node] = 0.0
+        self._pair_count += len(demand)
+        if parent is None:
+            self._root = node
+        else:
+            self._children[parent].add(node)
+            self._propagate_child_change(parent, None, self._out[node], child=node)
+        return True
+
+    def entry_cost(self, demand: NodeDemand, msg_weight: float = 1.0) -> float:
+        """Send cost of the message a new leaf with ``demand`` would emit.
+
+        This is also the *minimum* capacity any prospective parent must
+        have available (its receive-side share), which makes it a sound
+        pre-filter before the full path feasibility walk.
+        """
+        content = _Content(
+            {a: self._funnel(a, w) for a, w in demand.items() if w > 0}, msg_weight
+        )
+        return self._send_cost_of(content)
+
+    def can_add_node(self, node: NodeId, parent: Optional[NodeId], demand: NodeDemand, msg_weight: float = 1.0) -> bool:
+        """Feasibility of :meth:`add_node` without mutating."""
+        if node in self._parent:
+            return False
+        demand = {a: w for a, w in demand.items() if w > 0}
+        content = _Content({a: self._funnel(a, w) for a, w in demand.items()}, msg_weight)
+        return self._attach_feasible(content, parent, extra_node=(node, demand))
+
+    def update_local(
+        self,
+        node: NodeId,
+        demand: NodeDemand,
+        msg_weight: Optional[float] = None,
+        check: bool = True,
+    ) -> bool:
+        """Replace ``node``'s local contribution in place.
+
+        Used by DIRECT-APPLY adaptation to add or drop attribute values
+        at a member node without touching the tree structure.  With
+        ``check=True`` the mutation is reverted and ``False`` returned
+        if it would overflow any node on the path to the collector.
+        An empty ``demand`` leaves the node as a pure relay.
+        """
+        if node not in self._parent:
+            raise ValueError(f"node {node} is not in the tree")
+        unknown = set(demand) - self.attributes
+        if unknown:
+            raise ValueError(
+                f"demand for node {node} names attributes outside the tree: {sorted(unknown)}"
+            )
+        if any(w < 0 for w in demand.values()):
+            raise ValueError(f"demand weights must be >= 0 for node {node}")
+        new_demand = {a: w for a, w in demand.items() if w > 0}
+        new_msgw = self._local_msgw[node] if msg_weight is None else msg_weight
+        if new_msgw <= 0:
+            raise ValueError(f"msg_weight must be > 0, got {new_msgw}")
+        old_demand = dict(self._local[node])
+        old_msgw = self._local_msgw[node]
+        if new_demand == old_demand and new_msgw == old_msgw:
+            return True
+        self._apply_local(node, new_demand, new_msgw)
+        if check and not self._path_within_capacity(node):
+            self._apply_local(node, old_demand, old_msgw)
+            return False
+        self._pair_count += len(new_demand) - len(old_demand)
+        return True
+
+    def _apply_local(self, node: NodeId, demand: NodeDemand, msgw: float) -> None:
+        old_out = self._out[node]
+        self._local[node] = dict(demand)
+        self._local_msgw[node] = msgw
+        incoming: Dict[AttributeId, float] = dict(demand)
+        for child in self._children[node]:
+            for attr, weight in self._out[child].values.items():
+                incoming[attr] = incoming.get(attr, 0.0) + weight
+        self._in[node] = incoming
+        new_out = self._compute_out(node)
+        self._out[node] = new_out
+        self._send[node] = self._send_cost_of(new_out)
+        parent = self._parent[node]
+        if parent is not None:
+            self._propagate_child_change(parent, old_out, new_out, child=node)
+
+    def _path_within_capacity(self, node: NodeId) -> bool:
+        current: Optional[NodeId] = node
+        while current is not None:
+            if self.used(current) > self.capacities.get(current, 0.0) + EPSILON:
+                return False
+            current = self._parent[current]
+        return self.central_used() <= self.central_capacity + EPSILON
+
+    def remove_branch(self, branch_root: NodeId) -> List[Tuple[NodeId, Optional[NodeId], NodeDemand, float]]:
+        """Detach the subtree rooted at ``branch_root``.
+
+        Returns the removed nodes as ``(node, parent, demand,
+        msg_weight)`` records in preorder (so replaying ``add_node`` in
+        order reconstructs the branch).  Parent of the branch root is
+        reported as ``None`` in the records.
+        """
+        if branch_root not in self._parent:
+            raise ValueError(f"node {branch_root} is not in the tree")
+        parent = self._parent[branch_root]
+        branch_out = self._out[branch_root]
+        order = self.subtree_nodes(branch_root)
+        records = []
+        for node in order:
+            node_parent = self._parent[node]
+            records.append(
+                (
+                    node,
+                    None if node == branch_root else node_parent,
+                    dict(self._local[node]),
+                    self._local_msgw[node],
+                )
+            )
+        if parent is not None:
+            self._children[parent].discard(branch_root)
+            self._propagate_child_change(parent, branch_out, None, child=branch_root)
+        else:
+            self._root = None
+        for node in order:
+            self._pair_count -= len(self._local[node])
+            for table in (
+                self._parent,
+                self._children,
+                self._depth,
+                self._local,
+                self._local_msgw,
+                self._in,
+                self._out,
+                self._send,
+                self._recv,
+            ):
+                del table[node]
+        return records
+
+    def move_branch(self, branch_root: NodeId, new_parent: NodeId, check: bool = True) -> bool:
+        """Re-attach the subtree at ``branch_root`` under ``new_parent``.
+
+        Returns ``True`` on success.  With ``check=True``, if the move
+        would violate a capacity constraint the tree is restored to its
+        prior state and ``False`` is returned.  Moving a branch under
+        one of its own descendants, under itself, or detaching the root
+        is rejected with ``ValueError``.
+        """
+        if branch_root not in self._parent:
+            raise ValueError(f"node {branch_root} is not in the tree")
+        if new_parent not in self._parent:
+            raise ValueError(f"new parent {new_parent} is not in the tree")
+        old_parent = self._parent[branch_root]
+        if old_parent is None:
+            raise ValueError("cannot move the tree root")
+        if new_parent == old_parent:
+            return True
+        branch_nodes = set(self.subtree_nodes(branch_root))
+        if new_parent in branch_nodes:
+            raise ValueError(
+                f"cannot attach branch {branch_root} under its own descendant {new_parent}"
+            )
+
+        branch_out = self._out[branch_root]
+        # Phase 1: detach from the old parent (always feasible).
+        self._children[old_parent].discard(branch_root)
+        self._propagate_child_change(old_parent, branch_out, None, child=branch_root)
+        self._parent[branch_root] = None
+
+        # Phase 2: check and attach under the new parent.
+        if check and not self._attach_feasible(branch_out, new_parent):
+            # Roll back.
+            self._parent[branch_root] = old_parent
+            self._children[old_parent].add(branch_root)
+            self._propagate_child_change(old_parent, None, branch_out, child=branch_root)
+            return False
+        self._parent[branch_root] = new_parent
+        self._children[new_parent].add(branch_root)
+        self._propagate_child_change(new_parent, None, branch_out, child=branch_root)
+        self._refresh_depths(branch_root)
+        return True
+
+    def can_move_branch(self, branch_root: NodeId, new_parent: NodeId) -> bool:
+        """Feasibility of :meth:`move_branch` without permanent mutation."""
+        if branch_root not in self._parent or new_parent not in self._parent:
+            return False
+        old_parent = self._parent[branch_root]
+        if old_parent is None:
+            return False
+        if new_parent == old_parent:
+            return True
+        if new_parent in set(self.subtree_nodes(branch_root)):
+            return False
+        moved = self.move_branch(branch_root, new_parent, check=True)
+        if moved:
+            # Undo: move back is always feasible (it was the prior state).
+            restored = self.move_branch(branch_root, old_parent, check=False)
+            assert restored
+        return moved
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refresh_depths(self, branch_root: NodeId) -> None:
+        parent = self._parent[branch_root]
+        base = 0 if parent is None else self._depth[parent] + 1
+        stack = [(branch_root, base)]
+        while stack:
+            node, depth = stack.pop()
+            self._depth[node] = depth
+            for child in self._children[node]:
+                stack.append((child, depth + 1))
+
+    def _propagate_child_change(
+        self,
+        start: NodeId,
+        old_child_out: Optional[_Content],
+        new_child_out: Optional[_Content],
+        child: NodeId,
+    ) -> None:
+        """Update ``_in``/``_out``/``_send``/``_recv`` from ``start`` up to the root
+        after ``child``'s outgoing content changed from ``old`` to ``new``."""
+        node: Optional[NodeId] = start
+        old_out = old_child_out
+        new_out = new_child_out
+        while node is not None:
+            incoming = self._in[node]
+            if old_out is not None:
+                for attr, weight in old_out.values.items():
+                    remaining = incoming.get(attr, 0.0) - weight
+                    if remaining <= EPSILON and attr not in self._local[node] and all(
+                        attr not in self._out[c].values for c in self._children[node]
+                    ):
+                        incoming.pop(attr, None)
+                    else:
+                        incoming[attr] = max(remaining, 0.0)
+            if new_out is not None:
+                for attr, weight in new_out.values.items():
+                    incoming[attr] = incoming.get(attr, 0.0) + weight
+            prior_out = self._out[node]
+            prior_send = self._send[node]
+            # recv delta at this node: the changed child's message cost.
+            recv_delta = 0.0
+            if old_out is not None:
+                recv_delta -= self._send_cost_of(old_out)
+            if new_out is not None:
+                recv_delta += self._send_cost_of(new_out)
+            self._recv[node] += recv_delta
+            if self._recv[node] < 0.0:
+                self._recv[node] = 0.0
+
+            updated = self._compute_out(node)
+            self._out[node] = updated
+            self._send[node] = self._send_cost_of(updated)
+
+            old_out = prior_out
+            new_out = updated
+            child = node
+            node = self._parent[node]
+
+    def _attach_feasible(
+        self,
+        content: _Content,
+        parent: Optional[NodeId],
+        extra_node: Optional[Tuple[NodeId, NodeDemand]] = None,
+    ) -> bool:
+        """Would attaching a message source with ``content`` under
+        ``parent`` keep every constraint satisfied?
+
+        ``extra_node`` is set when the source is a brand-new node (not a
+        branch already accounted for); its own send cost is then checked
+        against its capacity too.
+        """
+        new_msg_cost = self._send_cost_of(content)
+        if extra_node is not None:
+            node, _demand = extra_node
+            if new_msg_cost > self.capacities.get(node, 0.0) + EPSILON:
+                return False
+        if parent is None:
+            # Becoming the root: the collector receives the message.
+            return new_msg_cost <= self.central_capacity + EPSILON
+
+        # Walk up the path simulating per-attribute funnel deltas.
+        delta_values = dict(content.values)
+        delta_msgw = content.msg_weight
+        node: Optional[NodeId] = parent
+        child_msg_delta = new_msg_cost  # recv delta at `parent` = whole new message
+        while node is not None:
+            incoming = self._in[node]
+            out = self._out[node].values
+            new_delta_values: Dict[AttributeId, float] = {}
+            send_values_delta = 0.0
+            for attr, dw in delta_values.items():
+                if dw <= 0.0:
+                    continue
+                before = out.get(attr, 0.0)
+                after = self._funnel(attr, incoming.get(attr, 0.0) + dw)
+                change = after - before
+                if change > EPSILON:
+                    new_delta_values[attr] = change
+                    send_values_delta += change
+            out_msgw = self._out[node].msg_weight
+            new_msgw = max(out_msgw, self._local_msgw[node], delta_msgw)
+            msgw_delta = new_msgw - out_msgw
+            send_delta = self.cost.per_value * send_values_delta + self.cost.per_message * msgw_delta
+            projected = self._send[node] + send_delta + self._recv[node] + child_msg_delta
+            if projected > self.capacities.get(node, 0.0) + EPSILON:
+                return False
+            # Prepare deltas seen by this node's parent.
+            child_msg_delta = send_delta
+            delta_values = new_delta_values
+            delta_msgw = new_msgw  # parent's max over children uses absolute weight
+            parent_of = self._parent[node]
+            if parent_of is None:
+                # The root's message grows; the collector must absorb it.
+                if self.central_used() + send_delta > self.central_capacity + EPSILON:
+                    return False
+            node = parent_of
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Recompute all bookkeeping from scratch and compare.
+
+        Raises :class:`TreeInvariantError` on any drift or constraint
+        violation.  Intended for tests and debugging; it is O(n * m).
+        """
+        if not self._parent:
+            return
+        roots = [n for n, p in self._parent.items() if p is None]
+        if len(roots) != 1 or roots[0] != self._root:
+            raise TreeInvariantError(f"expected exactly one root, found {roots}")
+        # Acyclicity + depth correctness via BFS from the root.
+        seen = {self._root}
+        frontier = [self._root]
+        if self._depth[self._root] != 0:
+            raise TreeInvariantError("root depth must be 0")
+        while frontier:
+            node = frontier.pop()
+            for child in self._children[node]:
+                if child in seen:
+                    raise TreeInvariantError(f"cycle detected at node {child}")
+                if self._parent[child] != node:
+                    raise TreeInvariantError(f"parent pointer mismatch at {child}")
+                if self._depth[child] != self._depth[node] + 1:
+                    raise TreeInvariantError(f"depth mismatch at {child}")
+                seen.add(child)
+                frontier.append(child)
+        if seen != set(self._parent):
+            raise TreeInvariantError("orphan nodes disconnected from the root")
+
+        # Recompute contents bottom-up.
+        order = self.subtree_nodes(self._root)
+        for node in reversed(order):
+            incoming: Dict[AttributeId, float] = dict(self._local[node])
+            msgw = self._local_msgw[node]
+            recv = 0.0
+            for child in self._children[node]:
+                for attr, weight in self._out[child].values.items():
+                    incoming[attr] = incoming.get(attr, 0.0) + weight
+                recv += self._send[child]
+                msgw = max(msgw, self._out[child].msg_weight)
+            for attr, weight in incoming.items():
+                cached = self._in[node].get(attr, 0.0)
+                if abs(cached - weight) > 1e-6:
+                    raise TreeInvariantError(
+                        f"incoming weight drift at {node}/{attr}: cached {cached}, actual {weight}"
+                    )
+            expected_out = {
+                attr: self._funnel(attr, weight) for attr, weight in incoming.items()
+            }
+            expected_out = {a: w for a, w in expected_out.items() if w > 0}
+            cached_out = self._out[node].values
+            if set(expected_out) != {a for a, w in cached_out.items() if w > 1e-9}:
+                raise TreeInvariantError(f"outgoing attr set drift at {node}")
+            for attr, weight in expected_out.items():
+                if abs(cached_out.get(attr, 0.0) - weight) > 1e-6:
+                    raise TreeInvariantError(f"outgoing weight drift at {node}/{attr}")
+            if abs(self._out[node].msg_weight - msgw) > 1e-6:
+                raise TreeInvariantError(f"message weight drift at {node}")
+            if abs(self._recv[node] - recv) > 1e-6:
+                raise TreeInvariantError(
+                    f"recv drift at {node}: cached {self._recv[node]}, actual {recv}"
+                )
+            expected_send = self._send_cost_of(self._out[node])
+            if abs(self._send[node] - expected_send) > 1e-6:
+                raise TreeInvariantError(
+                    f"send drift at {node}: cached {self._send[node]}, actual {expected_send}"
+                )
+            if self.used(node) > self.capacities.get(node, 0.0) + 1e-6:
+                raise TreeInvariantError(
+                    f"capacity violated at {node}: used {self.used(node)}, "
+                    f"capacity {self.capacities.get(node, 0.0)}"
+                )
+        if self.central_used() > self.central_capacity + 1e-6:
+            raise TreeInvariantError(
+                f"central capacity violated: {self.central_used()} > {self.central_capacity}"
+            )
+        expected_pairs = sum(len(d) for d in self._local.values())
+        if expected_pairs != self._pair_count:
+            raise TreeInvariantError(
+                f"pair count drift: cached {self._pair_count}, actual {expected_pairs}"
+            )

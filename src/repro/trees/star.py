@@ -1,0 +1,21 @@
+"""STAR tree construction (Section 3.2.1).
+
+Gives priority to increasing the *breadth* of the tree: each new node
+attaches to the shallowest node with sufficient available capacity.
+The resulting bushy trees pay minimal relay cost -- values travel few
+hops -- but concentrate per-message overhead at the root, which limits
+how large the tree can grow (Fig. 4(e), upper-left).
+"""
+
+from __future__ import annotations
+
+from repro.core.attributes import NodeId
+from repro.trees.base import GreedyTreeBuilder
+from repro.trees.model import MonitoringTree
+
+
+class StarTreeBuilder(GreedyTreeBuilder):
+    """Attach to the lowest-depth feasible node (ties: most spare capacity)."""
+
+    def parent_preference(self, tree: MonitoringTree, parent: NodeId) -> tuple:
+        return (tree.depth(parent), -tree.available(parent), parent)

@@ -1,0 +1,89 @@
+"""Task-update streams for the runtime adaptation experiments.
+
+Section 7.1 ("Runtime adaptation") emulates a dynamic environment by
+continuously modifying a small portion of the live tasks: each update
+batch randomly selects 5% of the monitoring nodes and replaces 50% of
+their monitored attributes.  :class:`TaskUpdateStream` reproduces that
+protocol against a :class:`~repro.core.tasks.TaskManager`-compatible
+task list, emitting batches of ``("modify", task)`` operations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from repro.cluster.node import Cluster
+from repro.core.tasks import MonitoringTask
+
+
+class TaskUpdateStream:
+    """Generates batches of task modifications (the paper's protocol).
+
+    Parameters
+    ----------
+    cluster:
+        The deployment (supplies each node's observable attributes).
+    tasks:
+        The initial task set; batches mutate this working copy.
+    node_fraction:
+        Fraction of monitoring nodes touched per batch (paper: 0.05).
+    attr_fraction:
+        Fraction of each touched task's attributes replaced (paper: 0.5).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        tasks: Iterable[MonitoringTask],
+        node_fraction: float = 0.05,
+        attr_fraction: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < node_fraction <= 1.0:
+            raise ValueError(f"node_fraction must be in (0, 1], got {node_fraction}")
+        if not 0.0 < attr_fraction <= 1.0:
+            raise ValueError(f"attr_fraction must be in (0, 1], got {attr_fraction}")
+        self.cluster = cluster
+        self.tasks: List[MonitoringTask] = list(tasks)
+        if not self.tasks:
+            raise ValueError("update stream needs at least one initial task")
+        self.node_fraction = node_fraction
+        self.attr_fraction = attr_fraction
+        self.rng = random.Random(seed)
+        pool = set()
+        for node in cluster:
+            pool |= node.attributes
+        self._attribute_pool = sorted(pool)
+
+    def next_batch(self) -> List[Tuple[str, MonitoringTask]]:
+        """One update batch: ``("modify", new_task)`` operations.
+
+        Tasks touching any of the selected nodes get ``attr_fraction``
+        of their attributes swapped for fresh ones drawn from the
+        cluster-wide pool.
+        """
+        n_touch = max(1, int(self.node_fraction * len(self.cluster)))
+        touched_nodes = set(self.rng.sample(self.cluster.node_ids, n_touch))
+        ops: List[Tuple[str, MonitoringTask]] = []
+        for index, task in enumerate(self.tasks):
+            if not (task.nodes & touched_nodes):
+                continue
+            new_task = self._rewrite(task)
+            if new_task is not None and new_task.attributes != task.attributes:
+                self.tasks[index] = new_task
+                ops.append(("modify", new_task))
+        return ops
+
+    def _rewrite(self, task: MonitoringTask) -> Optional[MonitoringTask]:
+        attrs = sorted(task.attributes)
+        n_replace = max(1, int(self.attr_fraction * len(attrs)))
+        keep = set(attrs)
+        for attr in self.rng.sample(attrs, min(n_replace, len(attrs))):
+            keep.discard(attr)
+        replacements = [a for a in self._attribute_pool if a not in task.attributes]
+        self.rng.shuffle(replacements)
+        new_attrs = set(keep) | set(replacements[:n_replace])
+        if not new_attrs:
+            return None
+        return MonitoringTask(task.task_id, new_attrs, task.nodes, task.frequency)

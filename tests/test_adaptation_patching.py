@@ -1,0 +1,109 @@
+"""Tests for DIRECT-APPLY's in-place topology patching semantics."""
+
+import pytest
+
+from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
+from repro.core.attributes import NodeAttributePair
+from repro.core.cost import CostModel
+from repro.core.tasks import MonitoringTask
+
+COST = CostModel(per_message=4.0, per_value=1.0)
+
+
+def service(cluster):
+    return AdaptiveMonitoringService(
+        cluster, COST, strategy=AdaptationStrategy.DIRECT_APPLY
+    )
+
+
+class TestMinimalChange:
+    def test_pair_addition_changes_few_edges(self, small_cluster):
+        svc = service(small_cluster)
+        svc.initialize([MonitoringTask("t", ["a"], range(6))], now=0.0)
+        report = svc.apply_changes(
+            [("add", MonitoringTask("extra", ["a", "b"], [0]))], now=1.0
+        )
+        # Grafting pair (0, b) creates at most a handful of edges; a
+        # rebuild would have rewired everything.
+        assert report.adaptation_messages <= 4
+
+    def test_pair_removal_changes_few_edges(self, small_cluster):
+        svc = service(small_cluster)
+        svc.initialize(
+            [
+                MonitoringTask("t", ["a"], range(6)),
+                MonitoringTask("x", ["a", "b"], [0, 1]),
+            ],
+            now=0.0,
+        )
+        report = svc.apply_changes([("remove", MonitoringTask("x", ["a", "b"], [0, 1]))], now=1.0)
+        assert report.adaptation_messages <= 6
+        assert NodeAttributePair(0, "b") not in svc.plan.pairs
+
+    def test_removed_pairs_leave_trees(self, small_cluster):
+        svc = service(small_cluster)
+        svc.initialize(
+            [
+                MonitoringTask("keep", ["a"], range(6)),
+                MonitoringTask("drop", ["b"], range(6)),
+            ],
+            now=0.0,
+        )
+        svc.apply_changes([("remove", MonitoringTask("drop", ["b"], range(6)))], now=1.0)
+        collected = svc.plan.collected_pairs()
+        assert all(p.attribute != "b" for p in collected)
+        svc.plan.validate(
+            {n.node_id: n.capacity for n in small_cluster},
+            small_cluster.central_capacity,
+        )
+
+    def test_added_attribute_gets_singleton_tree(self, small_cluster):
+        svc = service(small_cluster)
+        svc.initialize([MonitoringTask("t", ["a"], range(6))], now=0.0)
+        svc.apply_changes([("add", MonitoringTask("n", ["c"], range(6)))], now=1.0)
+        assert frozenset({"c"}) in set(svc.plan.partition.sets)
+
+    def test_patched_plan_never_violates_capacity(self, tight_cluster):
+        svc = service(tight_cluster)
+        svc.initialize(
+            [MonitoringTask("t", ["a", "b"], range(20))], now=0.0
+        )
+        caps = {n.node_id: n.capacity for n in tight_cluster}
+        for step, task in enumerate(
+            [
+                MonitoringTask("u1", ["c"], range(10)),
+                MonitoringTask("u2", ["d"], range(5, 15)),
+                MonitoringTask("t", ["a"], range(20)),  # modify: drop b
+            ]
+        ):
+            op = "modify" if task.task_id == "t" else "add"
+            svc.apply_changes([(op, task)], now=float(step + 1))
+            svc.plan.validate(caps, tight_cluster.central_capacity)
+
+    def test_collected_never_exceeds_requested(self, small_cluster):
+        svc = service(small_cluster)
+        svc.initialize(
+            [MonitoringTask("t", ["a", "b"], range(6))], now=0.0
+        )
+        svc.apply_changes(
+            [("modify", MonitoringTask("t", ["a", "c"], range(3)))], now=1.0
+        )
+        assert svc.plan.collected_pairs() <= set(svc.plan.pairs)
+
+    def test_unobservable_additions_ignored(self, small_cluster):
+        svc = service(small_cluster)
+        svc.initialize([MonitoringTask("t", ["a"], range(6))], now=0.0)
+        # Attribute zzz is not observable anywhere: pairs must be clipped.
+        svc.apply_changes([("add", MonitoringTask("bogus", ["zzz"], [0]))], now=1.0)
+        assert all(p.attribute != "zzz" for p in svc.plan.pairs)
+
+    def test_report_snapshot_not_aliased(self, small_cluster):
+        """The edge diff must reflect actual changes even though D-A
+        mutates the previous plan's tree objects in place."""
+        svc = service(small_cluster)
+        svc.initialize([MonitoringTask("t", ["a"], range(6))], now=0.0)
+        report = svc.apply_changes(
+            [("modify", MonitoringTask("t", ["a"], range(3)))], now=1.0
+        )
+        # Three nodes left the tree: at least those edges changed.
+        assert report.adaptation_messages >= 3

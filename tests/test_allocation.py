@@ -1,0 +1,113 @@
+"""Unit tests for cross-tree capacity allocation policies."""
+
+import pytest
+
+from repro.core.allocation import (
+    AllocationPolicy,
+    CapacityLedger,
+    build_order,
+    preallocate,
+)
+from repro.core.partition import Partition
+
+S_A = frozenset({"a"})
+S_B = frozenset({"b"})
+S_CD = frozenset({"c", "d"})
+
+
+class TestBuildOrder:
+    def test_ordered_builds_smallest_first(self):
+        part = Partition([S_A, S_B, S_CD])
+        volumes = {S_A: 50, S_B: 5, S_CD: 20}
+        order = build_order(AllocationPolicy.ORDERED, part, volumes)
+        assert order == [S_B, S_CD, S_A]
+
+    def test_other_policies_are_deterministic(self):
+        part = Partition([S_B, S_A])
+        for policy in (AllocationPolicy.UNIFORM, AllocationPolicy.ON_DEMAND):
+            assert build_order(policy, part, {}) == build_order(policy, part, {})
+
+    def test_is_sequential_flags(self):
+        assert AllocationPolicy.ON_DEMAND.is_sequential
+        assert AllocationPolicy.ORDERED.is_sequential
+        assert not AllocationPolicy.UNIFORM.is_sequential
+        assert not AllocationPolicy.PROPORTIONAL.is_sequential
+
+
+class TestPreallocate:
+    def test_uniform_divides_equally(self):
+        part = Partition([S_A, S_B])
+        slices = preallocate(
+            AllocationPolicy.UNIFORM,
+            part,
+            participation={7: [S_A, S_B]},
+            capacities={7: 100.0},
+            set_volumes={S_A: 10, S_B: 90},
+            node_volumes={(7, S_A): 1, (7, S_B): 9},
+        )
+        assert slices[S_A][7] == pytest.approx(50.0)
+        assert slices[S_B][7] == pytest.approx(50.0)
+
+    def test_proportional_follows_node_volumes(self):
+        part = Partition([S_A, S_B])
+        slices = preallocate(
+            AllocationPolicy.PROPORTIONAL,
+            part,
+            participation={7: [S_A, S_B]},
+            capacities={7: 100.0},
+            set_volumes={S_A: 10, S_B: 90},
+            node_volumes={(7, S_A): 1, (7, S_B): 3},
+        )
+        assert slices[S_A][7] == pytest.approx(25.0)
+        assert slices[S_B][7] == pytest.approx(75.0)
+
+    def test_slices_sum_to_capacity(self):
+        part = Partition([S_A, S_B, S_CD])
+        slices = preallocate(
+            AllocationPolicy.UNIFORM,
+            part,
+            participation={1: [S_A, S_B, S_CD], 2: [S_A]},
+            capacities={1: 60.0, 2: 10.0},
+            set_volumes={},
+            node_volumes={},
+        )
+        total_1 = sum(slices[s].get(1, 0.0) for s in part.sets)
+        assert total_1 == pytest.approx(60.0)
+        assert slices[S_A][2] == pytest.approx(10.0)
+
+    def test_sequential_policy_rejected(self):
+        with pytest.raises(ValueError):
+            preallocate(
+                AllocationPolicy.ON_DEMAND,
+                Partition([S_A]),
+                {},
+                {},
+                {},
+                {},
+            )
+
+
+class TestCapacityLedger:
+    def test_view_snapshot_does_not_shrink_mid_build(self):
+        ledger = CapacityLedger({1: 50.0}, central_capacity=100.0)
+        view = ledger.view()
+        ledger.charge({1: 20.0}, central_usage=10.0)
+        assert view[1] == pytest.approx(50.0)
+        assert ledger.remaining(1) == pytest.approx(30.0)
+
+    def test_charge_accumulates(self):
+        ledger = CapacityLedger({1: 50.0}, central_capacity=100.0)
+        ledger.charge({1: 20.0}, 5.0)
+        ledger.charge({1: 10.0}, 5.0)
+        assert ledger.remaining(1) == pytest.approx(20.0)
+        assert ledger.central_remaining == pytest.approx(90.0)
+
+    def test_remaining_clamped_at_zero(self):
+        ledger = CapacityLedger({1: 10.0}, central_capacity=5.0)
+        ledger.charge({1: 100.0}, 100.0)
+        assert ledger.remaining(1) == 0.0
+        assert ledger.central_remaining == 0.0
+
+    def test_unknown_node_has_zero(self):
+        ledger = CapacityLedger({}, central_capacity=1.0)
+        assert ledger.remaining(42) == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for node-attribute pair primitives."""
+
+import pytest
+
+from repro.core.attributes import (
+    NodeAttributePair,
+    attributes_of,
+    group_by_attribute,
+    group_by_node,
+    nodes_of,
+    pairs_for,
+)
+
+
+class TestNodeAttributePair:
+    def test_fields(self):
+        pair = NodeAttributePair(3, "cpu")
+        assert pair.node == 3
+        assert pair.attribute == "cpu"
+
+    def test_as_tuple(self):
+        assert NodeAttributePair(1, "mem").as_tuple() == (1, "mem")
+
+    def test_hashable_and_equal(self):
+        assert NodeAttributePair(1, "a") == NodeAttributePair(1, "a")
+        assert len({NodeAttributePair(1, "a"), NodeAttributePair(1, "a")}) == 1
+
+    def test_distinct_nodes_differ(self):
+        assert NodeAttributePair(1, "a") != NodeAttributePair(2, "a")
+
+    def test_ordering_is_total(self):
+        pairs = [NodeAttributePair(2, "a"), NodeAttributePair(1, "b"), NodeAttributePair(1, "a")]
+        ordered = sorted(pairs)
+        assert ordered[0] == NodeAttributePair(1, "a")
+        assert ordered[-1] == NodeAttributePair(2, "a")
+
+    def test_immutable(self):
+        pair = NodeAttributePair(0, "a")
+        with pytest.raises(AttributeError):
+            pair.node = 5
+
+
+class TestHelpers:
+    def test_pairs_for_is_cross_product(self):
+        pairs = pairs_for([1, 2], ["a", "b"])
+        assert len(pairs) == 4
+        assert NodeAttributePair(2, "b") in pairs
+
+    def test_pairs_for_empty_nodes(self):
+        assert pairs_for([], ["a"]) == set()
+
+    def test_attributes_of(self):
+        pairs = pairs_for([1, 2], ["a", "b"])
+        assert attributes_of(pairs) == {"a", "b"}
+
+    def test_nodes_of(self):
+        pairs = pairs_for([1, 2], ["a"])
+        assert nodes_of(pairs) == {1, 2}
+
+    def test_group_by_attribute(self):
+        pairs = pairs_for([1, 2], ["a"]) | {NodeAttributePair(3, "b")}
+        grouped = group_by_attribute(pairs)
+        assert grouped["a"] == {1, 2}
+        assert grouped["b"] == {3}
+
+    def test_group_by_node(self):
+        pairs = pairs_for([1], ["a", "b"]) | {NodeAttributePair(2, "a")}
+        grouped = group_by_node(pairs)
+        assert grouped[1] == {"a", "b"}
+        assert grouped[2] == {"a"}

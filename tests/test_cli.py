@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.nodes == 64
+        assert args.scheme == "remo"
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--scheme", "bogus"])
+
+    def test_adapt_strategy_choices(self):
+        args = build_parser().parse_args(["adapt", "--strategy", "rebuild"])
+        assert args.strategy == "rebuild"
+
+
+class TestCommands:
+    def test_plan_runs_and_prints_summary(self, capsys):
+        rc = main(
+            ["plan", "--nodes", "16", "--tasks", "4", "--scheme", "singleton", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "coverage" in out
+        assert "trees" in out
+
+    def test_plan_remo_small(self, capsys):
+        rc = main(["plan", "--nodes", "12", "--tasks", "3", "--pool", "8", "--seed", "5"])
+        assert rc == 0
+        assert "remo plan" in capsys.readouterr().out
+
+    def test_simulate_reports_error_metric(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--nodes", "12", "--tasks", "3", "--pool", "8",
+                "--scheme", "singleton", "--periods", "5", "--seed", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mean % error" in out
+        assert "messages sent" in out
+
+    def test_adapt_runs_batches(self, capsys):
+        rc = main(
+            [
+                "adapt",
+                "--nodes", "12", "--tasks", "4", "--pool", "8",
+                "--batches", "2", "--strategy", "direct_apply", "--seed", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "direct_apply over 2 update batches" in out

@@ -1,0 +1,73 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda t: fired.append(("b", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        queue.run_until(3.0)
+        assert fired == [("a", 1.0), ("b", 2.0)]
+
+    def test_same_time_fires_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "xyz":
+            queue.schedule(1.0, lambda t, n=name: fired.append(n))
+        queue.run_until(1.0)
+        assert fired == ["x", "y", "z"]
+
+    def test_run_until_leaves_later_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append(1))
+        queue.schedule(5.0, lambda t: fired.append(5))
+        assert queue.run_until(2.0) == 1
+        assert fired == [1]
+        assert len(queue) == 1
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda t: fired.append("nope"))
+        event.cancel()
+        queue.run_until(2.0)
+        assert fired == []
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 3:
+                queue.schedule(t + 1, chain)
+
+        queue.schedule(1.0, chain)
+        queue.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_scheduling_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        queue.run_until(5.0)
+        with pytest.raises(ValueError):
+            queue.schedule(1.0, lambda t: None)
+
+    def test_run_all_with_limit(self):
+        queue = EventQueue()
+        for i in range(10):
+            queue.schedule(float(i), lambda t: None)
+        assert queue.run_all(max_events=4) == 4
+        assert len(queue) == 6
+
+    def test_now_tracks_last_fired(self):
+        queue = EventQueue()
+        queue.schedule(3.5, lambda t: None)
+        queue.run_until(4.0)
+        assert queue.now == pytest.approx(4.0)

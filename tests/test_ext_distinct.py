@@ -1,0 +1,77 @@
+"""Tests for the sampling-based DISTINCT cardinality estimator."""
+
+import random
+
+import pytest
+
+from repro.core.cost import AggregationKind, AggregationSpec
+from repro.ext.distinct import DistinctEstimator, KMVSketch
+
+
+class TestKMVSketch:
+    def test_exact_below_k(self):
+        sketch = KMVSketch(k=32)
+        for v in range(10):
+            sketch.add(float(v))
+        assert sketch.estimate() == pytest.approx(10.0)
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = KMVSketch(k=32)
+        for _ in range(100):
+            sketch.add(42.0)
+        assert sketch.estimate() == pytest.approx(1.0)
+        assert sketch.observations == 100
+
+    def test_estimate_accuracy_at_scale(self):
+        sketch = KMVSketch(k=256)
+        rng = random.Random(7)
+        truth = 5000
+        values = [float(i) for i in range(truth)]
+        rng.shuffle(values)
+        for v in values:
+            sketch.add(v)
+        estimate = sketch.estimate()
+        assert truth * 0.75 <= estimate <= truth * 1.25
+
+    def test_empty_sketch(self):
+        assert KMVSketch().estimate() == 0.0
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(ValueError):
+            KMVSketch(k=1)
+
+
+class TestDistinctEstimator:
+    def test_cardinality_none_before_observations(self):
+        assert DistinctEstimator().cardinality("x") is None
+
+    def test_observe_many(self):
+        est = DistinctEstimator(k=64)
+        est.observe_many("x", [1.0, 2.0, 3.0, 1.0])
+        assert est.cardinality("x") == pytest.approx(3.0)
+
+    def test_refine_tightens_distinct(self):
+        est = DistinctEstimator(k=64)
+        est.observe_many("d", [1.0, 2.0, 3.0])
+        agg = {"d": AggregationSpec(AggregationKind.DISTINCT)}
+        refined = est.refine(agg, safety_factor=1.5)
+        spec = refined["d"]
+        assert spec.kind is AggregationKind.TOP_K
+        assert spec.k == 5  # ceil(1.5 * 3)
+        # The refined funnel beats the holistic bound for large fan-in.
+        assert spec.funnel(100) < 100
+
+    def test_refine_keeps_unobserved_holistic(self):
+        est = DistinctEstimator()
+        agg = {"d": AggregationSpec(AggregationKind.DISTINCT)}
+        refined = est.refine(agg)
+        assert refined["d"].kind is AggregationKind.DISTINCT
+
+    def test_refine_passes_other_kinds_through(self):
+        est = DistinctEstimator()
+        agg = {"s": AggregationSpec(AggregationKind.SUM)}
+        assert est.refine(agg)["s"].kind is AggregationKind.SUM
+
+    def test_refine_rejects_bad_safety(self):
+        with pytest.raises(ValueError):
+            DistinctEstimator().refine({}, safety_factor=0.5)

@@ -1,0 +1,84 @@
+"""Tests for the network-aware planning extension."""
+
+import pytest
+
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.core.planner import RemoPlanner
+from repro.ext.network import NetworkModel, forwarding_cost, network_cost_fn
+
+COST = CostModel(4.0, 1.0)
+
+
+class TestNetworkModel:
+    def test_uniform_is_one_hop(self):
+        net = NetworkModel.uniform()
+        assert net.distance(1, 2) == 1.0
+        assert net.distance(3, 3) == 0.0
+        assert net.distance(5, -1) == 1.0
+
+    def test_ring_distances(self):
+        net = NetworkModel.ring(10)
+        assert net.distance(0, 1) == pytest.approx(1.0)
+        assert net.distance(0, 5) == pytest.approx(5.0)
+        assert net.distance(0, 9) == pytest.approx(1.0)  # shorter arc
+
+    def test_grid_manhattan(self):
+        net = NetworkModel.grid(width=4)
+        assert net.distance(0, 5) == pytest.approx(2.0)  # (0,0)->(1,1)
+        assert net.distance(0, -1) == pytest.approx(0.0)  # collector at (0,0)
+
+    def test_negative_distance_rejected(self):
+        net = NetworkModel(lambda a, b: -1.0)
+        with pytest.raises(ValueError):
+            net.distance(0, 1)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel.ring(0)
+        with pytest.raises(ValueError):
+            NetworkModel.grid(0)
+
+
+class TestForwardingCost:
+    def plan_for(self, cluster):
+        pairs = pairs_for(range(6), ["a"])
+        return ForestBuilder(COST).build(Partition.one_set(["a"]), pairs, cluster)
+
+    def test_uniform_network_costs_nothing_extra(self, small_cluster):
+        plan = self.plan_for(small_cluster)
+        assert forwarding_cost(plan, NetworkModel.uniform()) == pytest.approx(0.0)
+
+    def test_long_paths_cost_more(self, small_cluster):
+        plan = self.plan_for(small_cluster)
+        near = forwarding_cost(plan, NetworkModel.uniform(hops=1.0))
+        far = forwarding_cost(plan, NetworkModel.uniform(hops=3.0))
+        assert far > near
+
+    def test_cost_fn_adds_forwarding(self, small_cluster):
+        plan = self.plan_for(small_cluster)
+        fn = network_cost_fn(NetworkModel.uniform(hops=3.0))
+        assert fn(plan) > plan.total_message_cost()
+
+
+class TestNetworkAwarePlanning:
+    def test_planner_accepts_cost_fn(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        net = NetworkModel.ring(6)
+        planner = RemoPlanner(COST, plan_cost_fn=network_cost_fn(net))
+        plan = planner.plan(pairs, small_cluster)
+        assert plan.coverage() > 0
+
+    def test_network_awareness_reduces_forwarding(self, small_cluster):
+        """At equal coverage, the network-aware planner's plan should
+        never cause more forwarding than the oblivious one."""
+        pairs = pairs_for(range(6), ["a", "b", "c"])
+        net = NetworkModel.ring(6, collector_position=0.0)
+        oblivious = RemoPlanner(COST).plan(pairs, small_cluster)
+        aware = RemoPlanner(COST, plan_cost_fn=network_cost_fn(net)).plan(
+            pairs, small_cluster
+        )
+        if aware.collected_pair_count() == oblivious.collected_pair_count():
+            assert forwarding_cost(aware, net) <= forwarding_cost(oblivious, net) + 1e-6

@@ -1,0 +1,137 @@
+"""Unit tests for the forest builder (resource-aware evaluation)."""
+
+import pytest
+
+from repro.core.allocation import AllocationPolicy
+from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+
+COST = CostModel(2.0, 1.0)
+
+
+def build(partition, pairs, cluster, **kwargs):
+    allocation = kwargs.pop("allocation", AllocationPolicy.ORDERED)
+    builder = ForestBuilder(COST, allocation=allocation, **kwargs)
+    return builder.build(partition, pairs, cluster)
+
+
+class TestBasicForest:
+    def test_one_tree_per_partition_set(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        plan = build(Partition([{"a"}, {"b"}]), pairs, small_cluster)
+        assert plan.tree_count() == 2
+
+    def test_full_coverage_with_generous_capacity(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b", "c"])
+        plan = build(Partition.one_set(["a", "b", "c"]), pairs, small_cluster)
+        assert plan.coverage() == pytest.approx(1.0)
+
+    def test_partition_must_cover_pairs(self, small_cluster):
+        pairs = pairs_for(range(3), ["a", "z"])
+        with pytest.raises(ValueError):
+            build(Partition([{"a"}]), pairs, small_cluster)
+
+    def test_cross_tree_capacity_respected(self, tight_cluster):
+        pairs = pairs_for(range(20), ["a", "b", "c", "d"])
+        plan = build(Partition.singletons(["a", "b", "c", "d"]), pairs, tight_cluster)
+        plan.validate(
+            {n.node_id: n.capacity for n in tight_cluster},
+            tight_cluster.central_capacity,
+        )
+
+    @pytest.mark.parametrize("policy", list(AllocationPolicy))
+    def test_every_policy_yields_valid_plans(self, tight_cluster, policy):
+        pairs = pairs_for(range(20), ["a", "b", "c"])
+        plan = build(
+            Partition([{"a"}, {"b", "c"}]), pairs, tight_cluster, allocation=policy
+        )
+        plan.validate(
+            {n.node_id: n.capacity for n in tight_cluster},
+            tight_cluster.central_capacity,
+        )
+
+    def test_pair_weights_validated(self, small_cluster):
+        pairs = pairs_for(range(2), ["a"])
+        with pytest.raises(ValueError):
+            ForestBuilder(COST).build(
+                Partition([{"a"}]),
+                pairs,
+                small_cluster,
+                pair_weights={NodeAttributePair(0, "a"): 2.0},
+            )
+
+    def test_pair_weights_reduce_traffic(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        partition = Partition([{"a"}])
+        full = build(partition, pairs, small_cluster)
+        slow = ForestBuilder(COST).build(
+            partition,
+            pairs,
+            small_cluster,
+            pair_weights={p: 0.5 for p in pairs},
+            msg_weights={n: 0.5 for n in range(6)},
+        )
+        assert slow.total_message_cost() < full.total_message_cost()
+
+
+class TestKeepSemantics:
+    def test_kept_trees_are_carried_verbatim(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        partition = Partition([{"a"}, {"b"}])
+        first = build(partition, pairs, small_cluster)
+        kept = {frozenset({"a"}): first.trees[frozenset({"a"})]}
+        second = ForestBuilder(COST).build(
+            partition, pairs, small_cluster, keep=kept
+        )
+        assert second.trees[frozenset({"a"})] is kept[frozenset({"a"})]
+
+    def test_keep_requires_sequential_allocation(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        partition = Partition([{"a"}])
+        first = build(partition, pairs, small_cluster)
+        with pytest.raises(ValueError):
+            ForestBuilder(COST, allocation=AllocationPolicy.UNIFORM).build(
+                partition, pairs, small_cluster, keep=dict(first.trees)
+            )
+
+    def test_keep_with_unknown_set_rejected(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        partition = Partition([{"a"}])
+        first = build(partition, pairs, small_cluster)
+        with pytest.raises(ValueError):
+            ForestBuilder(COST).build(
+                partition,
+                pairs,
+                small_cluster,
+                keep={frozenset({"zzz"}): first.trees[frozenset({"a"})]},
+            )
+
+    def test_kept_usage_charged_before_new_trees(self, tight_cluster):
+        """The dirty tree must fit in what the kept trees left over."""
+        pairs = pairs_for(range(20), ["a", "b"])
+        partition = Partition([{"a"}, {"b"}])
+        first = build(partition, pairs, tight_cluster)
+        kept = {frozenset({"a"}): first.trees[frozenset({"a"})]}
+        second = ForestBuilder(COST).build(
+            partition, pairs, tight_cluster, keep=kept
+        )
+        second.validate(
+            {n.node_id: n.capacity for n in tight_cluster},
+            tight_cluster.central_capacity,
+        )
+
+
+class TestAllocationComparison:
+    def test_ordered_at_least_as_good_as_uniform(self, tight_cluster):
+        """Fig. 11's qualitative claim on constrained clusters."""
+        pairs = pairs_for(range(20), ["a", "b", "c", "d"])
+        partition = Partition([{"a"}, {"b"}, {"c", "d"}])
+        ordered = build(
+            partition, pairs, tight_cluster, allocation=AllocationPolicy.ORDERED
+        )
+        uniform = build(
+            partition, pairs, tight_cluster, allocation=AllocationPolicy.UNIFORM
+        )
+        assert ordered.collected_pair_count() >= uniform.collected_pair_count()

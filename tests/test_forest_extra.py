@@ -1,0 +1,84 @@
+"""Additional forest-builder coverage: pre-divided central slices,
+builder substitution, and aggregation plumbing."""
+
+import pytest
+
+from repro.core.allocation import AllocationPolicy
+from repro.core.attributes import pairs_for
+from repro.core.cost import AggregationKind, AggregationSpec, CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.trees.chain import ChainTreeBuilder
+from repro.trees.star import StarTreeBuilder
+
+COST = CostModel(2.0, 1.0)
+
+
+class TestPredividedCentral:
+    def test_uniform_splits_collector_evenly(self, tight_cluster):
+        pairs = pairs_for(range(20), ["a", "b"])
+        plan = ForestBuilder(COST, allocation=AllocationPolicy.UNIFORM).build(
+            Partition([{"a"}, {"b"}]), pairs, tight_cluster
+        )
+        # Each tree's root message must fit half the collector budget.
+        half = tight_cluster.central_capacity / 2
+        for result in plan.trees.values():
+            assert result.tree.central_used() <= half + 1e-9
+
+    def test_proportional_weights_by_volume(self, tight_cluster):
+        # Attribute "a" requested on all 20 nodes, "b" on none after
+        # clipping... use uneven pair sets instead.
+        pairs = pairs_for(range(20), ["a"]) | pairs_for(range(4), ["b"])
+        plan = ForestBuilder(COST, allocation=AllocationPolicy.PROPORTIONAL).build(
+            Partition([{"a"}, {"b"}]), pairs, tight_cluster
+        )
+        plan.validate(
+            {n.node_id: n.capacity for n in tight_cluster},
+            tight_cluster.central_capacity,
+        )
+        big = plan.trees[frozenset({"a"})].tree
+        small = plan.trees[frozenset({"b"})].tree
+        # The big set's tree gets the larger collector slice, hence can
+        # deliver at least as many pairs.
+        assert big.pair_count() >= small.pair_count()
+
+
+class TestBuilderSubstitution:
+    @pytest.mark.parametrize("builder_cls", [StarTreeBuilder, ChainTreeBuilder])
+    def test_forest_accepts_any_builder(self, small_cluster, builder_cls):
+        pairs = pairs_for(range(6), ["a", "b"])
+        forest = ForestBuilder(COST, tree_builder=builder_cls(COST))
+        plan = forest.build(Partition([{"a"}, {"b"}]), pairs, small_cluster)
+        assert plan.coverage() == pytest.approx(1.0)
+        for result in plan.trees.values():
+            result.tree.validate()
+
+    def test_chain_forest_is_deeper_than_star_forest(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        star = ForestBuilder(COST, tree_builder=StarTreeBuilder(COST)).build(
+            Partition([{"a"}]), pairs, small_cluster
+        )
+        chain = ForestBuilder(COST, tree_builder=ChainTreeBuilder(COST)).build(
+            Partition([{"a"}]), pairs, small_cluster
+        )
+        assert chain.max_tree_depth() > star.max_tree_depth()
+
+
+class TestAggregationPlumbing:
+    def test_forest_passes_aggregation_to_trees(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        agg = {"a": AggregationSpec(AggregationKind.SUM)}
+        plan = ForestBuilder(COST, aggregation=agg).build(
+            Partition([{"a"}]), pairs, small_cluster
+        )
+        tree = plan.trees[frozenset({"a"})].tree
+        # Root forwards a single partial sum regardless of tree size.
+        assert tree.outgoing_values(tree.root) == pytest.approx(1.0)
+
+    def test_aggregated_forest_carries_less_traffic(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        plain = ForestBuilder(COST).build(Partition([{"a"}]), pairs, small_cluster)
+        agg = ForestBuilder(
+            COST, aggregation={"a": AggregationSpec(AggregationKind.MAX)}
+        ).build(Partition([{"a"}]), pairs, small_cluster)
+        assert agg.total_message_cost() < plain.total_message_cost()

@@ -1,0 +1,110 @@
+"""Fast regression net for the paper's qualitative relationships.
+
+Miniature versions of the figure benchmarks (seconds, not minutes):
+each pins one relationship the full benches measure at scale, so a
+regression in planner or builder behaviour fails the *test* suite, not
+just the slow benchmark run.
+"""
+
+import pytest
+
+from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner
+from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
+from repro.trees.adaptive import AdaptiveTreeBuilder
+from repro.trees.chain import ChainTreeBuilder
+from repro.trees.star import StarTreeBuilder
+from repro.workloads.tasks import TaskSampler
+
+HEAVY = CostModel(per_message=20.0, per_value=1.0)
+
+
+@pytest.fixture(scope="module")
+def arena():
+    cluster = make_uniform_cluster(
+        n_nodes=40,
+        capacity=400.0,
+        attrs_per_node=10,
+        attribute_pool=default_attribute_pool(20),
+        central_capacity=500.0,
+        seed=3,
+    )
+    sampler = TaskSampler(cluster, seed=4)
+    return cluster, sampler
+
+
+def coverages(tasks, cluster, remo_kwargs=None):
+    remo = RemoPlanner(HEAVY, candidate_budget=4, max_iterations=10, **(remo_kwargs or {}))
+    return {
+        "remo": remo.plan(tasks, cluster).coverage(),
+        "sp": SingletonSetPlanner(HEAVY).plan(tasks, cluster).coverage(),
+        "op": OneSetPlanner(HEAVY).plan(tasks, cluster).coverage(),
+    }
+
+
+class TestFig5Shapes:
+    def test_remo_dominates_small_tasks(self, arena):
+        cluster, sampler = arena
+        tasks = sampler.sample_many(10, (1, 3), (5, 15), prefix="s-")
+        cov = coverages(tasks, cluster)
+        assert cov["remo"] >= max(cov["sp"], cov["op"]) - 1e-9
+
+    def test_remo_dominates_large_tasks(self, arena):
+        cluster, sampler = arena
+        tasks = sampler.sample_many(8, (5, 9), (20, 36), prefix="l-")
+        cov = coverages(tasks, cluster)
+        assert cov["remo"] >= max(cov["sp"], cov["op"]) - 1e-9
+
+    def test_sp_beats_op_under_heavy_load(self, arena):
+        """Fig 5b/5d: the single tree saturates first."""
+        cluster, sampler = arena
+        tasks = sampler.sample_many(10, (6, 10), (25, 36), prefix="h-")
+        cov = coverages(tasks, cluster)
+        assert cov["sp"] >= cov["op"] - 1e-9
+
+
+class TestFig6Shapes:
+    def test_growing_overhead_hits_sp_hardest(self, arena):
+        """Fig 6c: SP's retained coverage shrinks faster in C/a."""
+        cluster, sampler = arena
+        tasks = sampler.sample_many(10, (1, 3), (5, 15), prefix="c-")
+        cheap = CostModel(2.0, 1.0)
+        pricey = CostModel(40.0, 1.0)
+        sp_cheap = SingletonSetPlanner(cheap).plan(tasks, cluster).coverage()
+        sp_pricey = SingletonSetPlanner(pricey).plan(tasks, cluster).coverage()
+        op_cheap = OneSetPlanner(cheap).plan(tasks, cluster).coverage()
+        op_pricey = OneSetPlanner(pricey).plan(tasks, cluster).coverage()
+        sp_retained = sp_pricey / max(sp_cheap, 1e-9)
+        op_retained = op_pricey / max(op_cheap, 1e-9)
+        assert sp_retained <= op_retained + 0.05
+
+
+class TestFig7Shapes:
+    def test_adaptive_builder_at_least_matches_star_and_chain(self, arena):
+        cluster, sampler = arena
+        tasks = sampler.sample_many(10, (2, 4), (15, 30), prefix="b-")
+        results = {}
+        for name, cls in [
+            ("adaptive", AdaptiveTreeBuilder),
+            ("star", StarTreeBuilder),
+            ("chain", ChainTreeBuilder),
+        ]:
+            planner = SingletonSetPlanner(HEAVY, tree_builder=cls(HEAVY))
+            results[name] = planner.plan(tasks, cluster).coverage()
+        assert results["adaptive"] >= results["star"] - 0.01
+        assert results["adaptive"] >= results["chain"] - 0.01
+
+
+class TestFig12Shapes:
+    def test_aggregation_awareness_never_hurts(self, arena):
+        from repro.core.cost import AggregationKind
+        from repro.ext.aggregation import uniform_aggregation
+
+        cluster, sampler = arena
+        tasks = sampler.sample_many(10, (2, 4), (15, 30), prefix="g-")
+        attrs = sorted({a for t in tasks for a in t.attributes})
+        agg = uniform_aggregation(attrs, AggregationKind.MAX)
+        base = coverages(tasks, cluster)["remo"]
+        aware = coverages(tasks, cluster, remo_kwargs={"aggregation": agg})["remo"]
+        assert aware >= base - 1e-9

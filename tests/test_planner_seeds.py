@@ -1,0 +1,80 @@
+"""Unit tests for the planner's initialization seed ladder."""
+
+import pytest
+
+from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner, _separate_forbidden
+
+HEAVY = CostModel(10.0, 1.0)
+
+
+def seeds_for(planner, pairs):
+    attrs = frozenset(p.attribute for p in pairs)
+    return planner._seed_partitions(frozenset(pairs), attrs)
+
+
+class TestSeedLadder:
+    def test_includes_one_set(self):
+        planner = RemoPlanner(HEAVY)
+        pairs = pairs_for(range(8), ["a", "b", "c", "d"])
+        seeds = seeds_for(planner, pairs)
+        assert any(len(s) == 1 for s in seeds)
+
+    def test_kway_ladder_sizes(self):
+        planner = RemoPlanner(HEAVY)
+        pairs = pairs_for(range(8), [f"m{i}" for i in range(9)])
+        seeds = seeds_for(planner, pairs)
+        sizes = sorted(len(s) for s in seeds)
+        # one-set plus k = 2, 4, 8 groupings.
+        assert sizes[0] == 1
+        assert 2 in sizes and 4 in sizes and 8 in sizes
+
+    def test_seeds_cover_universe(self):
+        planner = RemoPlanner(HEAVY)
+        pairs = pairs_for(range(8), ["a", "b", "c", "d", "e"])
+        universe = {p.attribute for p in pairs}
+        for seed in seeds_for(planner, pairs):
+            assert set(seed.universe) == universe
+
+    def test_balance_cap_prevents_degeneration(self):
+        """Broadly observed attributes must not all land in one group."""
+        planner = RemoPlanner(HEAVY)
+        # Every attribute observed at every node: identical masks.
+        pairs = pairs_for(range(10), [f"m{i}" for i in range(8)])
+        seeds = seeds_for(planner, pairs)
+        two_way = next(s for s in seeds if len(s) == 2)
+        sizes = sorted(len(group) for group in two_way.sets)
+        assert sizes[0] >= 2  # not 1-vs-7
+
+    def test_single_attribute_has_no_seeds(self):
+        planner = RemoPlanner(HEAVY)
+        pairs = pairs_for(range(4), ["only"])
+        assert seeds_for(planner, pairs) == []
+
+    def test_forbidden_pairs_respected_in_seeds(self):
+        planner = RemoPlanner(
+            HEAVY, forbidden_pairs={frozenset({"a", "a#r1"})}
+        )
+        pairs = pairs_for(range(6), ["a", "a#r1", "b"])
+        for seed in seeds_for(planner, pairs):
+            for group in seed.sets:
+                assert not {"a", "a#r1"} <= set(group)
+
+
+class TestSeparateForbidden:
+    def test_splits_violating_group(self):
+        out = _separate_forbidden([{"a", "b", "c"}], {frozenset({"a", "b"})})
+        assert all(not {"a", "b"} <= g for g in out)
+        assert set().union(*out) == {"a", "b", "c"}
+
+    def test_clean_groups_untouched(self):
+        out = _separate_forbidden([{"a", "b"}], {frozenset({"x", "y"})})
+        assert out == [{"a", "b"}]
+
+    def test_chained_conflicts(self):
+        forbidden = {frozenset({"a", "b"}), frozenset({"b", "c"})}
+        out = _separate_forbidden([{"a", "b", "c"}], forbidden)
+        for g in out:
+            for pair in forbidden:
+                assert not pair <= g

@@ -1,0 +1,70 @@
+"""Tests for ASCII rendering of trees and plans."""
+
+from repro.analysis.render import render_plan, render_tree
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.trees.model import MonitoringTree
+
+COST = CostModel(2.0, 1.0)
+
+
+def small_tree():
+    tree = MonitoringTree(("a",), COST, {i: 100.0 for i in range(4)}, 500.0)
+    tree.add_node(0, None, {"a": 1.0})
+    tree.add_node(1, 0, {"a": 1.0})
+    tree.add_node(2, 0, {"a": 1.0})
+    tree.add_node(3, 1, {"a": 1.0})
+    return tree
+
+
+class TestRenderTree:
+    def test_contains_every_node(self):
+        text = render_tree(small_tree())
+        for node in range(4):
+            assert f"\n" in text
+            assert str(node) in text
+
+    def test_indentation_reflects_depth(self):
+        text = render_tree(small_tree())
+        lines = text.splitlines()
+        root_line = next(l for l in lines if l.strip().startswith("0 "))
+        deep_line = next(l for l in lines if l.strip().startswith("3 "))
+        assert len(deep_line) - len(deep_line.lstrip()) > len(root_line) - len(
+            root_line.lstrip()
+        )
+
+    def test_header_summarizes(self):
+        text = render_tree(small_tree())
+        assert "nodes=4" in text
+        assert "height=2" in text
+
+    def test_truncation(self):
+        tree = MonitoringTree(("a",), COST, {i: 1e6 for i in range(30)}, 1e9)
+        tree.add_node(0, None, {"a": 1.0})
+        for i in range(1, 30):
+            tree.add_node(i, 0, {"a": 1.0})
+        text = render_tree(tree, max_nodes=5)
+        assert "more nodes" in text
+
+    def test_empty_tree(self):
+        tree = MonitoringTree(("a",), COST, {}, 1.0)
+        assert render_tree(tree) == "(empty tree)"
+
+
+class TestRenderPlan:
+    def test_plan_overview(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        plan = ForestBuilder(COST).build(Partition([{"a"}, {"b"}]), pairs, small_cluster)
+        text = render_plan(plan)
+        assert "coverage=" in text
+        assert text.count("[") >= 2  # one line per tree
+
+    def test_plan_truncates_trees(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b", "c"])
+        plan = ForestBuilder(COST).build(
+            Partition.singletons(["a", "b", "c"]), pairs, small_cluster
+        )
+        text = render_plan(plan, max_trees=1)
+        assert "more trees" in text

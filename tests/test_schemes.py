@@ -1,0 +1,89 @@
+"""Unit tests for SINGLETON-SET / ONE-SET baselines and input handling."""
+
+import pytest
+
+from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.cost import CostModel
+from repro.core.schemes import (
+    OneSetPlanner,
+    SingletonSetPlanner,
+    as_pair_set,
+    observable_pairs,
+)
+from repro.core.tasks import MonitoringTask, TaskManager
+
+COST = CostModel(2.0, 1.0)
+
+
+class TestInputNormalization:
+    def test_accepts_task_list(self):
+        tasks = [MonitoringTask("t", ["a"], [1, 2])]
+        assert as_pair_set(tasks) == frozenset(pairs_for([1, 2], ["a"]))
+
+    def test_accepts_task_manager(self):
+        manager = TaskManager([MonitoringTask("t", ["a"], [1])])
+        assert as_pair_set(manager) == frozenset({NodeAttributePair(1, "a")})
+
+    def test_accepts_pairs(self):
+        pairs = pairs_for([1], ["a"])
+        assert as_pair_set(pairs) == frozenset(pairs)
+
+    def test_empty_source(self):
+        assert as_pair_set([]) == frozenset()
+
+    def test_rejects_mixed_garbage(self):
+        with pytest.raises(TypeError):
+            as_pair_set([MonitoringTask("t", ["a"], [1]), "nonsense"])
+
+    def test_observable_pairs_clips_unobservable(self, small_cluster):
+        tasks = [MonitoringTask("t", ["a", "zzz"], [0, 1, 99])]
+        pairs = observable_pairs(tasks, small_cluster)
+        assert pairs == frozenset(pairs_for([0, 1], ["a"]))
+
+
+class TestSingletonSet:
+    def test_one_tree_per_attribute(self, small_cluster):
+        tasks = [MonitoringTask("t", ["a", "b", "c"], range(6))]
+        plan = SingletonSetPlanner(COST).plan(tasks, small_cluster)
+        assert plan.tree_count() == 3
+        assert all(len(s) == 1 for s in plan.partition.sets)
+
+    def test_nodes_send_one_message_per_attribute(self, small_cluster):
+        tasks = [MonitoringTask("t", ["a", "b"], range(6))]
+        plan = SingletonSetPlanner(COST).plan(tasks, small_cluster)
+        # Each node appears in both trees.
+        for result in plan.trees.values():
+            assert len(result.tree) == 6
+
+
+class TestOneSet:
+    def test_single_tree(self, small_cluster):
+        tasks = [MonitoringTask("t", ["a", "b", "c"], range(6))]
+        plan = OneSetPlanner(COST).plan(tasks, small_cluster)
+        assert plan.tree_count() == 1
+
+    def test_cheaper_than_singleton_when_capacity_allows(self, small_cluster):
+        """One big message per node beats many small ones on overhead."""
+        tasks = [MonitoringTask("t", ["a", "b", "c"], range(6))]
+        sp = SingletonSetPlanner(COST).plan(tasks, small_cluster)
+        op = OneSetPlanner(COST).plan(tasks, small_cluster)
+        assert op.coverage() == pytest.approx(1.0)
+        assert op.total_message_cost() < sp.total_message_cost()
+
+    def test_saturates_under_heavy_load(self, tight_cluster):
+        """The paper's OP scalability wall: the single tree cannot grow."""
+        tasks = [MonitoringTask("t", ["a", "b", "c", "d"], range(20))]
+        sp = SingletonSetPlanner(COST).plan(tasks, tight_cluster)
+        op = OneSetPlanner(COST).plan(tasks, tight_cluster)
+        assert op.coverage() < sp.coverage()
+
+
+class TestErrors:
+    def test_empty_workload_rejected(self, small_cluster):
+        with pytest.raises(ValueError):
+            SingletonSetPlanner(COST).plan([], small_cluster)
+
+    def test_unobservable_workload_rejected(self, small_cluster):
+        tasks = [MonitoringTask("t", ["not-an-attr"], [0])]
+        with pytest.raises(ValueError):
+            OneSetPlanner(COST).plan(tasks, small_cluster)

@@ -1,0 +1,114 @@
+"""Unit tests for the adjusting procedure and its Section 5.1 optimizations."""
+
+import math
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.trees.adaptive import AdaptiveTreeBuilder
+from repro.trees.adjust import TreeAdjuster
+from repro.trees.base import TreeBuildRequest
+from repro.trees.model import MonitoringTree
+
+COST = CostModel(per_message=2.0, per_value=1.0)
+
+
+def star_tree(n_children, capacity_root, capacity_leaf=100.0):
+    caps = {0: capacity_root}
+    caps.update({i: capacity_leaf for i in range(1, n_children + 1)})
+    tree = MonitoringTree(("a",), COST, caps, central_capacity=math.inf)
+    tree.add_node(0, None, {"a": 1.0})
+    for i in range(1, n_children + 1):
+        assert tree.add_node(i, 0, {"a": 1.0}), f"failed to attach {i}"
+    return tree
+
+
+@pytest.mark.parametrize(
+    "branch_based,subtree_only",
+    [(False, False), (True, False), (False, True), (True, True)],
+)
+class TestRelieve:
+    def test_relieve_frees_overhead_at_congested_node(self, branch_based, subtree_only):
+        # Root with 4 children at exactly its capacity; relieving must
+        # reduce its branch count by one (freeing C).
+        tree = star_tree(4, capacity_root=sum(COST.message_cost(1) for _ in range(4)) + COST.message_cost(5))
+        used_before = tree.used(0)
+        degree_before = tree.degree(0)
+        adjuster = TreeAdjuster(branch_based=branch_based, subtree_only=subtree_only)
+        relieved = adjuster.relieve(tree, [0], failed_cost=COST.message_cost(1))
+        assert relieved
+        assert tree.degree(0) == degree_before - 1
+        assert tree.used(0) < used_before
+        tree.validate()
+
+    def test_relieve_preserves_node_set(self, branch_based, subtree_only):
+        tree = star_tree(5, capacity_root=1000.0)
+        nodes_before = set(tree.nodes)
+        adjuster = TreeAdjuster(branch_based=branch_based, subtree_only=subtree_only)
+        adjuster.relieve(tree, [0], failed_cost=3.0)
+        assert set(tree.nodes) == nodes_before
+        tree.validate()
+
+    def test_relieve_fails_when_everyone_is_full(self, branch_based, subtree_only):
+        # Leaves have just enough to send their own message, nothing more.
+        tree = star_tree(3, capacity_root=1000.0, capacity_leaf=COST.message_cost(1))
+        adjuster = TreeAdjuster(branch_based=branch_based, subtree_only=subtree_only)
+        assert not adjuster.relieve(tree, [0], failed_cost=3.0)
+        tree.validate()
+
+    def test_relieve_ignores_nodes_not_in_tree(self, branch_based, subtree_only):
+        tree = star_tree(3, capacity_root=1000.0)
+        adjuster = TreeAdjuster(branch_based=branch_based, subtree_only=subtree_only)
+        # Congested list holds an unknown node: nothing to do.
+        result = adjuster.relieve(tree, [777], failed_cost=3.0)
+        assert result in (True, False)
+        tree.validate()
+
+
+class TestOptimizationEquivalence:
+    def test_all_variants_grow_comparable_trees(self):
+        """Optimized adjusting must not cost more than ~2% coverage
+        (the paper reports < 2% penalty)."""
+        results = {}
+        for branch_based, subtree_only in [(False, False), (True, True)]:
+            builder = AdaptiveTreeBuilder(
+                COST,
+                adjuster=TreeAdjuster(branch_based=branch_based, subtree_only=subtree_only),
+            )
+            req = TreeBuildRequest(
+                attributes=frozenset({"a"}),
+                demands={i: {"a": 1.0} for i in range(60)},
+                capacities={i: 16.0 for i in range(60)},
+                central_capacity=500.0,
+            )
+            results[(branch_based, subtree_only)] = len(builder.build(req).tree)
+        basic = results[(False, False)]
+        optimized = results[(True, True)]
+        assert optimized >= basic * 0.9
+
+    def test_probe_count_lower_with_subtree_only(self):
+        def probes(subtree_only):
+            adjuster = TreeAdjuster(branch_based=True, subtree_only=subtree_only)
+            builder = AdaptiveTreeBuilder(COST, adjuster=adjuster)
+            req = TreeBuildRequest(
+                attributes=frozenset({"a"}),
+                demands={i: {"a": 1.0} for i in range(60)},
+                capacities={i: 16.0 for i in range(60)},
+                central_capacity=500.0,
+            )
+            builder.build(req)
+            return adjuster.probe_count
+
+        assert probes(True) <= probes(False)
+
+
+class TestBasicReattachRollback:
+    def test_rollback_restores_original_shape(self):
+        # Root at capacity; leaves too tight to host anything, so the
+        # per-node reattach must fail and restore the branch.
+        tree = star_tree(3, capacity_root=1000.0, capacity_leaf=COST.message_cost(1))
+        edges_before = tree.edges()
+        adjuster = TreeAdjuster(branch_based=False, subtree_only=False)
+        assert not adjuster.relieve(tree, [0], failed_cost=3.0)
+        assert tree.edges() == edges_before
+        tree.validate()

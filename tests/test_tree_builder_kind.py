@@ -1,0 +1,46 @@
+"""Tests for the TreeBuilderKind factory enum."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.trees import (
+    AdaptiveTreeBuilder,
+    ChainTreeBuilder,
+    MaxAvailableTreeBuilder,
+    StarTreeBuilder,
+    TreeBuilderKind,
+)
+
+COST = CostModel(2.0, 1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (TreeBuilderKind.STAR, StarTreeBuilder),
+            (TreeBuilderKind.CHAIN, ChainTreeBuilder),
+            (TreeBuilderKind.MAX_AVB, MaxAvailableTreeBuilder),
+            (TreeBuilderKind.ADAPTIVE, AdaptiveTreeBuilder),
+        ],
+    )
+    def test_create_instantiates_matching_class(self, kind, cls):
+        builder = kind.create(cost_model=COST)
+        assert isinstance(builder, cls)
+        assert builder.cost is COST
+
+    def test_values_are_stable_identifiers(self):
+        assert TreeBuilderKind("adaptive") is TreeBuilderKind.ADAPTIVE
+        assert {k.value for k in TreeBuilderKind} == {
+            "star",
+            "chain",
+            "max_avb",
+            "adaptive",
+        }
+
+    def test_adaptive_kwargs_forwarded(self):
+        builder = TreeBuilderKind.ADAPTIVE.create(
+            cost_model=COST, construction="star", max_adjust_rounds_per_node=1
+        )
+        assert builder.construction == "star"
+        assert builder.max_adjust_rounds_per_node == 1

@@ -1,0 +1,159 @@
+"""Unit tests for STAR / CHAIN / MAX_AVB / ADAPTIVE tree builders."""
+
+import math
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.trees.adaptive import AdaptiveTreeBuilder
+from repro.trees.base import GreedyTreeBuilder, TreeBuildRequest
+from repro.trees.chain import ChainTreeBuilder
+from repro.trees.max_avb import MaxAvailableTreeBuilder
+from repro.trees.star import StarTreeBuilder
+
+COST = CostModel(per_message=2.0, per_value=1.0)
+
+
+def request(n, capacity, attrs=("a",), central=math.inf, per_node_attrs=1):
+    demands = {
+        i: {a: 1.0 for a in list(attrs)[:per_node_attrs]} for i in range(n)
+    }
+    return TreeBuildRequest(
+        attributes=frozenset(attrs),
+        demands=demands,
+        capacities={i: capacity for i in range(n)},
+        central_capacity=central,
+    )
+
+
+ALL_BUILDERS = [
+    StarTreeBuilder,
+    ChainTreeBuilder,
+    MaxAvailableTreeBuilder,
+    AdaptiveTreeBuilder,
+]
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS)
+    def test_all_nodes_fit_with_generous_capacity(self, builder_cls):
+        result = builder_cls(COST).build(request(12, 1000.0))
+        assert len(result.tree) == 12
+        assert result.excluded == []
+        result.tree.validate()
+
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS)
+    def test_capacity_never_violated(self, builder_cls):
+        result = builder_cls(COST).build(request(30, 15.0))
+        result.tree.validate()  # raises on violation
+
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS)
+    def test_excluded_plus_included_covers_candidates(self, builder_cls):
+        result = builder_cls(COST).build(request(30, 15.0))
+        assert len(result.tree) + len(result.excluded) == 30
+
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS)
+    def test_empty_demand_nodes_are_not_candidates(self, builder_cls):
+        req = request(4, 100.0)
+        req.demands[2] = {}
+        result = builder_cls(COST).build(req)
+        assert 2 not in result.tree
+        assert 2 not in result.excluded
+
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS)
+    def test_highest_capacity_node_is_root(self, builder_cls):
+        req = request(5, 50.0)
+        req.capacities = {0: 50.0, 1: 50.0, 2: 80.0, 3: 50.0, 4: 50.0}
+        result = builder_cls(COST).build(req)
+        assert result.tree.root == 2
+
+    @pytest.mark.parametrize("builder_cls", ALL_BUILDERS)
+    def test_central_capacity_limits_tree(self, builder_cls):
+        # Root message: C + a*n <= central => n <= central - C.
+        result = builder_cls(COST).build(request(20, 1000.0, central=7.0))
+        assert result.tree.central_used() <= 7.0 + 1e-9
+        assert len(result.tree) <= 5
+
+
+class TestShapes:
+    def test_star_is_shallow(self):
+        star = StarTreeBuilder(COST).build(request(10, 1000.0)).tree
+        assert star.height() == 1
+
+    def test_chain_is_deep(self):
+        chain = ChainTreeBuilder(COST).build(request(10, 1000.0)).tree
+        assert chain.height() == 9
+
+    def test_star_shallower_than_chain_under_pressure(self):
+        star = StarTreeBuilder(COST).build(request(30, 25.0)).tree
+        chain = ChainTreeBuilder(COST).build(request(30, 25.0)).tree
+        assert star.height() <= chain.height()
+
+    def test_max_avb_prefers_spare_capacity(self):
+        req = request(3, 100.0)
+        req.capacities = {0: 100.0, 1: 90.0, 2: 50.0}
+        tree = MaxAvailableTreeBuilder(COST).build(req).tree
+        # Node 0 is root; node 1 has the most available capacity, so node
+        # 2 (inserted last) attaches under whichever of {0, 1} has more
+        # headroom after 1 joined -- that is node 1... unless the root
+        # retains more. Just assert validity and full inclusion.
+        assert len(tree) == 3
+        tree.validate()
+
+
+class TestAdaptiveBuilder:
+    def test_adaptive_beats_or_matches_star_and_chain(self):
+        req_args = dict(n=40, capacity=18.0)
+        star = StarTreeBuilder(COST).build(request(**req_args)).tree
+        chain = ChainTreeBuilder(COST).build(request(**req_args)).tree
+        adaptive = AdaptiveTreeBuilder(COST).build(request(**req_args)).tree
+        assert len(adaptive) >= max(len(star), len(chain))
+
+    def test_adjusting_trades_overhead_for_relay(self):
+        """With capacity just too small for a star, the adaptive builder
+        must deepen the tree instead of giving up."""
+        star = StarTreeBuilder(COST).build(request(12, 13.0)).tree
+        adaptive = AdaptiveTreeBuilder(COST).build(request(12, 13.0)).tree
+        assert len(adaptive) >= len(star)
+        assert adaptive.height() >= star.height()
+
+    def test_zero_adjust_rounds_is_construction_only(self):
+        """Disabling adjusting keeps validity and cannot beat the full
+        construct/adjust iteration."""
+        plain = AdaptiveTreeBuilder(COST, max_adjust_rounds_per_node=0)
+        full = AdaptiveTreeBuilder(COST)
+        plain_tree = plain.build(request(25, 20.0)).tree
+        full_tree = full.build(request(25, 20.0)).tree
+        plain_tree.validate()
+        assert len(plain_tree) <= len(full_tree)
+
+    def test_rejects_negative_adjust_rounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveTreeBuilder(COST, max_adjust_rounds_per_node=-1)
+
+    def test_result_validates(self):
+        result = AdaptiveTreeBuilder(COST).build(request(50, 16.0))
+        result.tree.validate()
+
+
+class TestBaseBuilder:
+    def test_parent_preference_abstract(self):
+        builder = GreedyTreeBuilder(COST)
+        with pytest.raises(NotImplementedError):
+            builder.parent_preference(None, 0)
+
+    def test_insertion_order_by_capacity_then_id(self):
+        builder = StarTreeBuilder(COST)
+        req = request(4, 10.0)
+        req.capacities = {0: 10.0, 1: 30.0, 2: 30.0, 3: 5.0}
+        assert builder.insertion_order(req) == [1, 2, 0, 3]
+
+    def test_multi_attribute_demands(self):
+        req = TreeBuildRequest(
+            attributes=frozenset({"a", "b"}),
+            demands={0: {"a": 1.0, "b": 1.0}, 1: {"a": 1.0}, 2: {"b": 1.0}},
+            capacities={i: 100.0 for i in range(3)},
+        )
+        result = StarTreeBuilder(COST).build(req)
+        assert result.tree.pair_count() == 4
+        result.tree.validate()

@@ -1,0 +1,73 @@
+"""Tests for the YieldMonitor-like application generator."""
+
+import pytest
+
+from repro.core.schemes import as_pair_set
+from repro.streams.app import build_stream_cluster
+from repro.streams.yieldmonitor import make_yieldmonitor, yieldmonitor_tasks
+
+
+class TestShape:
+    def test_published_deployment_shape(self):
+        """~200+ processes over 200 nodes, 30-50 attributes per node."""
+        app = make_yieldmonitor(n_nodes=200, n_lines=50, seed=11)
+        assert len(app.graph) > 200
+        assert len(app.nodes()) == 200
+        counts = [len(app.node_attributes(n)) for n in app.nodes()]
+        assert min(counts) >= 6  # at least the OS gauges
+        assert 30 <= sum(counts) / len(counts) <= 50 or max(counts) >= 10
+
+    def test_small_shape_for_tests(self):
+        app = make_yieldmonitor(n_nodes=20, n_lines=8, seed=1)
+        assert len(app.nodes()) == 20
+        app.graph.validate()
+
+    def test_deterministic_by_seed(self):
+        a1 = make_yieldmonitor(n_nodes=20, n_lines=8, seed=5)
+        a2 = make_yieldmonitor(n_nodes=20, n_lines=8, seed=5)
+        assert a1.placement == a2.placement
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            make_yieldmonitor(n_nodes=0)
+
+    def test_rates_flow_to_sink(self):
+        app = make_yieldmonitor(n_nodes=10, n_lines=4, seed=2)
+        for _ in range(10):
+            app.step()
+        sink = app.graph.operator("yield_sink")
+        assert sink.rate_in > 0
+
+
+class TestTasks:
+    def test_tasks_reference_real_nodes(self):
+        app = make_yieldmonitor(n_nodes=20, n_lines=8, seed=3)
+        tasks = yieldmonitor_tasks(app, 15, seed=4)
+        assert len(tasks) == 15
+        nodes = set(app.nodes())
+        for task in tasks:
+            assert task.nodes <= nodes
+
+    def test_tasks_have_observable_pairs(self):
+        app = make_yieldmonitor(n_nodes=20, n_lines=8, seed=3)
+        cluster = build_stream_cluster(app, capacity=100.0)
+        tasks = yieldmonitor_tasks(app, 15, seed=4)
+        pairs = as_pair_set(tasks)
+        observable = sum(
+            1
+            for p in pairs
+            if p.node in cluster and cluster.node(p.node).observes(p.attribute)
+        )
+        assert observable > 0
+        assert observable >= len(pairs) * 0.3  # tasks are mostly sensible
+
+    def test_task_ids_unique(self):
+        app = make_yieldmonitor(n_nodes=20, n_lines=8, seed=3)
+        tasks = yieldmonitor_tasks(app, 20, seed=4)
+        ids = [t.task_id for t in tasks]
+        assert len(set(ids)) == len(ids)
+
+    def test_rejects_nonpositive_count(self):
+        app = make_yieldmonitor(n_nodes=10, n_lines=4, seed=1)
+        with pytest.raises(ValueError):
+            yieldmonitor_tasks(app, 0)
