@@ -10,38 +10,21 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    CostModel,
-    MonitoringTask,
     OneSetPlanner,
     RemoPlanner,
     SingletonSetPlanner,
-    make_uniform_cluster,
+    check_plan_for_cluster,
 )
+from repro.workloads.presets import quickstart_workload
 
 def main() -> None:
     # A cluster of 64 nodes; each can spend 300 cost units per period
     # on monitoring I/O and observes 12 of 24 attribute types.  The
     # central collector is finite too -- that is the whole game.
-    cluster = make_uniform_cluster(
-        n_nodes=64,
-        capacity=300.0,
-        attrs_per_node=12,
-        central_capacity=900.0,
-        seed=7,
-    )
-
     # Messages cost C + a*x: a fixed 20-unit per-message overhead plus
     # 1 unit per attribute value carried (Section 2.3 of the paper).
-    cost = CostModel(per_message=20.0, per_value=1.0)
-
-    # Three overlapping monitoring tasks (note the de-duplication:
-    # cpu-ish attributes over overlapping node sets are collected once).
-    pool = sorted({a for node in cluster for a in node.attributes})
-    tasks = [
-        MonitoringTask("dashboard", pool[:3], range(0, 64)),
-        MonitoringTask("debug-tier1", pool[:6], range(0, 24)),
-        MonitoringTask("capacity-planning", pool[3:10], range(16, 56)),
-    ]
+    # The same workload backs ``python -m repro check --preset quickstart``.
+    cluster, cost, tasks = quickstart_workload()
 
     print("Planning with REMO and both baselines...\n")
     planners = {
@@ -66,13 +49,14 @@ def main() -> None:
             f"root {tree.root}, {tree.pair_count()} pairs"
         )
 
-    # Plans are verifiable: this raises if any capacity constraint or
-    # bookkeeping invariant is violated.
-    plan.validate(
-        {node.node_id: node.capacity for node in cluster},
-        cluster.central_capacity,
-    )
-    print("\nplan validated: no node exceeds its capacity budget")
+    # Plans are verifiable: the static verifier recomputes every cost
+    # from scratch and reports REMOxxx diagnostics on any violation
+    # (same engine as ``python -m repro check``).
+    report = check_plan_for_cluster(plan, cluster)
+    if report:
+        print("\n" + report.format(with_hints=True))
+        raise SystemExit(1)
+    print("\nplan verified: all structural and capacity invariants hold")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ Public API overview
 - :mod:`repro.streams` -- System S-like distributed stream substrate.
 - :mod:`repro.ext` -- in-network aggregation, reliability, frequencies.
 - :mod:`repro.workloads` -- synthetic task/update generators.
+- :mod:`repro.checks` -- static plan-invariant verifier (REMOxxx codes).
 
 Quickstart::
 
@@ -28,6 +29,13 @@ Quickstart::
     print(plan.coverage())
 """
 
+from repro.checks import (
+    DiagnosticReport,
+    PlanCheckError,
+    assert_plan_valid,
+    check_plan,
+    check_plan_for_cluster,
+)
 from repro.core.attributes import NodeAttributePair
 from repro.core.cost import AggregationKind, AggregationSpec, CostModel
 from repro.core.tasks import MonitoringTask, TaskManager, TaskSetDelta
@@ -52,17 +60,22 @@ __all__ = [
     "AllocationPolicy",
     "Cluster",
     "CostModel",
+    "DiagnosticReport",
     "MonitoringPlan",
     "MonitoringTask",
     "NodeAttributePair",
     "OneSetPlanner",
     "Partition",
+    "PlanCheckError",
     "RemoPlanner",
     "SimNode",
     "SingletonSetPlanner",
     "TaskManager",
     "TaskSetDelta",
     "TreeBuilderKind",
+    "assert_plan_valid",
+    "check_plan",
+    "check_plan_for_cluster",
     "make_heterogeneous_cluster",
     "make_uniform_cluster",
 ]

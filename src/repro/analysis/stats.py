@@ -34,6 +34,6 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 def relative_change(new: float, baseline: float) -> float:
     """``(new - baseline) / |baseline|`` with a zero-safe denominator."""
-    if baseline == 0.0:
-        return 0.0 if new == 0.0 else math.copysign(math.inf, new)
+    if math.isclose(baseline, 0.0):
+        return 0.0 if math.isclose(new, 0.0) else math.copysign(math.inf, new)
     return (new - baseline) / abs(baseline)

@@ -1,0 +1,76 @@
+"""Adaptation-legality checkers (``REMO3xx``).
+
+The adaptive service reports which merge/split operations its
+restricted local search applied between two reconfigurations.  These
+checks replay that operation sequence on the *pre-step* partition and
+diff the result against the *post-step* partition:
+
+- an operation that names sets absent from the partition it is applied
+  to is illegal (``REMO301``) -- ``Partition.apply`` would reject it,
+  so its presence in an "applied" log means the search corrupted its
+  own state;
+- if the replay succeeds but lands on a different partition than the
+  one the service actually produced, the log and the state diverged
+  (``REMO302``);
+- merge/split moves can only regroup attributes, never invent or
+  retire them, so a universe change between the two partitions is
+  always a bug in the search (``REMO303``) -- workload-driven universe
+  changes happen in the task delta *before* the search runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.checks.diagnostics import DiagnosticReport
+from repro.core.partition import Partition, PartitionOp
+
+
+def check_adaptation_step(
+    before: Partition,
+    after: Partition,
+    ops: Sequence[PartitionOp],
+    report: DiagnosticReport,
+) -> None:
+    """Verify one adaptation step's merge/split trail.
+
+    ``before`` must be the partition the restricted search started
+    from (i.e. *after* any workload-delta trimming/extension), and
+    ``ops`` the operations the search reports having applied, in
+    order.
+    """
+    if before.universe != after.universe:
+        gained = sorted(set(after.universe) - set(before.universe))
+        lost = sorted(set(before.universe) - set(after.universe))
+        report.add(
+            "REMO303",
+            "adaptation",
+            f"universe changed across the step: gained {gained}, lost {lost}",
+        )
+        # Replay on mismatched universes would only cascade errors.
+        return
+
+    current = before
+    for index, op in enumerate(ops):
+        try:
+            current = current.apply(op)
+        except (KeyError, ValueError) as exc:
+            report.add(
+                "REMO301",
+                f"adaptation / op {index}",
+                f"{op.describe()} is illegal on the partition it was "
+                f"applied to: {exc}",
+            )
+            # The trail is broken; later ops would be judged against
+            # the wrong intermediate partition.
+            return
+
+    if current != after:
+        only_replay = [sorted(s) for s in current.sets if s not in after]
+        only_actual = [sorted(s) for s in after.sets if s not in current]
+        report.add(
+            "REMO302",
+            "adaptation",
+            f"replaying {len(ops)} op(s) yields sets {only_replay} where the "
+            f"service produced {only_actual}",
+        )

@@ -1,0 +1,162 @@
+"""Capacity and cost-model checkers (``REMO2xx``).
+
+These checkers trust nothing the trees cache.  Every quantity is
+recomputed from the primitive structure via
+:func:`repro.checks.recompute.recompute_tree`, then
+
+- the recomputation is diffed against the cached bookkeeping
+  (``REMO203`` for costs, ``REMO204`` for pair counts), and
+- the **recomputed** loads are summed across trees and held against
+  the per-node budgets ``b_i`` and the central collector's budget
+  (``REMO201``/``REMO202``) -- so a stale cache can never hide a
+  genuine overload.
+
+Budget comparisons reuse the same ``1e-6`` slack as
+``MonitoringPlan.validate``; cache diffs use a much tighter relative
+tolerance because both sides are derived from the identical floats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from repro.checks.diagnostics import DiagnosticReport
+from repro.checks.recompute import TreeAccounting, recompute_tree
+from repro.core.attributes import NodeId
+from repro.core.partition import AttributeSet
+from repro.trees.model import MonitoringTree
+
+#: Slack for budget feasibility, matching ``MonitoringPlan.validate``.
+BUDGET_TOLERANCE = 1e-6
+#: Tolerance for cached-vs-recomputed drift.  Both sides are computed
+#: from the same primitive floats, so only accumulation-order noise is
+#: acceptable.
+DRIFT_REL_TOL = 1e-9
+DRIFT_ABS_TOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=DRIFT_REL_TOL, abs_tol=DRIFT_ABS_TOL)
+
+
+def _set_label(attr_set: AttributeSet) -> str:
+    inner = ",".join(sorted(attr_set)[:4])
+    if len(attr_set) > 4:
+        inner += ",..."
+    return "tree {" + inner + "}"
+
+
+def check_tree_costs(
+    attr_set: AttributeSet,
+    tree: MonitoringTree,
+    report: DiagnosticReport,
+) -> Optional[TreeAccounting]:
+    """Recompute one tree and diff it against the cached bookkeeping.
+
+    Returns the recomputed accounting (for the budget checks) or
+    ``None`` when the structure cannot be traversed -- the structural
+    checkers report that case separately.
+    """
+    label = _set_label(attr_set)
+
+    # Primitive-input sanity first: a recomputation of garbage demands
+    # would just reproduce the garbage.
+    for node in tree.nodes:
+        for attr, weight in tree.local_demand(node).items():
+            if weight <= 0.0 or not math.isfinite(weight):
+                report.add(
+                    "REMO205",
+                    f"{label} / node {node}",
+                    f"local demand for {attr!r} has invalid weight {weight!r}",
+                )
+        msgw = tree.local_message_weight(node)
+        if msgw < 0.0 or not math.isfinite(msgw):
+            report.add(
+                "REMO205",
+                f"{label} / node {node}",
+                f"invalid local message weight {msgw!r}",
+            )
+
+    try:
+        accounting = recompute_tree(tree)
+    except ValueError:
+        # Structurally unsound; REMO110/111/112 cover it.
+        return None
+
+    if accounting.pair_count != tree.pair_count():
+        report.add(
+            "REMO204",
+            label,
+            f"cached pair count {tree.pair_count()} != recomputed "
+            f"{accounting.pair_count}",
+        )
+
+    for node, acc in accounting.nodes.items():
+        cached_send = tree.send_cost(node)
+        cached_recv = tree.recv_cost(node)
+        cached_values = tree.outgoing_values(node)
+        cached_msgw = tree.message_weight(node)
+        drift = []
+        if not _close(cached_send, acc.send):
+            drift.append(f"send {cached_send!r} != {acc.send!r}")
+        if not _close(cached_recv, acc.recv):
+            drift.append(f"recv {cached_recv!r} != {acc.recv!r}")
+        if not _close(cached_values, acc.total_values):
+            drift.append(f"outgoing values {cached_values!r} != {acc.total_values!r}")
+        if not _close(cached_msgw, acc.msg_weight):
+            drift.append(f"message weight {cached_msgw!r} != {acc.msg_weight!r}")
+        if drift:
+            report.add(
+                "REMO203",
+                f"{label} / node {node}",
+                "cached vs recomputed: " + "; ".join(drift),
+            )
+
+    if not _close(tree.central_used(), accounting.central_used):
+        report.add(
+            "REMO203",
+            label,
+            f"cached central usage {tree.central_used()!r} != recomputed "
+            f"{accounting.central_used!r}",
+        )
+    return accounting
+
+
+def check_budgets(
+    accountings: Mapping[AttributeSet, TreeAccounting],
+    node_capacities: Mapping[NodeId, float],
+    central_capacity: float,
+    report: DiagnosticReport,
+) -> None:
+    """Hold recomputed loads against node and collector budgets."""
+    usage: Dict[NodeId, float] = {}
+    central = 0.0
+    for accounting in accountings.values():
+        for node, acc in accounting.nodes.items():
+            usage[node] = usage.get(node, 0.0) + acc.used
+        central += accounting.central_used
+
+    for node in sorted(usage):
+        used = usage[node]
+        budget = node_capacities.get(node)
+        if budget is None:
+            report.add(
+                "REMO201",
+                f"node {node}",
+                f"plan uses a node with no capacity budget (load {used:.6f})",
+            )
+        elif used > budget + BUDGET_TOLERANCE:
+            report.add(
+                "REMO201",
+                f"node {node}",
+                f"recomputed load {used:.6f} exceeds budget {budget:.6f}",
+            )
+
+    if central > central_capacity + BUDGET_TOLERANCE:
+        report.add(
+            "REMO202",
+            "collector",
+            f"recomputed central load {central:.6f} exceeds capacity "
+            f"{central_capacity:.6f}",
+        )

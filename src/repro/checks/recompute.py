@@ -1,0 +1,131 @@
+"""From-scratch recomputation of a monitoring tree's resource usage.
+
+The tree model maintains send/receive costs *incrementally* so the
+builders stay fast; this module recomputes the same quantities bottom
+up from nothing but the primitive structure (parent/children tables,
+local demands, local message weights), the aggregation funnels, and
+the :class:`~repro.core.cost.CostModel`.  The capacity checkers
+compare the two: any divergence is bookkeeping drift (``REMO203``),
+and budget checks always use the recomputed values so a stale cache
+can never mask a genuine overload (``REMO201``).
+
+The traversal assumes the structure checker already certified the
+tree acyclic and connected; :func:`recompute_tree` raises
+``ValueError`` if that assumption is violated rather than looping
+forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.attributes import AttributeId, NodeId
+from repro.trees.model import MonitoringTree
+
+
+@dataclass
+class NodeAccounting:
+    """Independently recomputed per-node quantities for one tree."""
+
+    outgoing_values: Dict[AttributeId, float]
+    msg_weight: float
+    send: float
+    recv: float
+
+    @property
+    def used(self) -> float:
+        """Capacity the node spends on this tree (send + receive side)."""
+        return self.send + self.recv
+
+    @property
+    def total_values(self) -> float:
+        return sum(self.outgoing_values.values())
+
+
+@dataclass
+class TreeAccounting:
+    """Recomputed usage for a whole tree.
+
+    ``central_used`` is the cost charged to the collector: the root's
+    send cost (the root is the unique member whose message no other
+    member receives).
+    """
+
+    nodes: Dict[NodeId, NodeAccounting]
+    pair_count: int
+    central_used: float = 0.0
+
+    @property
+    def total_message_cost(self) -> float:
+        return sum(acc.send for acc in self.nodes.values())
+
+
+def recompute_tree(tree: MonitoringTree) -> TreeAccounting:
+    """Recompute every node's content, weight, and cost from scratch.
+
+    Works purely from ``local_demand``/``local_message_weight``, the
+    children tables, the tree's funnel, and its cost model -- none of
+    the cached ``_send``/``_recv``/``_out`` state is consulted.
+    """
+    members = list(tree.nodes)
+    if not members:
+        return TreeAccounting(nodes={}, pair_count=0, central_used=0.0)
+    root = tree.root
+    if root is None or root not in tree:
+        raise ValueError("cannot recompute a tree without a valid root")
+
+    # Preorder via children tables, guarded against cycles.
+    order: List[NodeId] = []
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for child in tree.children(node):
+            if child in seen:
+                raise ValueError(f"cycle at node {child}; run structure checks first")
+            seen.add(child)
+            stack.append(child)
+    if len(order) != len(members):
+        raise ValueError("tree is not fully connected; run structure checks first")
+
+    cost = tree.cost
+    accounting: Dict[NodeId, NodeAccounting] = {}
+    pair_count = 0
+    for node in reversed(order):
+        local = tree.local_demand(node)
+        pair_count += len(local)
+        incoming: Dict[AttributeId, float] = {
+            attr: weight for attr, weight in local.items() if weight > 0.0
+        }
+        msg_weight = tree.local_message_weight(node)
+        recv = 0.0
+        for child in tree.children(node):
+            child_acc = accounting[child]
+            for attr, weight in child_acc.outgoing_values.items():
+                incoming[attr] = incoming.get(attr, 0.0) + weight
+            recv += child_acc.send
+            msg_weight = max(msg_weight, child_acc.msg_weight)
+        outgoing = {}
+        for attr, weight in incoming.items():
+            funneled = tree.funnel_value(attr, weight)
+            if funneled > 0.0:
+                outgoing[attr] = funneled
+        send = (
+            cost.weighted_message_cost(msg_weight, sum(outgoing.values()))
+            if msg_weight > 0.0
+            else 0.0
+        )
+        accounting[node] = NodeAccounting(
+            outgoing_values=outgoing,
+            msg_weight=msg_weight,
+            send=send,
+            recv=recv,
+        )
+
+    return TreeAccounting(
+        nodes=accounting,
+        pair_count=pair_count,
+        central_used=accounting[root].send,
+    )

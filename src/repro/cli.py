@@ -1,17 +1,21 @@
-"""Command-line interface: plan, simulate, and adapt from a shell.
+"""Command-line interface: plan, simulate, adapt, and check from a shell.
 
-Three subcommands over synthetic workloads, mirroring the examples:
+Four subcommands over synthetic workloads, mirroring the examples:
 
 - ``plan``       build a monitoring forest and print its summary;
 - ``simulate``   run the planned forest in the discrete-event simulator
   and report coverage / percentage error / traffic;
-- ``adapt``      drive the adaptive service through task-churn batches.
+- ``adapt``      drive the adaptive service through task-churn batches;
+- ``check``      plan, then statically verify the plan's invariants
+  (exit 1 on any ERROR diagnostic).
 
 Usage::
 
     python -m repro plan --nodes 80 --tasks 20 --scheme remo
     python -m repro simulate --nodes 60 --tasks 15 --periods 25
     python -m repro adapt --nodes 60 --tasks 20 --batches 5 --strategy adaptive
+    python -m repro check --preset quickstart
+    python -m repro check --nodes 48 --tasks 12 --corrupt cycle
 """
 
 from __future__ import annotations
@@ -22,12 +26,19 @@ import time
 from typing import Optional, Sequence
 
 from repro.analysis.report import format_table
+from repro.checks import (
+    FAULT_KINDS,
+    check_plan_for_cluster,
+    describe_codes,
+    inject_fault,
+)
 from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
 from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
 from repro.simulation import MonitoringSimulation, SimulationConfig
+from repro.workloads.presets import quickstart_workload
 from repro.workloads.tasks import TaskSampler
 from repro.workloads.updates import TaskUpdateStream
 
@@ -171,6 +182,36 @@ def _adapt(args) -> int:
     return 0
 
 
+def _check(args) -> int:
+    if args.codes:
+        rows = [
+            [info.code, info.severity.value, info.title]
+            for info in describe_codes()
+        ]
+        print(format_table("diagnostic codes", ["code", "severity", "title"], rows))
+        return 0
+    if args.preset == "quickstart":
+        cluster, cost, tasks = quickstart_workload()
+        label = "quickstart"
+    else:
+        cluster, cost, tasks = _setup(args)
+        label = f"{args.nodes} nodes, {args.tasks} tasks"
+    plan = SCHEMES[args.scheme](cost).plan(tasks, cluster)
+    if args.corrupt:
+        print(f"injected fault: {inject_fault(plan, args.corrupt)}")
+    report = check_plan_for_cluster(plan, cluster)
+    header = f"{args.scheme} plan ({label}): "
+    if not report:
+        print(header + "all invariants hold, no diagnostics")
+        return 0
+    print(
+        header
+        + f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    print(report.format(with_hints=args.hints))
+    return 1 if report.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -196,6 +237,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="adaptive",
     )
     adapt_p.set_defaults(func=_adapt)
+
+    check_p = sub.add_parser(
+        "check", help="plan, then statically verify the plan's invariants"
+    )
+    _add_common(check_p)
+    check_p.add_argument(
+        "--preset",
+        choices=["quickstart"],
+        default=None,
+        help="use a canonical workload instead of the sampled one",
+    )
+    check_p.add_argument(
+        "--corrupt",
+        choices=list(FAULT_KINDS),
+        default=None,
+        help="inject a known corruption before checking (verifier self-test)",
+    )
+    check_p.add_argument(
+        "--hints", action="store_true", help="print fix hints with each finding"
+    )
+    check_p.add_argument(
+        "--codes", action="store_true", help="list the diagnostic-code registry and exit"
+    )
+    check_p.set_defaults(func=_check)
     return parser
 
 

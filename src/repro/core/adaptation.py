@@ -34,7 +34,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.node import Cluster
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
@@ -46,6 +46,8 @@ from repro.core.partition import AttributeSet, MergeOp, Partition, PartitionOp
 from repro.core.plan import MonitoringPlan
 from repro.core.planner import RemoPlanner, _improves
 from repro.core.tasks import MonitoringTask, TaskManager, TaskSetDelta
+from repro.trees.base import GreedyTreeBuilder, TreeBuildResult
+from repro.trees.model import MonitoringTree
 
 
 class AdaptationStrategy(enum.Enum):
@@ -78,6 +80,10 @@ class AdaptationReport:
     collected_pairs: int
     requested_pairs: int
     applied_ops: List[str] = field(default_factory=list)
+    #: The same operations as ``applied_ops`` but as live
+    #: :data:`~repro.core.partition.PartitionOp` objects, so verifiers
+    #: can replay them (``repro.checks.check_adaptation_step``).
+    applied_partition_ops: List[PartitionOp] = field(default_factory=list)
     throttled_ops: int = 0
 
     @property
@@ -102,6 +108,12 @@ class AdaptiveMonitoringService:
         Restricted-search effort caps: how many ranked candidates to
         evaluate per merge/split round, and how many operations one
         batch may apply.
+    debug_checks:
+        Run the static verifier (``repro.checks``) on the plan produced
+        by every ``apply_changes`` batch, including a replay-differ
+        over the restricted search's merge/split trail; raises
+        ``PlanCheckError`` at the first violation.  Expensive; for
+        tests and bug hunts.
     """
 
     def __init__(
@@ -109,11 +121,12 @@ class AdaptiveMonitoringService:
         cluster: Cluster,
         cost_model: CostModel,
         strategy: AdaptationStrategy = AdaptationStrategy.ADAPTIVE,
-        tree_builder=None,
+        tree_builder: Optional[GreedyTreeBuilder] = None,
         allocation: AllocationPolicy = AllocationPolicy.ORDERED,
         aggregation: Optional[AggregationMap] = None,
         candidate_budget: int = 8,
         max_ops_per_batch: int = 16,
+        debug_checks: bool = False,
     ) -> None:
         if not allocation.is_sequential:
             raise ValueError(
@@ -131,6 +144,7 @@ class AdaptiveMonitoringService:
         )
         self.candidate_budget = candidate_budget
         self.max_ops_per_batch = max_ops_per_batch
+        self.debug_checks = debug_checks
         self.tasks = TaskManager()
         self.plan: Optional[MonitoringPlan] = None
         self._tadj: Dict[AttributeSet, float] = {}
@@ -171,7 +185,7 @@ class AdaptiveMonitoringService:
             if p.node in self.cluster and self.cluster.node(p.node).observes(p.attribute)
         )
 
-        applied: List[str] = []
+        applied: List[PartitionOp] = []
         throttled = 0
         if not pairs:
             self.plan = None
@@ -185,6 +199,7 @@ class AdaptiveMonitoringService:
                 requested_pairs=0,
             )
 
+        base_partition: Optional[Partition] = None
         if force_rebuild or self.strategy is AdaptationStrategy.REBUILD or previous_plan is None:
             new_plan = self._rebuild_planner.plan(pairs, self.cluster)
             self._tadj = {s: now for s in new_plan.partition.sets}
@@ -195,10 +210,13 @@ class AdaptiveMonitoringService:
                 AdaptationStrategy.NO_THROTTLE,
                 AdaptationStrategy.ADAPTIVE,
             ):
+                base_partition = base_plan.partition
                 new_plan, applied, throttled = self._restricted_search(
                     base_plan, pairs, dirty, now
                 )
 
+        if self.debug_checks:
+            self._verify_step(new_plan, base_partition, applied)
         self.plan = new_plan
         new_edges = new_plan.edge_multiset()
         adaptation_messages = (
@@ -213,9 +231,30 @@ class AdaptiveMonitoringService:
             monitoring_volume=new_plan.total_message_cost(),
             collected_pairs=new_plan.collected_pair_count(),
             requested_pairs=new_plan.requested_pair_count(),
-            applied_ops=applied,
+            applied_ops=[op.describe() for op in applied],
+            applied_partition_ops=applied,
             throttled_ops=throttled,
         )
+
+    def _verify_step(
+        self,
+        new_plan: MonitoringPlan,
+        base_partition: Optional[Partition],
+        applied: List[PartitionOp],
+    ) -> None:
+        """``debug_checks`` hook: statically verify one batch's outcome."""
+        # Imported lazily: ``repro.core.__init__`` imports this module,
+        # and ``repro.checks.adaptation`` imports ``repro.core`` types,
+        # so a top-level import here would close an import cycle.
+        from repro.checks.adaptation import check_adaptation_step
+        from repro.checks.runner import check_plan_for_cluster
+
+        report = check_plan_for_cluster(new_plan, self.cluster)
+        if base_partition is not None:
+            check_adaptation_step(
+                base_partition, new_plan.partition, applied, report
+            )
+        report.raise_if_errors(f"{self.strategy.value} adaptation step")
 
     # ------------------------------------------------------------------
     # DIRECT-APPLY base topology
@@ -241,7 +280,7 @@ class AdaptiveMonitoringService:
         live_attrs = {p.attribute for p in pairs}
         changed_attrs = {p.attribute for p in delta.added | delta.removed}
 
-        trees: Dict[AttributeSet, object] = {}
+        trees: Dict[AttributeSet, TreeBuildResult] = {}
         new_sets: List[FrozenSet[AttributeId]] = []
         dirty: Set[AttributeSet] = set()
         covered: Set[AttributeId] = set()
@@ -340,7 +379,7 @@ class AdaptiveMonitoringService:
         return plan, dirty
 
     @staticmethod
-    def _prune_empty_leaves(tree) -> None:
+    def _prune_empty_leaves(tree: MonitoringTree) -> None:
         """Drop leaves (cascading upward) that carry no local values."""
         changed = True
         while changed:
@@ -354,7 +393,11 @@ class AdaptiveMonitoringService:
                     tree.remove_branch(node)
                     changed = True
 
-    def _refresh_tree_capacity(self, tree, trees) -> None:
+    def _refresh_tree_capacity(
+        self,
+        tree: MonitoringTree,
+        trees: Dict[AttributeSet, TreeBuildResult],
+    ) -> None:
         """Point the tree's live capacity view at current global headroom.
 
         A tree's capacity snapshot dates from when it was built; before
@@ -381,7 +424,9 @@ class AdaptiveMonitoringService:
         )
 
     @staticmethod
-    def _graft_node(tree, node: NodeId, demand: Dict[AttributeId, float]) -> bool:
+    def _graft_node(
+        tree: MonitoringTree, node: NodeId, demand: Dict[AttributeId, float]
+    ) -> bool:
         """Attach a brand-new node to an existing tree, shallowest first."""
         if len(tree) == 0:
             return tree.add_node(node, None, demand)
@@ -404,10 +449,10 @@ class AdaptiveMonitoringService:
         pairs: FrozenSet[NodeAttributePair],
         dirty: Set[AttributeSet],
         now: float,
-    ) -> Tuple[MonitoringPlan, List[str], int]:
+    ) -> Tuple[MonitoringPlan, List[PartitionOp], int]:
         plan = base
         anchor = set(dirty) & set(plan.partition.sets)
-        applied: List[str] = []
+        applied: List[PartitionOp] = []
         throttled = 0
         for _ in range(self.max_ops_per_batch):
             if not anchor:
@@ -423,7 +468,7 @@ class AdaptiveMonitoringService:
                     # algorithm terminates immediately (Section 4.2).
                     break
             plan = cand_plan
-            applied.append(op.describe())
+            applied.append(op)
             touched = self._sets_created_by(op)
             anchor = (anchor & set(plan.partition.sets)) | touched
             for s in touched:
@@ -477,7 +522,7 @@ class AdaptiveMonitoringService:
         plan: MonitoringPlan,
         pairs: FrozenSet[NodeAttributePair],
         ops: Iterable[PartitionOp],
-        effectiveness,
+        effectiveness: Callable[[PartitionOp], float],
     ) -> Optional[Tuple[PartitionOp, MonitoringPlan]]:
         ranked = sorted(
             ((effectiveness(op), op) for op in ops),
@@ -535,7 +580,7 @@ class AdaptiveMonitoringService:
         recovered = max(
             candidate.collected_pair_count() - current.collected_pair_count(), 0
         )
-        benefit = traffic_saving + self.cost.per_value * recovered
+        benefit = traffic_saving + self.cost.value_cost(recovered)
         return m_adapt < stability * benefit
 
 

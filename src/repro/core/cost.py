@@ -129,6 +129,37 @@ class CostModel:
             raise ValueError(f"n_values must be >= 0, got {n_values}")
         return self.per_message + self.per_value * n_values
 
+    def value_cost(self, total_values: float) -> float:
+        """Payload cost ``a * x`` for ``total_values`` value-weights.
+
+        ``total_values`` may be fractional (heterogeneous frequencies)
+        or negative (cost deltas in incremental bookkeeping).
+        """
+        return self.per_value * total_values
+
+    def overhead_cost(self, msg_weight: float = 1.0) -> float:
+        """Per-message overhead ``C * w`` for ``msg_weight`` messages.
+
+        Like :meth:`value_cost`, accepts fractional and delta weights.
+        """
+        return self.per_message * msg_weight
+
+    def weighted_message_cost(self, msg_weight: float, total_values: float) -> float:
+        """``C*w + a*x``: :meth:`message_cost` generalized to fractional
+        message weights and value volumes.
+
+        This is the one place the two model parameters combine; all
+        cost arithmetic outside this module must go through these
+        methods (enforced by ``tools/lint_conventions.py``).
+        """
+        return self.per_message * msg_weight + self.per_value * total_values
+
+    def values_within_budget(self, budget: float, msg_weight: float = 1.0) -> float:
+        """Largest value volume a message of weight ``msg_weight`` can
+        carry without its cost exceeding ``budget`` (may be negative
+        when the budget cannot even cover the per-message overhead)."""
+        return (budget - self.per_message * msg_weight) / self.per_value
+
     def star_root_cost(self, n_children: int, values_per_child: int = 1) -> float:
         """Receive-side cost at a star root with ``n_children`` senders.
 

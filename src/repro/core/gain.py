@@ -31,11 +31,14 @@ substitution safe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
 from repro.core.attributes import AttributeId, NodeAttributePair
 from repro.core.cost import CostModel
 from repro.core.partition import AttributeSet, MergeOp, PartitionOp, SplitOp
+
+if TYPE_CHECKING:  # plan imports nothing from here; annotation-only
+    from repro.core.plan import MonitoringPlan
 
 
 @dataclass
@@ -79,7 +82,7 @@ class GainContext:
         )
 
     @classmethod
-    def from_plan(cls, plan, cost: CostModel) -> "GainContext":
+    def from_plan(cls, plan: "MonitoringPlan", cost: CostModel) -> "GainContext":
         """Context derived from an incumbent :class:`MonitoringPlan`."""
         collected: Dict[AttributeSet, int] = {}
         for attr_set, result in plan.trees.items():
@@ -137,18 +140,18 @@ def _merge_gain(op: MergeOp, ctx: GainContext) -> float:
     shared = (left_coll & right_coll).bit_count()
     # Folding two periodic messages into one saves C on the sender and
     # C at its parent's receive side, per node present in both trees.
-    node_saving = 2.0 * ctx.cost.per_message * shared
+    node_saving = ctx.cost.overhead_cost(2.0 * shared)
     # Two root messages to the collector become one: C freed at the
     # central node -- but only if both trees actually deliver anything.
     central_saving = (
-        ctx.cost.per_message if left_coll and right_coll else 0.0
+        ctx.cost.overhead_cost() if left_coll and right_coll else 0.0
     )
     # Uncollected pairs of either operand may ride the freed capacity;
     # the recoverable volume is bounded by what the merged tree's
     # existing members could plausibly absorb.
     uncollected = ctx.uncollected.get(op.left, 0) + ctx.uncollected.get(op.right, 0)
     absorbable = (left_coll | right_coll).bit_count()
-    recovery = ctx.cost.per_value * min(uncollected, 2 * absorbable)
+    recovery = ctx.cost.value_cost(min(uncollected, 2 * absorbable))
     return node_saving + central_saving + recovery
 
 
@@ -157,8 +160,8 @@ def _split_gain(op: SplitOp, ctx: GainContext) -> float:
     rest = op.source - {op.attribute}
     attr_mask = ctx.node_masks.get(op.attribute, 0)
     overlap = (ctx.set_mask(rest) & attr_mask).bit_count()
-    overhead_added = 2.0 * ctx.cost.per_message * overlap
-    recoverable = ctx.cost.per_value * uncollected
+    overhead_added = ctx.cost.overhead_cost(2.0 * overlap)
+    recoverable = ctx.cost.value_cost(uncollected)
     return recoverable - overhead_added
 
 

@@ -23,21 +23,28 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
+from repro.checks.runner import assert_plan_valid
 from repro.cluster.node import Cluster
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
 from repro.core.allocation import AllocationPolicy
 from repro.core.cost import AggregationMap, CostModel
 from repro.core.forest import ForestBuilder, PairWeights
 from repro.core.gain import GainContext, rank_candidates
-from repro.core.partition import MergeOp, Partition, PartitionOp
+from repro.core.partition import AttributeSet, MergeOp, Partition, PartitionOp
 from repro.core.plan import MonitoringPlan
 from repro.core.schemes import TaskSource, observable_pairs
+from repro.trees.base import GreedyTreeBuilder, TreeBuildResult
 
 #: Cost comparisons use this tolerance so float noise cannot drive
 #: endless "improvements".
 _COST_EPS = 1e-6
+
+#: The forest-construction closure threaded through the local search:
+#: (partition, kept trees) -> evaluated plan.  All candidate plans flow
+#: through one such builder, which is where ``debug_checks`` hooks in.
+PlanBuilder = Callable[..., MonitoringPlan]
 
 
 @dataclass
@@ -56,9 +63,12 @@ def objective(plan: MonitoringPlan) -> Tuple[int, float]:
     return (plan.collected_pair_count(), -plan.total_message_cost())
 
 
-def _separate_forbidden(sets, forbidden_pairs):
+def _separate_forbidden(
+    sets: Iterable[Iterable[AttributeId]],
+    forbidden_pairs: Set[FrozenSet[AttributeId]],
+) -> List[Set[AttributeId]]:
     """Split groups until no forbidden attribute pair shares a set."""
-    result = []
+    result: List[Set[AttributeId]] = []
     work = [set(s) for s in sets if s]
     while work:
         group = work.pop()
@@ -79,7 +89,7 @@ def _separate_forbidden(sets, forbidden_pairs):
 def _improves(
     candidate: MonitoringPlan,
     incumbent: MonitoringPlan,
-    cost_fn=None,
+    cost_fn: Optional[Callable[[MonitoringPlan], float]] = None,
 ) -> bool:
     """Strict improvement under the (coverage up, cost down) objective.
 
@@ -127,14 +137,14 @@ class RemoPlanner:
     def __init__(
         self,
         cost_model: CostModel,
-        tree_builder=None,
+        tree_builder: Optional[GreedyTreeBuilder] = None,
         allocation: AllocationPolicy = AllocationPolicy.ORDERED,
         aggregation: Optional[AggregationMap] = None,
         candidate_budget: Optional[int] = 8,
         max_iterations: int = 64,
         first_improvement: bool = False,
         forbidden_pairs: Optional[Set[FrozenSet[AttributeId]]] = None,
-        plan_cost_fn=None,
+        plan_cost_fn: Optional[Callable[[MonitoringPlan], float]] = None,
     ) -> None:
         if candidate_budget is not None and candidate_budget <= 0:
             raise ValueError(f"candidate_budget must be > 0 or None, got {candidate_budget}")
@@ -170,6 +180,7 @@ class RemoPlanner:
         pair_weights: Optional[PairWeights] = None,
         msg_weights: Optional[Mapping[NodeId, float]] = None,
         initial_partition: Optional[Partition] = None,
+        debug_checks: bool = False,
     ) -> MonitoringPlan:
         """Plan a monitoring forest; see :meth:`plan_with_stats`."""
         plan, _stats = self.plan_with_stats(
@@ -178,6 +189,7 @@ class RemoPlanner:
             pair_weights=pair_weights,
             msg_weights=msg_weights,
             initial_partition=initial_partition,
+            debug_checks=debug_checks,
         )
         return plan
 
@@ -188,11 +200,19 @@ class RemoPlanner:
         pair_weights: Optional[PairWeights] = None,
         msg_weights: Optional[Mapping[NodeId, float]] = None,
         initial_partition: Optional[Partition] = None,
+        debug_checks: bool = False,
     ) -> Tuple[MonitoringPlan, PlanningStats]:
         """Plan a monitoring forest and report search effort.
 
         ``initial_partition`` overrides the singleton-set starting
         point (used by REBUILD-from-current ablations and tests).
+
+        ``debug_checks`` runs the static verifier
+        (:func:`repro.checks.assert_plan_valid`) on every candidate
+        plan the search evaluates -- seeds, accepted incumbents, and
+        the final rebuild alike -- raising
+        :class:`~repro.checks.PlanCheckError` at the first invariant
+        violation.  Expensive; meant for tests and bug hunts.
         """
         started = time.perf_counter()
         stats = PlanningStats()
@@ -209,8 +229,11 @@ class RemoPlanner:
         else:
             partition = None
 
-        def build(part: Partition, keep=None) -> MonitoringPlan:
-            return self.forest.build(
+        def build(
+            part: Partition,
+            keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
+        ) -> MonitoringPlan:
+            built = self.forest.build(
                 part,
                 pairs,
                 cluster,
@@ -218,6 +241,15 @@ class RemoPlanner:
                 msg_weights=msg_weights,
                 keep=keep,
             )
+            if debug_checks:
+                # Every candidate the search evaluates flows through
+                # this closure, so one hook verifies them all.
+                assert_plan_valid(
+                    built,
+                    cluster,
+                    context=f"candidate plan for {len(part)} set(s)",
+                )
+            return built
 
         if partition is not None:
             incumbent = build(partition)
@@ -324,7 +356,7 @@ class RemoPlanner:
         self,
         incumbent: MonitoringPlan,
         pairs: FrozenSet[NodeAttributePair],
-        build,
+        build: "PlanBuilder",
         stats: PlanningStats,
     ) -> Optional[MonitoringPlan]:
         partition = incumbent.partition
@@ -372,7 +404,7 @@ class RemoPlanner:
         incumbent: MonitoringPlan,
         pairs: FrozenSet[NodeAttributePair],
         op: PartitionOp,
-        build,
+        build: "PlanBuilder",
     ) -> MonitoringPlan:
         """Resource-aware evaluation of one augmentation.
 

@@ -25,6 +25,7 @@ from repro.core.forest import ForestBuilder, PairWeights
 from repro.core.partition import Partition
 from repro.core.plan import MonitoringPlan
 from repro.core.tasks import MonitoringTask, TaskManager
+from repro.trees.base import GreedyTreeBuilder
 
 #: Planner inputs: a task list, a task manager, or raw pair sets.
 TaskSource = Union[Iterable[MonitoringTask], TaskManager, Iterable[NodeAttributePair]]
@@ -68,7 +69,7 @@ class FixedPartitionPlanner:
     def __init__(
         self,
         cost_model: CostModel,
-        tree_builder=None,
+        tree_builder: Optional[GreedyTreeBuilder] = None,
         allocation: AllocationPolicy = AllocationPolicy.ORDERED,
         aggregation: Optional[AggregationMap] = None,
     ) -> None:

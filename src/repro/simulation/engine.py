@@ -146,12 +146,10 @@ class MonitoringSimulation:
                 # sheds the whole message -- monitoring agents trim
                 # payload rather than go silent.
                 budget = self._budget.get(node, 0.0)
-                if budget < self.plan.cost.per_message - 1e-9:
+                if budget < self.plan.cost.overhead_cost() - 1e-9:
                     self.stats.messages_dropped_capacity += 1
                     return
-                affordable = int(
-                    (budget - self.plan.cost.per_message) / self.plan.cost.per_value + 1e-9
-                )
+                affordable = int(self.plan.cost.values_within_budget(budget) + 1e-9)
                 if affordable <= 0:
                     self.stats.messages_dropped_capacity += 1
                     return

@@ -90,8 +90,8 @@ class AdaptiveTreeBuilder(GreedyTreeBuilder):
         # and load spreads like MAX_AVB.  This is the construction-side
         # half of the middle ground Fig. 4(e) motivates.
         payload = getattr(self, "_inserting_payload", 1.0)
-        relay_toll = 2.0 * self.cost.per_value * payload * tree.depth(parent)
-        per_child = self.cost.per_message + 2.0 * self.cost.per_value * payload
+        relay_toll = self.cost.value_cost(2.0 * payload * tree.depth(parent))
+        per_child = self.cost.weighted_message_cost(1.0, 2.0 * payload)
         slots = min(64.0, max(0.0, (tree.available(parent) - relay_toll) / per_child))
         return (-int(slots), tree.depth(parent), -tree.available(parent), parent)
 
@@ -106,7 +106,7 @@ class AdaptiveTreeBuilder(GreedyTreeBuilder):
         failed_parents: List[NodeId],
     ) -> bool:
         demand = request.demands[node]
-        failed_cost = self.cost.per_message * request.msg_weight(node) + self.cost.per_value * sum(
-            w for w in demand.values() if w > 0
+        failed_cost = self.cost.weighted_message_cost(
+            request.msg_weight(node), sum(w for w in demand.values() if w > 0)
         )
         return self.adjuster.relieve(tree, failed_parents, failed_cost)

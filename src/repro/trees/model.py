@@ -157,6 +157,16 @@ class MonitoringTree:
         """The node's own contribution (a copy)."""
         return dict(self._local[node])
 
+    def local_message_weight(self, node: NodeId) -> float:
+        """The node's own message weight (before inheriting children's)."""
+        return self._local_msgw[node]
+
+    def funnel_value(self, attr: AttributeId, incoming: float) -> float:
+        """Outgoing value weight for ``incoming`` weight of ``attr``
+        after this tree's aggregation funnel (public, for verifiers
+        that recompute costs from first principles)."""
+        return self._funnel(attr, incoming)
+
     def send_cost(self, node: NodeId) -> float:
         """``u_i``: cost of the node's periodic update message(s)."""
         return self._send[node]
@@ -250,7 +260,7 @@ class MonitoringTree:
     def _send_cost_of(self, content: _Content) -> float:
         if content.msg_weight <= 0.0:
             return 0.0
-        return self.cost.per_message * content.msg_weight + self.cost.per_value * content.total()
+        return self.cost.weighted_message_cost(content.msg_weight, content.total())
 
     # ------------------------------------------------------------------
     # Structural mutation
@@ -607,7 +617,7 @@ class MonitoringTree:
             out_msgw = self._out[node].msg_weight
             new_msgw = max(out_msgw, self._local_msgw[node], delta_msgw)
             msgw_delta = new_msgw - out_msgw
-            send_delta = self.cost.per_value * send_values_delta + self.cost.per_message * msgw_delta
+            send_delta = self.cost.weighted_message_cost(msgw_delta, send_values_delta)
             projected = self._send[node] + send_delta + self._recv[node] + child_msg_delta
             if projected > self.capacities.get(node, 0.0) + EPSILON:
                 return False

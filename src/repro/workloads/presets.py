@@ -1,0 +1,40 @@
+"""Canonical ready-made workloads.
+
+The quickstart example, the ``repro check`` CLI default, and CI all
+exercise the same cluster + task mix so "the quickstart workload" is
+one definition, not three drifting copies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cluster.node import Cluster
+from repro.cluster.topology import make_uniform_cluster
+from repro.core.cost import CostModel
+from repro.core.tasks import MonitoringTask
+
+
+def quickstart_workload() -> Tuple[Cluster, CostModel, List[MonitoringTask]]:
+    """The quickstart scenario: 64 nodes, three overlapping tasks.
+
+    Each node spends at most 300 cost units per period on monitoring
+    I/O and observes 12 of 24 attribute types; the central collector
+    is capped at 900.  Messages cost ``C + a*x`` with ``C=20`` and
+    ``a=1`` (Section 2.3 of the paper).
+    """
+    cluster = make_uniform_cluster(
+        n_nodes=64,
+        capacity=300.0,
+        attrs_per_node=12,
+        central_capacity=900.0,
+        seed=7,
+    )
+    cost = CostModel(per_message=20.0, per_value=1.0)
+    pool = sorted({a for node in cluster for a in node.attributes})
+    tasks = [
+        MonitoringTask("dashboard", pool[:3], range(0, 64)),
+        MonitoringTask("debug-tier1", pool[:6], range(0, 24)),
+        MonitoringTask("capacity-planning", pool[3:10], range(16, 56)),
+    ]
+    return cluster, cost, tasks

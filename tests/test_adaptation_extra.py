@@ -1,7 +1,6 @@
 """Additional adaptation-service coverage: no-op batches, repeated
 optimization, and interaction with extensions."""
 
-import pytest
 
 from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import AggregationKind, AggregationSpec, CostModel

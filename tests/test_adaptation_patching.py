@@ -1,6 +1,5 @@
 """Tests for DIRECT-APPLY's in-place topology patching semantics."""
 
-import pytest
 
 from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.attributes import NodeAttributePair

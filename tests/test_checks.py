@@ -1,0 +1,225 @@
+"""The static plan verifier: clean plans, corruption fixtures, differ.
+
+Each corruption class must be caught with its own distinct primary
+diagnostic code -- that distinctness is what makes the codes usable as
+regression anchors -- and a clean planner output must be entirely
+diagnostic-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import (
+    CODES,
+    DiagnosticReport,
+    PlanCheckError,
+    Severity,
+    assert_plan_valid,
+    check_adaptation_step,
+    check_plan,
+    check_plan_for_cluster,
+    describe_codes,
+    inject_fault,
+    recompute_tree,
+)
+from repro.core.partition import MergeOp, Partition, SplitOp
+from repro.core.planner import RemoPlanner
+
+
+@pytest.fixture
+def planned(cost, medium_cluster, task_factory):
+    tasks = [
+        task_factory("t0", ("attr00", "attr01", "attr02"), range(0, 40)),
+        task_factory("t1", ("attr02", "attr03", "attr04", "attr05"), range(10, 30)),
+        task_factory("t2", ("attr06", "attr07"), range(5, 25)),
+    ]
+    plan = RemoPlanner(cost).plan(tasks, medium_cluster)
+    return plan, medium_cluster
+
+
+# ----------------------------------------------------------------------
+# Clean plans
+# ----------------------------------------------------------------------
+def test_planner_output_is_diagnostic_free(planned):
+    plan, cluster = planned
+    report = check_plan_for_cluster(plan, cluster)
+    assert not report, report.format(with_hints=True)
+
+
+def test_assert_plan_valid_passes_and_returns_report(planned):
+    plan, cluster = planned
+    report = assert_plan_valid(plan, cluster)
+    assert isinstance(report, DiagnosticReport)
+    assert not report.has_errors
+
+
+def test_debug_checks_planning_matches_plain_planning(cost, small_cluster, task_factory):
+    tasks = [task_factory("t", ("a", "b", "c"), range(6))]
+    plain = RemoPlanner(cost).plan(tasks, small_cluster)
+    checked = RemoPlanner(cost).plan(tasks, small_cluster, debug_checks=True)
+    assert checked.partition == plain.partition
+    assert checked.collected_pair_count() == plain.collected_pair_count()
+
+
+def test_recompute_matches_cached_bookkeeping(planned):
+    plan, _cluster = planned
+    for result in plan.trees.values():
+        tree = result.tree
+        accounting = recompute_tree(tree)
+        assert accounting.pair_count == tree.pair_count()
+        for node, acc in accounting.nodes.items():
+            assert acc.send == pytest.approx(tree.send_cost(node), abs=1e-9)
+            assert acc.recv == pytest.approx(tree.recv_cost(node), abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Corruption fixtures: each class -> its own code
+# ----------------------------------------------------------------------
+def test_dropped_tree_is_caught(planned):
+    plan, cluster = planned
+    inject_fault(plan, "drop-tree")
+    report = check_plan_for_cluster(plan, cluster)
+    assert "REMO102" in report.codes()
+    assert report.has_errors
+
+
+def test_cycle_is_caught(planned):
+    plan, cluster = planned
+    inject_fault(plan, "cycle")
+    report = check_plan_for_cluster(plan, cluster)
+    assert "REMO111" in report.codes()
+    # The cycle is the *only* failure class present: the injector keeps
+    # the parent/children mirror consistent and never touches costs.
+    assert set(report.codes()) == {"REMO111"}
+
+
+def test_overload_is_caught_via_recomputation(planned):
+    plan, cluster = planned
+    inject_fault(plan, "overload")
+    report = check_plan_for_cluster(plan, cluster)
+    assert "REMO201" in report.codes()
+    # The injector keeps bookkeeping consistent, so no drift reported.
+    assert "REMO203" not in report.codes()
+
+
+def test_stale_cost_is_caught_only_by_the_drift_check(planned):
+    plan, cluster = planned
+    inject_fault(plan, "stale-cost")
+    report = check_plan_for_cluster(plan, cluster)
+    assert set(report.codes()) == {"REMO203"}
+
+
+def test_corruption_classes_have_distinct_primary_codes(
+    cost, medium_cluster, task_factory
+):
+    tasks = [
+        task_factory("t0", ("attr00", "attr01", "attr02"), range(0, 40)),
+        task_factory("t1", ("attr02", "attr03", "attr04", "attr05"), range(10, 30)),
+        task_factory("t2", ("attr06", "attr07"), range(5, 25)),
+    ]
+    primaries = {}
+    for kind in ("drop-tree", "cycle", "overload", "stale-cost"):
+        plan = RemoPlanner(cost).plan(tasks, medium_cluster)
+        inject_fault(plan, kind)
+        report = check_plan_for_cluster(plan, medium_cluster)
+        assert report.has_errors, f"{kind} went undetected"
+        primaries[kind] = report.codes()[0]
+        assert primaries[kind] in CODES
+    assert len(set(primaries.values())) == 4, primaries
+
+
+def test_fault_injection_raises_on_unknown_kind(planned):
+    plan, _cluster = planned
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        inject_fault(plan, "bit-rot")
+
+
+def test_assert_plan_valid_raises_with_codes_in_message(planned):
+    plan, cluster = planned
+    inject_fault(plan, "stale-cost")
+    with pytest.raises(PlanCheckError, match="REMO203"):
+        assert_plan_valid(plan, cluster, context="corrupted fixture")
+
+
+def test_check_plan_without_capacities_skips_budget_checks(planned):
+    plan, _cluster = planned
+    inject_fault(plan, "overload")
+    report = check_plan(plan)  # no budgets supplied
+    assert "REMO201" not in report.codes()
+
+
+# ----------------------------------------------------------------------
+# Adaptation differ
+# ----------------------------------------------------------------------
+def test_adaptation_differ_accepts_a_faithful_trail():
+    before = Partition.singletons({"a", "b", "c"})
+    op = MergeOp(frozenset({"a"}), frozenset({"b"}))
+    after = before.apply(op)
+    report = DiagnosticReport()
+    check_adaptation_step(before, after, [op], report)
+    assert not report
+
+
+def test_adaptation_differ_flags_illegal_op():
+    before = Partition.singletons({"a", "b", "c"})
+    bogus = MergeOp(frozenset({"a", "b"}), frozenset({"c"}))  # not a member set
+    report = DiagnosticReport()
+    check_adaptation_step(before, before, [bogus], report)
+    assert report.codes() == ["REMO301"]
+
+
+def test_adaptation_differ_flags_divergent_result():
+    before = Partition.singletons({"a", "b", "c"})
+    op = MergeOp(frozenset({"a"}), frozenset({"b"}))
+    lied_about = before.apply(MergeOp(frozenset({"a"}), frozenset({"c"})))
+    report = DiagnosticReport()
+    check_adaptation_step(before, lied_about, [op], report)
+    assert report.codes() == ["REMO302"]
+
+
+def test_adaptation_differ_flags_universe_change():
+    before = Partition.singletons({"a", "b"})
+    after = Partition.singletons({"a", "b", "c"})
+    report = DiagnosticReport()
+    check_adaptation_step(before, after, [], report)
+    assert report.codes() == ["REMO303"]
+
+
+def test_adaptation_differ_replays_splits():
+    before = Partition.one_set({"a", "b", "c"})
+    op = SplitOp(frozenset({"a", "b", "c"}), "c")
+    after = before.apply(op)
+    report = DiagnosticReport()
+    check_adaptation_step(before, after, [op], report)
+    assert not report
+
+
+# ----------------------------------------------------------------------
+# Diagnostics framework
+# ----------------------------------------------------------------------
+def test_code_registry_is_complete_and_partitioned_by_family():
+    for info in describe_codes():
+        assert info.code.startswith("REMO")
+        family = info.code[4]
+        assert family in {"1", "2", "3"}
+        assert info.hint
+        assert isinstance(info.severity, Severity)
+
+
+def test_report_formatting_and_filtering():
+    report = DiagnosticReport()
+    report.add("REMO105", "partition", "spare attribute")
+    report.add("REMO201", "node 3", "over budget")
+    assert len(report) == 2
+    assert report.has_errors
+    assert [d.code for d in report.warnings] == ["REMO105"]
+    assert "WARNING REMO105 [partition]: spare attribute" in report.format()
+    assert report.by_code("REMO201")[0].location == "node 3"
+    assert "hint:" in report.format(with_hints=True)
+
+
+def test_severity_override():
+    report = DiagnosticReport()
+    report.add("REMO201", "node 1", "advisory only", severity=Severity.WARNING)
+    assert not report.has_errors

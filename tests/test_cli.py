@@ -23,6 +23,17 @@ class TestParser:
         args = build_parser().parse_args(["adapt", "--strategy", "rebuild"])
         assert args.strategy == "rebuild"
 
+    def test_check_accepts_preset_and_corrupt(self):
+        args = build_parser().parse_args(
+            ["check", "--preset", "quickstart", "--corrupt", "cycle"]
+        )
+        assert args.preset == "quickstart"
+        assert args.corrupt == "cycle"
+
+    def test_check_rejects_unknown_fault(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--corrupt", "bit-rot"])
+
 
 class TestCommands:
     def test_plan_runs_and_prints_summary(self, capsys):
@@ -63,3 +74,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "direct_apply over 2 update batches" in out
+
+    def test_check_clean_plan_exits_zero(self, capsys):
+        rc = main(["check", "--nodes", "12", "--tasks", "3", "--pool", "8", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no diagnostics" in out
+
+    def test_check_corrupted_plan_exits_nonzero(self, capsys):
+        rc = main(
+            [
+                "check",
+                "--nodes", "12", "--tasks", "3", "--pool", "8",
+                "--seed", "5", "--corrupt", "stale-cost", "--hints",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REMO203" in out
+        assert "hint:" in out
+
+    def test_check_each_fault_kind_fails_with_its_code(self, capsys):
+        expected = {
+            "drop-tree": "REMO102",
+            "cycle": "REMO111",
+            "overload": "REMO201",
+            "stale-cost": "REMO203",
+        }
+        for kind, code in expected.items():
+            rc = main(
+                [
+                    "check",
+                    "--nodes", "12", "--tasks", "3", "--pool", "8",
+                    "--seed", "5", "--corrupt", kind,
+                ]
+            )
+            out = capsys.readouterr().out
+            assert rc == 1, kind
+            assert code in out, (kind, out)
+
+    def test_check_codes_lists_registry(self, capsys):
+        rc = main(["check", "--codes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "REMO101" in out
+        assert "REMO303" in out

@@ -1,9 +1,8 @@
 """Tests for aggregation-aware planning (Section 6.1 / Fig. 12a)."""
 
-import pytest
 
 from repro.core.attributes import pairs_for
-from repro.core.cost import AggregationKind, AggregationSpec, CostModel
+from repro.core.cost import AggregationKind, CostModel
 from repro.core.planner import RemoPlanner
 from repro.ext.aggregation import uniform_aggregation
 

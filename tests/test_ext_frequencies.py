@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.attributes import NodeAttributePair
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
 from repro.core.tasks import MonitoringTask, TaskManager

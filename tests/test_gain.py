@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.attributes import pairs_for
 from repro.core.cost import CostModel
 from repro.core.gain import GainContext, estimate_gain, rank_candidates
 from repro.core.partition import MergeOp, SplitOp

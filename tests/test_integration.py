@@ -6,7 +6,7 @@ import pytest
 from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
-from repro.core.schemes import OneSetPlanner, SingletonSetPlanner, observable_pairs
+from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
 from repro.ext.reliability import (
     ReplicatedRegistry,
     alias_cluster,

@@ -1,0 +1,84 @@
+"""The convention linter: each rule fires on bait, stays quiet on src/.
+
+The linter lives in ``tools/`` (not the package), so load it by path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_conventions", REPO_ROOT / "tools" / "lint_conventions.py"
+)
+lint_conventions = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("lint_conventions", lint_conventions)
+_SPEC.loader.exec_module(lint_conventions)
+
+
+def _codes(source: str, tmp_path, name: str = "bait.py"):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return [code for (_p, _l, _c, code, _m) in lint_conventions.lint_file(path)]
+
+
+def test_float_literal_equality_is_flagged(tmp_path):
+    assert _codes("ok = x == 0.5\n", tmp_path) == ["C001"]
+    assert _codes("ok = 0.0 != y\n", tmp_path) == ["C001"]
+    assert _codes("ok = x == -1.5\n", tmp_path) == ["C001"]
+
+
+def test_integer_comparisons_and_isclose_are_fine(tmp_path):
+    assert _codes("ok = x == 0\n", tmp_path) == []
+    assert _codes("import math\nok = math.isclose(x, 0.5)\n", tmp_path) == []
+    assert _codes("ok = x < 0.5 or x >= 1.5\n", tmp_path) == []
+
+
+def test_mutable_default_arguments_are_flagged(tmp_path):
+    src = "def f(a, xs=[], m={}, s=set(), ok=None, t=()):\n    return a\n"
+    assert _codes(src, tmp_path) == ["C002", "C002", "C002"]
+
+
+def test_cost_attribute_arithmetic_is_flagged(tmp_path):
+    src = "def f(model, x):\n    return model.per_message + model.per_value * x\n"
+    codes = _codes(src, tmp_path)
+    assert "C003" in codes
+
+
+def test_cost_attribute_reads_without_arithmetic_are_fine(tmp_path):
+    src = "def f(model):\n    return (model.per_message, model.per_value)\n"
+    assert _codes(src, tmp_path) == []
+
+
+def test_cost_module_itself_is_exempt_from_c003(tmp_path):
+    src = "def f(self, x):\n    return self.per_message + self.per_value * x\n"
+    target = tmp_path / "src" / "repro" / "core"
+    target.mkdir(parents=True)
+    path = target / "cost.py"
+    path.write_text(src, encoding="utf-8")
+    codes = [c for (_p, _l, _c, c, _m) in lint_conventions.lint_file(path)]
+    assert codes == []
+
+
+def test_syntax_errors_are_reported_not_raised(tmp_path):
+    assert _codes("def broken(:\n", tmp_path) == ["C000"]
+
+
+def test_repo_source_tree_is_clean():
+    findings = []
+    for path in lint_conventions.iter_python_files([str(REPO_ROOT / "src")]):
+        findings.extend(lint_conventions.lint_file(path))
+    assert findings == [], findings
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    assert lint_conventions.main([str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("bad = x == 0.5\n", encoding="utf-8")
+    assert lint_conventions.main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "C001" in out and "FAIL" in out

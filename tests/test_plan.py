@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.allocation import AllocationPolicy
-from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.attributes import pairs_for
 from repro.core.cost import CostModel
 from repro.core.forest import ForestBuilder
 from repro.core.partition import Partition

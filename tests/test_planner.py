@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.allocation import AllocationPolicy
 from repro.core.attributes import pairs_for
 from repro.core.cost import CostModel
 from repro.core.partition import Partition

@@ -1,8 +1,7 @@
 """Unit tests for the planner's initialization seed ladder."""
 
-import pytest
 
-from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.attributes import pairs_for
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner, _separate_forbidden
 

@@ -7,12 +7,10 @@ functions are monotone and bounded, the task manager's refcounts never
 go negative, and plans never claim pairs they were not asked for.
 """
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.attributes import NodeAttributePair
 from repro.core.cost import AggregationKind, AggregationSpec, CostModel
 from repro.core.partition import Partition
 from repro.core.tasks import MonitoringTask, TaskManager

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.core.attributes import NodeAttributePair, pairs_for
+from repro.core.attributes import pairs_for
 from repro.core.cost import CostModel
 from repro.core.forest import ForestBuilder
 from repro.core.partition import Partition
-from repro.core.schemes import SingletonSetPlanner
 from repro.simulation import (
     FailureInjector,
     LinkOutage,

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Repo-convention linter: AST checks ruff/mypy don't cover.
+
+Rules (codes are stable, like the runtime verifier's REMO codes):
+
+- ``C001`` -- no ``==`` / ``!=`` against float literals.  Plan costs
+  are accumulated floats; exact comparison is how silent drift slips
+  in.  Use ``math.isclose`` (or an explicit tolerance); comparisons
+  against integer literals (``x == 0``) are fine.
+- ``C002`` -- no mutable default arguments (list/dict/set/bytearray
+  literals or constructors).
+- ``C003`` -- cost arithmetic only through :class:`CostModel` methods:
+  outside ``src/repro/core/cost.py``, the ``per_message`` /
+  ``per_value`` attributes must not appear inside arithmetic
+  expressions.  Hand-rolled ``C + a*x`` formulas are exactly how the
+  cached-vs-recomputed drift the verifier hunts (REMO203) gets born.
+
+Usage::
+
+    python tools/lint_conventions.py src/ [more paths...]
+
+Exits 1 if any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: The one module allowed to do raw per_message/per_value arithmetic.
+COST_MODEL_ALLOWLIST = ("src/repro/core/cost.py",)
+
+COST_ATTRS = {"per_message", "per_value"}
+
+MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+Finding = Tuple[Path, int, int, str, str]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CALLS and not node.args and not node.keywords
+    return False
+
+
+class ConventionVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        self.allow_cost_arith = str(path.as_posix()).endswith(COST_MODEL_ALLOWLIST)
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            (self.path, node.lineno, node.col_offset + 1, code, message)
+        )
+
+    # -- C001 ----------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                self._report(
+                    node,
+                    "C001",
+                    "exact ==/!= against a float literal; use math.isclose "
+                    "or an explicit tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+    # -- C002 ----------------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and _mutable_default(default):
+                self._report(
+                    default,
+                    "C002",
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and build inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- C003 ----------------------------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not self.allow_cost_arith:
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in COST_ATTRS
+                    and isinstance(sub.ctx, ast.Load)
+                ):
+                    self._report(
+                        node,
+                        "C003",
+                        f"raw arithmetic over .{sub.attr}; use a CostModel "
+                        "method (message_cost/value_cost/overhead_cost/"
+                        "weighted_message_cost/values_within_budget)",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Finding]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, exc.offset or 0, "C000", f"syntax error: {exc.msg}")]
+    visitor = ConventionVisitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def iter_python_files(targets: List[str]) -> Iterator[Path]:
+    for target in targets:
+        path = Path(target)
+        if not path.exists():
+            raise FileNotFoundError(target)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or ["src/"]
+    findings: List[Finding] = []
+    checked = 0
+    try:
+        for path in iter_python_files(targets):
+            checked += 1
+            findings.extend(lint_file(path))
+    except FileNotFoundError as exc:
+        print(f"lint_conventions: ERROR (no such file or directory: {exc})")
+        return 2
+    for path, line, col, code, message in findings:
+        print(f"{path}:{line}:{col}: {code} {message}")
+    summary = f"{checked} file(s) checked, {len(findings)} finding(s)"
+    if findings:
+        print(f"lint_conventions: FAIL ({summary})")
+        return 1
+    print(f"lint_conventions: OK ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
