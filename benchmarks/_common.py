@@ -27,7 +27,15 @@ from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Default location for persisted result tables; override with the
+#: ``REPRO_BENCH_RESULTS`` environment variable (read at emit time, so
+#: CI can point each run at its own scratch directory).
+DEFAULT_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def results_dir() -> str:
+    """The directory result tables are persisted to."""
+    return os.environ.get("REPRO_BENCH_RESULTS") or DEFAULT_RESULTS_DIR
 
 #: Calibrated default regime (see module docstring).
 DEFAULT_N_NODES = 100
@@ -54,8 +62,9 @@ def emit(name: str, text: str) -> None:
     """
     sys.__stdout__.write("\n" + text + "\n")
     sys.__stdout__.flush()
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    target = results_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, f"{name}.txt")
     mode = "a" if name in _OPENED else "w"
     _OPENED.add(name)
     with open(path, mode) as fh:

@@ -1,29 +1,39 @@
-"""Command-line interface: plan, simulate, adapt, and check from a shell.
+"""Command-line interface: plan, simulate, adapt, check, and run.
 
-Four subcommands over synthetic workloads, mirroring the examples:
+Five subcommands over synthetic workloads, mirroring the examples:
 
 - ``plan``       build a monitoring forest and print its summary;
 - ``simulate``   run the planned forest in the discrete-event simulator
   and report coverage / percentage error / traffic;
 - ``adapt``      drive the adaptive service through task-churn batches;
 - ``check``      plan, then statically verify the plan's invariants
-  (exit 1 on any ERROR diagnostic).
+  (exit 1 on any ERROR diagnostic);
+- ``run``        execute the plan live on the asyncio runtime -- one
+  concurrent agent per node plus a collector -- with capacity
+  budgets, heartbeats, and failure detection.
+
+``plan``, ``simulate``, ``adapt``, and ``run`` all accept ``--json``
+for machine-readable output, so CI and benches can consume results
+without screen-scraping.
 
 Usage::
 
     python -m repro plan --nodes 80 --tasks 20 --scheme remo
-    python -m repro simulate --nodes 60 --tasks 15 --periods 25
+    python -m repro simulate --nodes 60 --tasks 15 --periods 25 --json
     python -m repro adapt --nodes 60 --tasks 20 --batches 5 --strategy adaptive
     python -m repro check --preset quickstart
     python -m repro check --nodes 48 --tasks 12 --corrupt cycle
+    python -m repro run --preset quickstart --periods 10 --json
+    python -m repro run --nodes 32 --tasks 8 --fail-node 3:2:6
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.checks import (
@@ -37,6 +47,7 @@ from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
+from repro.runtime import AgentOutage, DropPolicy, MonitoringRuntime, RuntimeConfig
 from repro.simulation import MonitoringSimulation, SimulationConfig
 from repro.workloads.presets import quickstart_workload
 from repro.workloads.tasks import TaskSampler
@@ -71,6 +82,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of tables",
+    )
+
+
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=False))
+
+
 def _setup(args):
     cluster = make_uniform_cluster(
         n_nodes=args.nodes,
@@ -87,42 +110,77 @@ def _setup(args):
     return cluster, cost, tasks
 
 
+def _plan_summary(plan, elapsed: Optional[float] = None) -> Dict[str, Any]:
+    summary: Dict[str, Any] = {
+        "coverage": plan.coverage(),
+        "collected_pairs": plan.collected_pair_count(),
+        "requested_pairs": plan.requested_pair_count(),
+        "trees": plan.tree_count(),
+        "max_tree_depth": plan.max_tree_depth(),
+        "traffic_per_period": plan.total_message_cost(),
+        "collector_usage": plan.central_usage(),
+    }
+    if elapsed is not None:
+        summary["planning_seconds"] = elapsed
+    return summary
+
+
 def _plan(args) -> int:
     cluster, cost, tasks = _setup(args)
     planner = SCHEMES[args.scheme](cost)
     started = time.perf_counter()
     plan = planner.plan(tasks, cluster)
     elapsed = time.perf_counter() - started
+    plan.validate({n.node_id: n.capacity for n in cluster}, cluster.central_capacity)
+    summary = _plan_summary(plan, elapsed)
+    tree_rows = [
+        {
+            "attributes": sorted(attr_set),
+            "nodes": len(result.tree),
+            "height": result.tree.height(),
+            "pairs": result.tree.pair_count(),
+        }
+        for attr_set, result in sorted(plan.trees.items(), key=lambda kv: sorted(kv[0]))
+    ]
+    if args.json:
+        _emit_json(
+            {
+                "command": "plan",
+                "scheme": args.scheme,
+                "nodes": args.nodes,
+                "tasks": args.tasks,
+                "summary": summary,
+                "trees": tree_rows,
+            }
+        )
+        return 0
     print(
         format_table(
             f"{args.scheme} plan ({args.nodes} nodes, {args.tasks} tasks)",
             ["metric", "value"],
             [
-                ["coverage", round(plan.coverage(), 4)],
-                ["collected pairs", plan.collected_pair_count()],
-                ["requested pairs", plan.requested_pair_count()],
-                ["trees", plan.tree_count()],
-                ["max tree depth", plan.max_tree_depth()],
-                ["traffic / period", round(plan.total_message_cost(), 1)],
-                ["collector usage", round(plan.central_usage(), 1)],
+                ["coverage", round(summary["coverage"], 4)],
+                ["collected pairs", summary["collected_pairs"]],
+                ["requested pairs", summary["requested_pairs"]],
+                ["trees", summary["trees"]],
+                ["max tree depth", summary["max_tree_depth"]],
+                ["traffic / period", round(summary["traffic_per_period"], 1)],
+                ["collector usage", round(summary["collector_usage"], 1)],
                 ["planning seconds", round(elapsed, 3)],
             ],
         )
     )
     rows = [
         [
-            ",".join(sorted(attr_set)[:4]) + ("..." if len(attr_set) > 4 else ""),
-            len(result.tree),
-            result.tree.height(),
-            result.tree.pair_count(),
+            ",".join(row["attributes"][:4]) + ("..." if len(row["attributes"]) > 4 else ""),
+            row["nodes"],
+            row["height"],
+            row["pairs"],
         ]
-        for attr_set, result in sorted(plan.trees.items(), key=lambda kv: sorted(kv[0]))
+        for row in tree_rows
     ]
     print()
     print(format_table("trees", ["attributes", "nodes", "height", "pairs"], rows))
-    plan.validate(
-        {n.node_id: n.capacity for n in cluster}, cluster.central_capacity
-    )
     return 0
 
 
@@ -132,6 +190,28 @@ def _simulate(args) -> int:
     stats = MonitoringSimulation(
         plan, cluster, config=SimulationConfig(seed=args.seed)
     ).run(args.periods)
+    if args.json:
+        _emit_json(
+            {
+                "command": "simulate",
+                "scheme": args.scheme,
+                "nodes": args.nodes,
+                "tasks": args.tasks,
+                "periods": args.periods,
+                "planned_coverage": plan.coverage(),
+                "mean_percentage_error": stats.mean_percentage_error,
+                "mean_fresh_coverage": stats.mean_fresh_coverage,
+                "messages": {
+                    "sent": stats.messages_sent,
+                    "delivered": stats.messages_delivered,
+                    "dropped_capacity": stats.messages_dropped_capacity,
+                    "dropped_failure": stats.messages_dropped_failure,
+                },
+                "values_trimmed": stats.values_trimmed,
+                "cost_units_spent": stats.cost_units_spent,
+            }
+        )
+        return 0
     print(
         format_table(
             f"{args.scheme} simulated over {args.periods} periods",
@@ -157,21 +237,44 @@ def _adapt(args) -> int:
     svc = AdaptiveMonitoringService(cluster, cost, strategy=strategy)
     svc.initialize(tasks, now=0.0)
     stream = TaskUpdateStream(cluster, tasks, seed=args.seed + 2)
-    rows = []
+    batches = []
     for step in range(args.batches):
         batch = stream.next_batch()
         report = svc.apply_changes(batch, now=float(step + 1))
-        rows.append(
-            [
-                step + 1,
-                len(batch),
-                round(report.planning_seconds, 3),
-                report.adaptation_messages,
-                round(report.coverage, 4),
-                len(report.applied_ops),
-                report.throttled_ops,
-            ]
+        batches.append(
+            {
+                "batch": step + 1,
+                "ops": len(batch),
+                "cpu_seconds": report.planning_seconds,
+                "adaptation_messages": report.adaptation_messages,
+                "coverage": report.coverage,
+                "applied_ops": len(report.applied_ops),
+                "throttled_ops": report.throttled_ops,
+            }
         )
+    if args.json:
+        _emit_json(
+            {
+                "command": "adapt",
+                "strategy": strategy.value,
+                "nodes": args.nodes,
+                "tasks": args.tasks,
+                "batches": batches,
+            }
+        )
+        return 0
+    rows = [
+        [
+            b["batch"],
+            b["ops"],
+            round(b["cpu_seconds"], 3),
+            b["adaptation_messages"],
+            round(b["coverage"], 4),
+            b["applied_ops"],
+            b["throttled_ops"],
+        ]
+        for b in batches
+    ]
     print(
         format_table(
             f"{strategy.value} over {args.batches} update batches",
@@ -212,6 +315,73 @@ def _check(args) -> int:
     return 1 if report.has_errors else 0
 
 
+def _parse_outage(spec: str) -> AgentOutage:
+    """Parse a ``NODE:START:END`` outage spec (periods, end-exclusive)."""
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE:START:END (periods), got {spec!r}"
+        )
+    try:
+        node, start, end = (int(p) for p in parts)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"non-integer field in {spec!r}") from exc
+    try:
+        return AgentOutage(node=node, start=start, end=end)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _run(args) -> int:
+    if args.preset == "quickstart":
+        cluster, cost, tasks = quickstart_workload()
+        label = "quickstart"
+    else:
+        cluster, cost, tasks = _setup(args)
+        label = f"{args.nodes} nodes, {args.tasks} tasks"
+    plan = SCHEMES[args.scheme](cost).plan(tasks, cluster)
+
+    check_summary: Optional[Dict[str, int]] = None
+    if not args.no_verify:
+        # Launch gate: never start agents for a plan the static
+        # verifier rejects.
+        check_report = check_plan_for_cluster(plan, cluster)
+        check_summary = {
+            "errors": len(check_report.errors),
+            "warnings": len(check_report.warnings),
+        }
+        if check_report.has_errors:
+            print("plan verification failed, refusing to launch:", file=sys.stderr)
+            print(check_report.format(with_hints=True), file=sys.stderr)
+            return 1
+
+    config = RuntimeConfig(
+        period_seconds=args.period_seconds,
+        drop_policy=DropPolicy(args.drop_policy),
+        heartbeat_every=args.heartbeat_every,
+        failure_timeout=args.failure_timeout,
+        seed=args.seed,
+        outages=list(args.fail_node),
+    )
+    runtime = MonitoringRuntime(plan, cluster, config=config)
+    report = runtime.run(args.periods)
+    if args.json:
+        payload: Dict[str, Any] = {
+            "command": "run",
+            "scheme": args.scheme,
+            "workload": label,
+            "plan": _plan_summary(plan),
+            "drop_policy": config.drop_policy.value,
+        }
+        if check_summary is not None:
+            payload["plan_check"] = check_summary
+        payload.update(report.as_dict())
+        _emit_json(payload)
+        return 0
+    print(report.render(f"{args.scheme} live run ({label}, {args.periods} periods)"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,15 +391,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan_p = sub.add_parser("plan", help="plan a monitoring forest")
     _add_common(plan_p)
+    _add_json(plan_p)
     plan_p.set_defaults(func=_plan)
 
     sim_p = sub.add_parser("simulate", help="plan then simulate")
     _add_common(sim_p)
+    _add_json(sim_p)
     sim_p.add_argument("--periods", type=int, default=20, help="collection periods")
     sim_p.set_defaults(func=_simulate)
 
     adapt_p = sub.add_parser("adapt", help="run the adaptive service under churn")
     _add_common(adapt_p)
+    _add_json(adapt_p)
     adapt_p.add_argument("--batches", type=int, default=5, help="update batches")
     adapt_p.add_argument(
         "--strategy",
@@ -261,6 +434,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--codes", action="store_true", help="list the diagnostic-code registry and exit"
     )
     check_p.set_defaults(func=_check)
+
+    run_p = sub.add_parser(
+        "run", help="execute the plan live on the asyncio runtime"
+    )
+    _add_common(run_p)
+    _add_json(run_p)
+    run_p.add_argument(
+        "--preset",
+        choices=["quickstart"],
+        default=None,
+        help="use a canonical workload instead of the sampled one",
+    )
+    run_p.add_argument("--periods", type=int, default=10, help="collection periods")
+    run_p.add_argument(
+        "--period-seconds",
+        type=float,
+        default=0.1,
+        help="wall-clock seconds per collection period",
+    )
+    run_p.add_argument(
+        "--drop-policy",
+        choices=[p.value for p in DropPolicy],
+        default=DropPolicy.TRIM.value,
+        help="behaviour when a payload exceeds the per-period budget",
+    )
+    run_p.add_argument(
+        "--heartbeat-every", type=int, default=1, help="heartbeat interval in periods"
+    )
+    run_p.add_argument(
+        "--failure-timeout",
+        type=int,
+        default=3,
+        help="periods without heartbeat before the collector flags a node",
+    )
+    run_p.add_argument(
+        "--fail-node",
+        type=_parse_outage,
+        action="append",
+        default=[],
+        metavar="NODE:START:END",
+        help="crash NODE during periods [START, END) (repeatable)",
+    )
+    run_p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the pre-launch plan invariant check",
+    )
+    run_p.set_defaults(func=_run)
     return parser
 
 

@@ -1,0 +1,57 @@
+"""Live asyncio execution of a monitoring plan.
+
+Where :mod:`repro.simulation` *scores* a
+:class:`~repro.core.plan.MonitoringPlan` in a lock-step discrete-event
+simulator, this package *runs* one: every cluster node becomes a
+concurrent :class:`~repro.runtime.agent.NodeAgent` task, the central
+collector becomes a :class:`~repro.runtime.collector.CollectorAgent`,
+and update messages travel over a pluggable
+:class:`~repro.runtime.transport.Transport` (an in-process asyncio
+queue transport today; a socket transport is a planned follow-up).
+
+The behaviours the analytical evaluation cannot show live here:
+per-period capacity budgets with explicit drop / trim / defer
+(backpressure) policies, heartbeat-based failure detection at the
+collector, per-pair staleness, and real message-passing concurrency.
+A :class:`~repro.runtime.metrics.RuntimeMetrics` hub records counters
+and histograms and renders through :mod:`repro.analysis`.
+"""
+
+from repro.runtime.agent import NodeAgent, TreeRole
+from repro.runtime.collector import CollectorAgent, FailureEvent
+from repro.runtime.config import AgentOutage, DropPolicy, RuntimeConfig
+from repro.runtime.engine import MonitoringRuntime
+from repro.runtime.messages import (
+    COLLECTOR_ADDRESS,
+    Envelope,
+    HeartbeatEnvelope,
+    StopEnvelope,
+    TickEnvelope,
+    UpdateEnvelope,
+)
+from repro.runtime.metrics import Histogram, RuntimeMetrics
+from repro.runtime.report import RuntimePeriodSample, RuntimeReport
+from repro.runtime.transport import InProcessTransport, Transport
+
+__all__ = [
+    "AgentOutage",
+    "COLLECTOR_ADDRESS",
+    "CollectorAgent",
+    "DropPolicy",
+    "Envelope",
+    "FailureEvent",
+    "HeartbeatEnvelope",
+    "Histogram",
+    "InProcessTransport",
+    "MonitoringRuntime",
+    "NodeAgent",
+    "RuntimeConfig",
+    "RuntimeMetrics",
+    "RuntimePeriodSample",
+    "RuntimeReport",
+    "StopEnvelope",
+    "TickEnvelope",
+    "Transport",
+    "TreeRole",
+    "UpdateEnvelope",
+]

@@ -1,0 +1,180 @@
+"""The collector agent: scoring, staleness, and failure detection.
+
+The collector is the runtime's sink.  It keeps the last reading per
+node-attribute pair (reusing the simulator's
+:class:`~repro.simulation.collection.CollectorState`, so percentage
+error is computed by the exact same rule in both engines), and adds
+the two behaviours only a live system exhibits:
+
+- **failure detection** -- each agent heartbeats every
+  ``heartbeat_every`` periods; a node silent for ``failure_timeout``
+  periods is flagged ``down``, and flagged ``recovered`` when its
+  heartbeats resume;
+- **staleness tracking** -- at every period close, the age (in
+  periods) of each requested pair's newest reading is recorded into
+  the ``staleness_periods`` histogram, alongside wall-clock collection
+  latency per delivered batch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from repro.cluster.metrics import MetricRegistry
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.core.cost import CostModel
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.messages import (
+    COLLECTOR_ADDRESS,
+    HeartbeatEnvelope,
+    StopEnvelope,
+    TickEnvelope,
+    UpdateEnvelope,
+)
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.report import RuntimePeriodSample
+from repro.runtime.transport import Transport
+from repro.simulation.collection import CollectorState
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure-detector transition, observed at period close."""
+
+    node: NodeId
+    period: int
+    kind: str  # "down" | "recovered"
+
+
+class CollectorAgent:
+    """The central collector's runtime half."""
+
+    def __init__(
+        self,
+        requested_pairs: Sequence[NodeAttributePair],
+        expected_nodes: Sequence[NodeId],
+        central_capacity: float,
+        cost: CostModel,
+        registry: MetricRegistry,
+        transport: Transport,
+        metrics: RuntimeMetrics,
+        config: RuntimeConfig,
+    ) -> None:
+        self.requested_pairs = tuple(requested_pairs)
+        self.expected_nodes = tuple(sorted(expected_nodes))
+        self.central_capacity = central_capacity
+        self.cost = cost
+        self.registry = registry
+        self.transport = transport
+        self.metrics = metrics
+        self.config = config
+        self.state = CollectorState()
+        self.samples: List[RuntimePeriodSample] = []
+        self.failure_events: List[FailureEvent] = []
+        self._budget = central_capacity
+        self._current_period = -1
+        self._last_heartbeat: Dict[NodeId, int] = {}
+        self._failed: Set[NodeId] = set()
+        self._tick_monotonic: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Inbox loop for ticks, updates, and heartbeats."""
+        while True:
+            envelope = await self.transport.recv(COLLECTOR_ADDRESS)
+            if isinstance(envelope, StopEnvelope):
+                break
+            if isinstance(envelope, TickEnvelope):
+                self._on_tick(envelope)
+            elif isinstance(envelope, UpdateEnvelope):
+                self._on_update(envelope)
+            elif isinstance(envelope, HeartbeatEnvelope):
+                self._on_heartbeat(envelope)
+
+    # ------------------------------------------------------------------
+    def _on_tick(self, tick: TickEnvelope) -> None:
+        self._current_period = tick.period
+        self._budget = self.central_capacity
+        self._tick_monotonic[tick.period] = tick.sent_monotonic
+
+    def _on_update(self, envelope: UpdateEnvelope) -> None:
+        charge = envelope.cost(self.cost)
+        if self.config.enforce_capacity:
+            if self._budget < charge - _EPS:
+                self.metrics.incr("messages_dropped_capacity")
+                return
+            self._budget -= charge
+        for pair, reading in envelope.payload.items():
+            self.state.record(pair, reading)
+        self.metrics.incr("messages_delivered")
+        self.metrics.incr("cost_units_spent", charge)
+        tick_at = self._tick_monotonic.get(envelope.period)
+        if tick_at is not None:
+            self.metrics.observe("collection_latency_s", time.monotonic() - tick_at)
+
+    def _on_heartbeat(self, envelope: HeartbeatEnvelope) -> None:
+        self._last_heartbeat[envelope.sender] = envelope.period
+        if envelope.sender in self._failed:
+            self._failed.discard(envelope.sender)
+            self.failure_events.append(
+                FailureEvent(envelope.sender, max(self._current_period, 0), "recovered")
+            )
+            self.metrics.incr("failure_recoveries")
+
+    # ------------------------------------------------------------------
+    def close_period(self, period: int) -> RuntimePeriodSample:
+        """Score period ``period`` and run the failure detector.
+
+        Called by the engine after the period's wall-clock window (and
+        message settle) so the collector's view is compared against the
+        ground truth of the same period -- the simulator's deadline
+        measurement, reproduced live.
+        """
+        pairs = self.requested_pairs
+        n = len(pairs)
+        if n == 0:
+            sample = RuntimePeriodSample(period, 0.0, 1.0, 1.0)
+        else:
+            total_error = 0.0
+            fresh = 0
+            received = 0
+            for pair in pairs:
+                truth = self.registry.value(pair)
+                total_error += self.state.percentage_error(pair, truth)
+                reading = self.state.reading(pair)
+                if reading is not None:
+                    received += 1
+                    self.metrics.observe(
+                        "staleness_periods", float(period) - reading.sampled_at
+                    )
+                    if reading.sampled_at >= float(period) - _EPS:
+                        fresh += 1
+            sample = RuntimePeriodSample(
+                period=period,
+                mean_error=total_error / n,
+                fresh_fraction=fresh / n,
+                received_fraction=received / n,
+            )
+        self.samples.append(sample)
+        self.metrics.observe("period_coverage", sample.received_fraction)
+        self._detect_failures(period)
+        return sample
+
+    def _detect_failures(self, period: int) -> None:
+        for node in self.expected_nodes:
+            if node in self._failed:
+                continue
+            last_seen = self._last_heartbeat.get(node, -1)
+            if period - last_seen >= self.config.failure_timeout:
+                self._failed.add(node)
+                self.failure_events.append(FailureEvent(node, period, "down"))
+                self.metrics.incr("failure_detections")
+
+    @property
+    def failed_nodes(self) -> Set[NodeId]:
+        """Nodes currently flagged down by the failure detector."""
+        return set(self._failed)

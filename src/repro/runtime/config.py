@@ -1,0 +1,107 @@
+"""Runtime configuration: pacing, policies, and scripted outages.
+
+The runtime paces collection periods in *wall-clock seconds* (the
+simulator's abstract unit time becomes real time here), but all quality
+metrics are kept in *period units* so results are comparable across
+machines of different speed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.attributes import NodeId
+
+
+class DropPolicy(enum.Enum):
+    """What an agent does when its per-period budget cannot carry the
+    full payload it wants to send.
+
+    - ``TRIM``: send as many values as the budget affords, discard the
+      rest (mirrors the simulator's graceful-degradation behaviour, so
+      it is the parity default);
+    - ``DROP``: all-or-nothing -- if the whole payload does not fit,
+      send nothing and discard it;
+    - ``DEFER``: backpressure -- send what fits now and carry the
+      remainder over to the next period's payload.
+    """
+
+    TRIM = "trim"
+    DROP = "drop"
+    DEFER = "defer"
+
+
+@dataclass(frozen=True)
+class AgentOutage:
+    """Node ``node`` is dead during periods ``[start, end)``.
+
+    A dead agent sends no updates and no heartbeats and drops anything
+    it receives -- the collector's missed-heartbeat detector should
+    flag it, and flag the recovery once heartbeats resume.
+    """
+
+    node: NodeId
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"outage start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(
+                f"outage window must have end > start, got [{self.start}, {self.end})"
+            )
+
+    def covers(self, period: int) -> bool:
+        return self.start <= period < self.end
+
+
+@dataclass
+class RuntimeConfig:
+    """Tunable knobs of one live run."""
+
+    #: Wall-clock seconds per collection period.
+    period_seconds: float = 0.05
+    #: How long (as a fraction of the period) an interior node waits
+    #: for its children's batches before sending without them.  The
+    #: bottom-up wave is event-driven -- a node sends the moment every
+    #: child has reported -- so this deadline only binds when a child
+    #: is dead, dropped, or late.
+    child_wait_fraction: float = 0.5
+    #: Enforce per-period node/collector capacity budgets.
+    enforce_capacity: bool = True
+    #: Behaviour when a payload exceeds the sender's remaining budget.
+    drop_policy: DropPolicy = DropPolicy.TRIM
+    #: Send a heartbeat every this many periods.
+    heartbeat_every: int = 1
+    #: Collector flags a node as failed after this many periods without
+    #: a heartbeat.
+    failure_timeout: int = 3
+    #: Seed for the ground-truth metric registry (when the engine
+    #: constructs one itself).
+    seed: Optional[int] = None
+    #: Scripted node outages (crash/recovery scenarios).
+    outages: List[AgentOutage] = field(default_factory=lambda: [])
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise ValueError(f"period_seconds must be > 0, got {self.period_seconds}")
+        if not 0 < self.child_wait_fraction <= 1:
+            raise ValueError(
+                f"child_wait_fraction must be in (0, 1], got {self.child_wait_fraction}"
+            )
+        if self.heartbeat_every < 1:
+            raise ValueError(f"heartbeat_every must be >= 1, got {self.heartbeat_every}")
+        if self.failure_timeout < 1:
+            raise ValueError(f"failure_timeout must be >= 1, got {self.failure_timeout}")
+
+    @property
+    def child_wait_seconds(self) -> float:
+        """Wall-clock child-wait deadline per period."""
+        return self.child_wait_fraction * self.period_seconds
+
+    def node_down(self, node: NodeId, period: int) -> bool:
+        """Whether ``node`` is scripted dead during ``period``."""
+        return any(o.node == node and o.covers(period) for o in self.outages)

@@ -1,0 +1,84 @@
+"""Wire envelopes exchanged between runtime agents.
+
+Everything an agent can find in its inbox is an :class:`Envelope`:
+
+- :class:`TickEnvelope` -- the engine's period-start broadcast (the
+  runtime's clock distribution; a later socket transport would replace
+  this with per-node timers plus NTP-style sync);
+- :class:`UpdateEnvelope` -- a batch of attribute readings travelling
+  one hop up a monitoring tree;
+- :class:`HeartbeatEnvelope` -- the liveness signal the collector's
+  failure detector consumes;
+- :class:`StopEnvelope` -- orderly shutdown.
+
+Updates reuse the simulator's :class:`~repro.simulation.messages.Reading`
+value type, and their capacity charge is computed through the same
+:class:`~repro.core.cost.CostModel` -- one cost model, two execution
+engines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.core.cost import CostModel
+from repro.core.partition import AttributeSet
+from repro.simulation.messages import Reading
+
+#: Address of the central collector on any transport.
+COLLECTOR_ADDRESS: NodeId = -1
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Base class for everything a transport can carry."""
+
+
+@dataclass(frozen=True)
+class TickEnvelope(Envelope):
+    """Period ``period`` starts now.
+
+    ``sent_monotonic`` anchors wall-clock latency measurement: the
+    collector reports collection latency as arrival time minus the
+    tick's send time.
+    """
+
+    period: int
+    sent_monotonic: float = field(default_factory=time.monotonic)
+
+
+@dataclass(frozen=True)
+class UpdateEnvelope(Envelope):
+    """A batched monitoring update for one tree, one hop."""
+
+    sender: NodeId
+    tree: AttributeSet
+    period: int
+    payload: Dict[NodeAttributePair, Reading]
+
+    def cost(self, model: CostModel) -> float:
+        """Capacity charge on each endpoint (the ``C + a*x`` model)."""
+        return model.message_cost(len(self.payload))
+
+    def merge_into(self, buffer: Dict[NodeAttributePair, Reading]) -> None:
+        """Fold readings into a relay buffer, keeping the freshest."""
+        for pair, reading in self.payload.items():
+            existing = buffer.get(pair)
+            if existing is None or reading.sampled_at >= existing.sampled_at:
+                buffer[pair] = reading
+
+
+@dataclass(frozen=True)
+class HeartbeatEnvelope(Envelope):
+    """Liveness beacon from ``sender`` during ``period``."""
+
+    sender: NodeId
+    period: int
+
+
+@dataclass(frozen=True)
+class StopEnvelope(Envelope):
+    """Drain and exit."""

@@ -1,0 +1,139 @@
+"""The runtime's observability hub: counters and histograms.
+
+Every agent and the collector record into one shared
+:class:`RuntimeMetrics` instance; the engine snapshots it into the
+final :class:`~repro.runtime.report.RuntimeReport`.  Rendering goes
+through :mod:`repro.analysis` so live-run output lines up with the
+benchmark tables, and :meth:`RuntimeMetrics.as_dict` is the
+machine-readable face consumed by ``repro run --json`` and CI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Union
+
+from repro.analysis.report import format_table
+
+Number = Union[int, float]
+
+
+class Histogram:
+    """A value-list histogram with on-demand summary statistics.
+
+    The runtime's distributions are small (one observation per message
+    or per period), so keeping raw values and computing quantiles
+    exactly is both simplest and most accurate.  A streaming sketch is
+    the upgrade path if runs ever grow to millions of observations.
+    """
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return sum(self._values) / len(self._values)
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile by linear interpolation; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        position = q * (len(ordered) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return ordered[lower]
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "max": self.max,
+        }
+
+
+class RuntimeMetrics:
+    """Named counters plus named histograms.
+
+    Counter and histogram names are created on first touch so agents
+    do not need a registration step; :meth:`as_dict` and
+    :meth:`render` emit them sorted for stable output.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+    def incr(self, name: str, amount: Number = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self._histograms.setdefault(name, Histogram()).observe(value)
+
+    # -- reading -------------------------------------------------------
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "histograms": {
+                k: self._histograms[k].summary() for k in sorted(self._histograms)
+            },
+        }
+
+    def render(self) -> str:
+        """Aligned tables (via :mod:`repro.analysis`) for terminal output."""
+        counter_rows = [
+            [name, round(value, 3)] for name, value in sorted(self._counters.items())
+        ]
+        blocks = [format_table("runtime counters", ["counter", "value"], counter_rows)]
+        histogram_rows = []
+        for name in sorted(self._histograms):
+            s = self._histograms[name].summary()
+            histogram_rows.append(
+                [name, int(s["count"]), s["mean"], s["p50"], s["p95"], s["max"]]
+            )
+        if histogram_rows:
+            blocks.append(
+                format_table(
+                    "runtime histograms",
+                    ["histogram", "count", "mean", "p50", "p95", "max"],
+                    histogram_rows,
+                )
+            )
+        return "\n\n".join(blocks)

@@ -1,0 +1,97 @@
+"""The transport abstraction and its in-process implementation.
+
+Agents never talk to each other directly; they address peers by
+:class:`~repro.core.attributes.NodeId` (the collector is ``-1``)
+through a :class:`Transport`.  This is the seam a socket transport
+plugs into later: :class:`InProcessTransport` backs each address with
+an :class:`asyncio.Queue`, a TCP transport would back it with a
+connection -- the agents are identical either way.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from typing import Dict, List, Optional
+
+from repro.core.attributes import NodeId
+from repro.runtime.messages import Envelope
+
+
+class Transport(abc.ABC):
+    """Point-to-point, ordered, at-most-once envelope delivery."""
+
+    @abc.abstractmethod
+    def register(self, address: NodeId) -> None:
+        """Create an inbox for ``address`` (idempotent)."""
+
+    @abc.abstractmethod
+    def addresses(self) -> List[NodeId]:
+        """All registered addresses."""
+
+    @abc.abstractmethod
+    async def send(self, to: NodeId, envelope: Envelope) -> bool:
+        """Deliver ``envelope`` to ``to``'s inbox.
+
+        Returns ``False`` if the address is unknown (the runtime's
+        analogue of a connection refused -- the caller decides whether
+        that is an error).
+        """
+
+    @abc.abstractmethod
+    async def recv(self, address: NodeId, timeout: Optional[float] = None) -> Optional[Envelope]:
+        """Next envelope for ``address``, or ``None`` on timeout."""
+
+    @abc.abstractmethod
+    def pending(self, address: NodeId) -> int:
+        """Number of queued envelopes at ``address``."""
+
+    def close(self) -> None:
+        """Release transport resources (no-op by default)."""
+
+
+class InProcessTransport(Transport):
+    """Loopback transport: one :class:`asyncio.Queue` per address.
+
+    Delivery is immediate (enqueue on send); ordering per
+    sender-receiver pair follows send order, which is what a TCP
+    stream would give.  ``envelopes_sent`` / ``envelopes_delivered``
+    are raw transport counters -- the metrics hub reads them for its
+    transport health row.
+    """
+
+    def __init__(self) -> None:
+        self._queues: Dict[NodeId, "asyncio.Queue[Envelope]"] = {}
+        self.envelopes_sent = 0
+        self.envelopes_delivered = 0
+
+    def register(self, address: NodeId) -> None:
+        if address not in self._queues:
+            self._queues[address] = asyncio.Queue()
+
+    def addresses(self) -> List[NodeId]:
+        return sorted(self._queues)
+
+    async def send(self, to: NodeId, envelope: Envelope) -> bool:
+        queue = self._queues.get(to)
+        if queue is None:
+            return False
+        self.envelopes_sent += 1
+        queue.put_nowait(envelope)
+        return True
+
+    async def recv(self, address: NodeId, timeout: Optional[float] = None) -> Optional[Envelope]:
+        queue = self._queues[address]
+        if timeout is None:
+            envelope = await queue.get()
+        else:
+            try:
+                envelope = await asyncio.wait_for(queue.get(), timeout)
+            except asyncio.TimeoutError:
+                return None
+        self.envelopes_delivered += 1
+        return envelope
+
+    def pending(self, address: NodeId) -> int:
+        queue = self._queues.get(address)
+        return 0 if queue is None else queue.qsize()

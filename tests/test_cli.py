@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -119,3 +121,50 @@ class TestCommands:
         assert rc == 0
         assert "REMO101" in out
         assert "REMO303" in out
+
+
+class TestJsonOutput:
+    """`--json` must emit exactly one parseable object per invocation."""
+
+    ARGS = ["--nodes", "12", "--tasks", "3", "--pool", "8", "--seed", "5"]
+
+    def test_plan_json(self, capsys):
+        rc = main(["plan", *self.ARGS, "--scheme", "singleton", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "plan"
+        assert payload["scheme"] == "singleton"
+        assert 0.0 < payload["summary"]["coverage"] <= 1.0
+        assert payload["summary"]["trees"] == len(payload["trees"])
+        assert all("attributes" in row for row in payload["trees"])
+
+    def test_plan_json_matches_table_numbers(self, capsys):
+        rc = main(["plan", *self.ARGS, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        rc = main(["plan", *self.ARGS])
+        assert rc == 0
+        table = capsys.readouterr().out
+        assert str(payload["summary"]["collected_pairs"]) in table
+        assert str(payload["summary"]["trees"]) in table
+
+    def test_simulate_json(self, capsys):
+        rc = main(["simulate", *self.ARGS, "--periods", "5", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+        assert payload["periods"] == 5
+        assert payload["messages"]["sent"] > 0
+        assert payload["messages"]["delivered"] <= payload["messages"]["sent"]
+        assert 0.0 <= payload["mean_percentage_error"] <= 1.0
+
+    def test_adapt_json(self, capsys):
+        rc = main(
+            ["adapt", *self.ARGS, "--batches", "2", "--strategy", "direct_apply", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "adapt"
+        assert payload["strategy"] == "direct_apply"
+        assert [b["batch"] for b in payload["batches"]] == [1, 2]
+        assert all("coverage" in b for b in payload["batches"])

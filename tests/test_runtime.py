@@ -1,0 +1,293 @@
+"""Tests for the live asyncio runtime (`repro.runtime`)."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.node import Cluster, SimNode
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.runtime import (
+    AgentOutage,
+    COLLECTOR_ADDRESS,
+    DropPolicy,
+    Histogram,
+    InProcessTransport,
+    MonitoringRuntime,
+    RuntimeConfig,
+    RuntimeMetrics,
+    TickEnvelope,
+)
+
+COST = CostModel(2.0, 1.0)
+
+FAST = dict(period_seconds=0.02, seed=1)
+
+
+def plan_for(cluster, pairs, partition=None):
+    partition = partition or Partition.singletons({p.attribute for p in pairs})
+    return ForestBuilder(COST).build(partition, pairs, cluster)
+
+
+def overloaded_setup(root_budget_delta: float):
+    """Plan against generous capacity, then run with the tree root's
+    budget set to ``used + root_budget_delta`` (negative overloads it)."""
+    plan_nodes = [
+        SimNode(i, capacity=100.0, attributes=frozenset({"a"})) for i in range(8)
+    ]
+    plan_cluster = Cluster(plan_nodes, central_capacity=500.0)
+    pairs = pairs_for(range(8), ["a"])
+    plan = ForestBuilder(COST).build(Partition.one_set(["a"]), pairs, plan_cluster)
+    tree = plan.trees[frozenset({"a"})].tree
+    root = tree.root
+    root_budget = max(tree.used(root) + root_budget_delta, 1e-6)
+    run_nodes = [
+        SimNode(
+            i,
+            capacity=root_budget if i == root else 100.0,
+            attributes=frozenset({"a"}),
+        )
+        for i in range(8)
+    ]
+    return plan, Cluster(run_nodes, central_capacity=500.0)
+
+
+class TestTransport:
+    def test_send_recv_roundtrip(self):
+        async def scenario():
+            transport = InProcessTransport()
+            transport.register(1)
+            tick = TickEnvelope(period=0)
+            assert await transport.send(1, tick)
+            assert transport.pending(1) == 1
+            received = await transport.recv(1, timeout=0.1)
+            assert received is tick
+            assert transport.pending(1) == 0
+
+        asyncio.run(scenario())
+
+    def test_send_to_unknown_address_is_refused(self):
+        async def scenario():
+            transport = InProcessTransport()
+            assert not await transport.send(99, TickEnvelope(period=0))
+
+        asyncio.run(scenario())
+
+    def test_recv_timeout_returns_none(self):
+        async def scenario():
+            transport = InProcessTransport()
+            transport.register(COLLECTOR_ADDRESS)
+            assert await transport.recv(COLLECTOR_ADDRESS, timeout=0.01) is None
+
+        asyncio.run(scenario())
+
+    def test_transport_counts_envelopes(self):
+        async def scenario():
+            transport = InProcessTransport()
+            transport.register(1)
+            await transport.send(1, TickEnvelope(period=0))
+            await transport.send(1, TickEnvelope(period=1))
+            await transport.recv(1)
+            assert transport.envelopes_sent == 2
+            assert transport.envelopes_delivered == 1
+
+        asyncio.run(scenario())
+
+
+class TestMetrics:
+    def test_histogram_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.mean == pytest.approx(50.5)
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(1.0) == pytest.approx(100.0)
+        assert h.min == pytest.approx(1.0)
+
+    def test_histogram_empty_and_bad_quantile(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["count"] == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_counters_and_dict_shape(self):
+        m = RuntimeMetrics()
+        m.incr("messages_sent")
+        m.incr("messages_sent", 2)
+        m.observe("latency", 0.5)
+        snapshot = m.as_dict()
+        assert snapshot["counters"]["messages_sent"] == 3.0
+        assert snapshot["histograms"]["latency"]["count"] == 1.0
+        assert "messages_sent" in m.render()
+
+
+class TestConfig:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(period_seconds=0.0)
+
+    def test_rejects_bad_child_wait(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(child_wait_fraction=0.0)
+
+    def test_rejects_bad_timeouts(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(heartbeat_every=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(failure_timeout=0)
+
+    def test_outage_window_validates(self):
+        with pytest.raises(ValueError):
+            AgentOutage(node=1, start=5, end=5)
+        with pytest.raises(ValueError):
+            AgentOutage(node=1, start=-1, end=2)
+
+
+class TestHappyPath:
+    def test_feasible_plan_runs_clean(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        plan = plan_for(small_cluster, pairs)
+        report = MonitoringRuntime(
+            plan, small_cluster, config=RuntimeConfig(**FAST)
+        ).run(8)
+        assert report.final_coverage == pytest.approx(1.0)
+        assert report.mean_fresh_coverage == pytest.approx(1.0)
+        assert report.messages_dropped == 0
+        assert report.mean_percentage_error == pytest.approx(0.0, abs=1e-9)
+        assert len(report.samples) == 8
+
+    def test_message_volume_matches_topology(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        plan = plan_for(small_cluster, pairs)
+        members = sum(len(r.tree) for r in plan.trees.values())
+        report = MonitoringRuntime(
+            plan, small_cluster, config=RuntimeConfig(**FAST)
+        ).run(5)
+        assert report.messages_sent == 5 * members
+        assert int(report.metrics.counter("heartbeats_sent")) == 5 * members
+
+    def test_heartbeat_interval_respected(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        plan = plan_for(small_cluster, pairs)
+        config = RuntimeConfig(heartbeat_every=2, **FAST)
+        report = MonitoringRuntime(plan, small_cluster, config=config).run(4)
+        members = sum(len(r.tree) for r in plan.trees.values())
+        assert int(report.metrics.counter("heartbeats_sent")) == 2 * members
+
+    def test_rejects_nonpositive_periods(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        plan = plan_for(small_cluster, pairs)
+        runtime = MonitoringRuntime(plan, small_cluster, config=RuntimeConfig(**FAST))
+        with pytest.raises(ValueError):
+            runtime.run(0)
+
+    def test_report_is_json_shaped(self, small_cluster):
+        import json
+
+        pairs = pairs_for(range(6), ["a"])
+        plan = plan_for(small_cluster, pairs)
+        report = MonitoringRuntime(
+            plan, small_cluster, config=RuntimeConfig(**FAST)
+        ).run(3)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["coverage"]["final"] == pytest.approx(1.0)
+        assert payload["messages"]["sent"] > 0
+        assert len(payload["per_period"]) == 3
+
+
+class TestDropPolicies:
+    def test_trim_sheds_values_not_messages(self):
+        plan, cluster = overloaded_setup(root_budget_delta=-2.0)
+        config = RuntimeConfig(drop_policy=DropPolicy.TRIM, **FAST)
+        report = MonitoringRuntime(plan, cluster, config=config).run(5)
+        assert int(report.metrics.counter("values_trimmed")) > 0
+        assert int(report.metrics.counter("messages_dropped_capacity")) == 0
+        assert report.mean_fresh_coverage > 0.5
+
+    def test_drop_is_all_or_nothing(self):
+        plan, cluster = overloaded_setup(root_budget_delta=-2.0)
+        config = RuntimeConfig(drop_policy=DropPolicy.DROP, **FAST)
+        report = MonitoringRuntime(plan, cluster, config=config).run(5)
+        assert int(report.metrics.counter("messages_dropped_capacity")) > 0
+        assert int(report.metrics.counter("values_trimmed")) == 0
+
+    def test_defer_carries_overflow_to_next_period(self):
+        plan, cluster = overloaded_setup(root_budget_delta=-2.0)
+        config = RuntimeConfig(drop_policy=DropPolicy.DEFER, **FAST)
+        report = MonitoringRuntime(plan, cluster, config=config).run(6)
+        assert int(report.metrics.counter("values_deferred")) > 0
+        assert int(report.metrics.counter("values_trimmed")) == 0
+        # Backpressure trades freshness, not coverage: deferred values
+        # still arrive eventually.
+        assert report.final_coverage == pytest.approx(1.0)
+        assert report.metrics.histogram("staleness_periods").max >= 1.0
+
+    def test_enforcement_off_ignores_budgets(self):
+        plan, cluster = overloaded_setup(root_budget_delta=-1e9)
+        config = RuntimeConfig(enforce_capacity=False, **FAST)
+        report = MonitoringRuntime(plan, cluster, config=config).run(5)
+        assert report.messages_dropped == 0
+        assert report.mean_fresh_coverage == pytest.approx(1.0)
+
+
+class TestFailureDetection:
+    def _chain_plan(self, cluster):
+        pairs = pairs_for(range(6), ["a"])
+        return plan_for(cluster, pairs, Partition.one_set(["a"]))
+
+    def test_dead_node_is_flagged_and_recovers(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        plan = plan_for(small_cluster, pairs)
+        config = RuntimeConfig(
+            failure_timeout=2,
+            outages=[AgentOutage(node=3, start=2, end=5)],
+            **FAST,
+        )
+        report = MonitoringRuntime(plan, small_cluster, config=config).run(9)
+        kinds = [(e.node, e.kind) for e in report.failure_events]
+        assert (3, "down") in kinds
+        assert (3, "recovered") in kinds
+        down = next(e for e in report.failure_events if e.kind == "down")
+        recovered = next(e for e in report.failure_events if e.kind == "recovered")
+        # Flagged after the timeout lapses, recovered after the outage.
+        assert down.period >= 2
+        assert recovered.period >= 5
+
+    def test_interior_node_outage_loses_subtree(self):
+        # A chain-ish single tree: killing an interior node silences
+        # its whole subtree (messages dropped at the dead hop).
+        nodes = [
+            SimNode(node_id=i, capacity=40.0, attributes=frozenset({"a"}))
+            for i in range(6)
+        ]
+        cluster = Cluster(nodes, central_capacity=60.0)
+        plan = self._chain_plan(cluster)
+        interior = None
+        tree = plan.trees[frozenset({"a"})].tree
+        for node in tree.nodes:
+            if tree.parent(node) is not None and tree.children(node):
+                interior = node
+                break
+        assert interior is not None, "workload should build a multi-level tree"
+        config = RuntimeConfig(outages=[AgentOutage(node=interior, start=1, end=4)], **FAST)
+        report = MonitoringRuntime(plan, cluster, config=config).run(6)
+        lost = 1 + len(tree.subtree_nodes(interior)) - 1
+        assert int(report.metrics.counter("messages_dropped_failure")) > 0
+        # Freshness dips while the subtree is dark, then recovers.
+        dark = [s.fresh_fraction for s in report.samples if 1 <= s.period < 4]
+        bright = [s.fresh_fraction for s in report.samples if s.period >= 4]
+        assert max(dark) < 1.0
+        assert bright[-1] == pytest.approx(1.0)
+        assert lost >= 2
+
+    def test_down_agent_sends_nothing(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        plan = plan_for(small_cluster, pairs)
+        config = RuntimeConfig(outages=[AgentOutage(node=0, start=0, end=100)], **FAST)
+        report = MonitoringRuntime(plan, small_cluster, config=config).run(4)
+        assert int(report.metrics.counter("agent_down_periods")) == 4
+        assert report.mean_fresh_coverage < 1.0

@@ -1,0 +1,178 @@
+"""Runtime / simulator parity and `repro run --json` contract tests.
+
+The acceptance bar for the live runtime: the same plan and
+``MetricRegistry`` seed, executed through both
+:class:`~repro.simulation.engine.MonitoringSimulation` (lock-step
+discrete events) and :class:`~repro.runtime.engine.MonitoringRuntime`
+(concurrent asyncio agents), must agree on collected-pair coverage to
+within five percentage points.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.metrics import MetricRegistry
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.core.planner import RemoPlanner
+from repro.runtime import MonitoringRuntime, RuntimeConfig
+from repro.simulation import MonitoringSimulation, SimulationConfig
+from repro.workloads.presets import quickstart_workload
+
+COST = CostModel(2.0, 1.0)
+
+#: Acceptance tolerance: five percentage points of coverage.
+TOLERANCE = 0.05
+
+
+def run_both(plan, cluster, periods=12, seed=9):
+    """One plan, two engines, same registry seed."""
+    sim_stats = MonitoringSimulation(
+        plan,
+        cluster,
+        registry=MetricRegistry(plan.pairs, seed=seed),
+        config=SimulationConfig(seed=seed),
+    ).run(periods)
+    runtime_report = MonitoringRuntime(
+        plan,
+        cluster,
+        registry=MetricRegistry(plan.pairs, seed=seed),
+        config=RuntimeConfig(period_seconds=0.02, seed=seed),
+    ).run(periods)
+    return sim_stats, runtime_report
+
+
+class TestCoverageParity:
+    def test_parity_on_feasible_plan(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        plan = ForestBuilder(COST).build(
+            Partition.singletons({"a", "b"}), pairs, small_cluster
+        )
+        sim_stats, runtime_report = run_both(plan, small_cluster)
+        sim_coverage = sum(p.received_fraction for p in sim_stats.periods) / len(
+            sim_stats.periods
+        )
+        assert runtime_report.mean_coverage == pytest.approx(
+            sim_coverage, abs=TOLERANCE
+        )
+        assert runtime_report.final_coverage == pytest.approx(
+            sim_stats.periods[-1].received_fraction, abs=TOLERANCE
+        )
+
+    def test_parity_on_partial_coverage_plan(self, tight_cluster):
+        # A plan that cannot collect everything: both engines should
+        # agree on how much actually arrives.
+        pairs = pairs_for(range(20), ["a", "b", "c", "d"])
+        plan = ForestBuilder(COST).build(
+            Partition.singletons({"a", "b", "c", "d"}), pairs, tight_cluster
+        )
+        assert plan.coverage() < 1.0
+        sim_stats, runtime_report = run_both(plan, tight_cluster)
+        sim_coverage = sum(p.received_fraction for p in sim_stats.periods) / len(
+            sim_stats.periods
+        )
+        assert runtime_report.mean_coverage == pytest.approx(
+            sim_coverage, abs=TOLERANCE
+        )
+
+    def test_parity_on_quickstart_remo_plan(self):
+        cluster, cost, tasks = quickstart_workload()
+        plan = RemoPlanner(cost).plan(tasks, cluster)
+        sim_stats, runtime_report = run_both(plan, cluster, periods=8)
+        sim_coverage = sum(p.received_fraction for p in sim_stats.periods) / len(
+            sim_stats.periods
+        )
+        assert runtime_report.mean_coverage == pytest.approx(
+            sim_coverage, abs=TOLERANCE
+        )
+        # Both engines should deliver what the planner promised.
+        assert runtime_report.final_coverage == pytest.approx(
+            plan.coverage(), abs=TOLERANCE
+        )
+
+    def test_runtime_message_count_matches_simulator(self, small_cluster):
+        pairs = pairs_for(range(6), ["a"])
+        plan = ForestBuilder(COST).build(
+            Partition.singletons({"a"}), pairs, small_cluster
+        )
+        sim_stats, runtime_report = run_both(plan, small_cluster, periods=6)
+        assert runtime_report.messages_sent == sim_stats.messages_sent
+
+
+class TestRunCliJson:
+    def test_run_json_reports_required_fields(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "12", "--tasks", "3", "--pool", "8",
+                "--scheme", "singleton",
+                "--periods", "4", "--period-seconds", "0.02", "--seed", "2",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The acceptance contract: messages, drops, coverage, and
+        # failure-detection events are all present and consistent.
+        assert payload["command"] == "run"
+        assert payload["messages"]["sent"] > 0
+        assert payload["messages"]["dropped_capacity"] == 0
+        assert payload["coverage"]["final"] > 0.0
+        assert payload["failure_events"] == []
+        assert payload["plan_check"] == {"errors": 0, "warnings": 0}
+        assert len(payload["per_period"]) == 4
+
+    def test_run_json_surfaces_failure_events(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "10", "--tasks", "3", "--pool", "6",
+                "--scheme", "singleton",
+                "--periods", "8", "--period-seconds", "0.02", "--seed", "2",
+                "--failure-timeout", "2",
+                "--fail-node", "1:1:20",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(
+            e["node"] == 1 and e["kind"] == "down" for e in payload["failure_events"]
+        )
+
+    def test_run_quickstart_preset(self, capsys):
+        rc = main(
+            [
+                "run", "--preset", "quickstart",
+                "--periods", "3", "--period-seconds", "0.02", "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "quickstart"
+        assert payload["coverage"]["final"] > 0.9
+
+    def test_run_table_output(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--nodes", "10", "--tasks", "3", "--pool", "6",
+                "--scheme", "singleton",
+                "--periods", "3", "--period-seconds", "0.02",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "live run" in out
+        assert "mean coverage" in out
+        assert "runtime counters" in out
+
+    def test_run_rejects_malformed_outage_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--fail-node", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["run", "--fail-node", "1:5:2"])
