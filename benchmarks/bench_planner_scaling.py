@@ -1,0 +1,152 @@
+"""Planner wall-clock scaling under incremental cost propagation.
+
+The delta-based tree model (see DESIGN.md) exists to make planning
+cheap at paper scale; this bench measures it directly.  For each
+workload size N the planner runs the CLI-default regime (N nodes, N
+tasks, capacity 400, C=20/a=1) and reports wall-clock time alongside
+the search-effort counters from :class:`PlanningStats`.
+
+Besides the human-readable table, results are persisted as
+``BENCH_planner.json`` under ``benchmarks/results/`` (override with
+``REPRO_BENCH_RESULTS``) using the same field names the CLI's
+``repro plan --json`` emits in its ``planning`` block, so the two
+sources can be joined.
+
+Run standalone for custom sizes (the CI perf-smoke job does this)::
+
+    PYTHONPATH=src python benchmarks/bench_planner_scaling.py --sizes 80
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, List, Sequence
+
+from _common import emit, results_dir
+from repro.analysis.report import format_table
+from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner
+from repro.workloads.tasks import TaskSampler
+
+COST = CostModel(per_message=20.0, per_value=1.0)
+DEFAULT_SIZES = (50, 100, 200)
+
+
+def _workload(n_nodes: int, n_tasks: int, seed: int = 1):
+    """The CLI-default regime at size ``n_nodes`` x ``n_tasks``."""
+    cluster = make_uniform_cluster(
+        n_nodes=n_nodes,
+        capacity=400.0,
+        attrs_per_node=16,
+        attribute_pool=default_attribute_pool(32),
+        central_capacity=1200.0,
+        seed=seed,
+    )
+    tasks = TaskSampler(cluster, seed=seed + 1).sample_many(
+        n_tasks, (2, 5), (max(5, n_nodes // 6), max(6, n_nodes // 2))
+    )
+    return cluster, tasks
+
+
+def measure(n_nodes: int, n_tasks: int, parallelism: int = 1) -> Dict:
+    cluster, tasks = _workload(n_nodes, n_tasks)
+    planner = RemoPlanner(COST, parallelism=parallelism)
+    plan, stats = planner.plan_with_stats(tasks, cluster)
+    return {
+        "nodes": n_nodes,
+        "tasks": n_tasks,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "iterations": stats.iterations,
+        "candidates_ranked": stats.candidates_ranked,
+        "candidates_evaluated": stats.candidates_evaluated,
+        "accepted_ops": list(stats.accepted_ops),
+        "coverage": plan.coverage(),
+        "collected_pairs": plan.collected_pair_count(),
+        "trees": plan.tree_count(),
+        "traffic_per_period": plan.total_message_cost(),
+    }
+
+
+def run_scaling(sizes: Sequence[int], parallelism: int = 1) -> List[Dict]:
+    return [measure(n, n, parallelism=parallelism) for n in sizes]
+
+
+def persist(rows: List[Dict], parallelism: int) -> str:
+    payload = {
+        "bench": "planner_scaling",
+        "parallelism": parallelism,
+        "results": rows,
+    }
+    target = results_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, "BENCH_planner.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def report(rows: List[Dict]) -> None:
+    emit(
+        "planner_scaling",
+        format_table(
+            "Planner scaling (CLI-default regime, tasks = nodes)",
+            ["nodes", "seconds", "evaluated", "accepted", "coverage"],
+            [
+                [
+                    row["nodes"],
+                    round(row["elapsed_seconds"], 2),
+                    row["candidates_evaluated"],
+                    len(row["accepted_ops"]),
+                    round(row["coverage"], 4),
+                ]
+                for row in rows
+            ],
+        ),
+    )
+
+
+def _env_sizes() -> Sequence[int]:
+    raw = os.environ.get("REPRO_BENCH_SIZES")
+    if not raw:
+        return DEFAULT_SIZES
+    return tuple(int(tok) for tok in raw.replace(",", " ").split())
+
+
+def test_planner_scaling(benchmark):
+    sizes = _env_sizes()
+    rows = benchmark.pedantic(run_scaling, args=(sizes,), rounds=1, iterations=1)
+    report(rows)
+    persist(rows, parallelism=1)
+    for row in rows:
+        assert row["coverage"] > 0.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SIZES),
+        help="workload sizes (nodes; tasks = nodes)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="planner worker processes (results are serial-identical)",
+    )
+    args = parser.parse_args()
+    rows = run_scaling(args.sizes, parallelism=args.parallelism)
+    report(rows)
+    path = persist(rows, args.parallelism)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,12 @@ from repro.checks.diagnostics import (
     describe_codes,
 )
 from repro.checks.faults import FAULT_KINDS, inject_fault
-from repro.checks.recompute import NodeAccounting, TreeAccounting, recompute_tree
+from repro.checks.recompute import (
+    NodeAccounting,
+    TreeAccounting,
+    assert_tree_matches_recompute,
+    recompute_tree,
+)
 from repro.checks.runner import assert_plan_valid, check_plan, check_plan_for_cluster
 from repro.checks.structure import check_partition, check_tree
 
@@ -47,6 +52,7 @@ __all__ = [
     "Severity",
     "TreeAccounting",
     "assert_plan_valid",
+    "assert_tree_matches_recompute",
     "check_adaptation_step",
     "check_budgets",
     "check_partition",

@@ -129,3 +129,45 @@ def recompute_tree(tree: MonitoringTree) -> TreeAccounting:
         pair_count=pair_count,
         central_used=accounting[root].send,
     )
+
+
+def assert_tree_matches_recompute(tree: MonitoringTree, tol: float = 1e-6) -> None:
+    """Assert the tree's incremental caches agree with a from-scratch pass.
+
+    The tree maintains outgoing values, message weights, and send and
+    receive costs delta-by-delta as nodes are added, removed, and moved;
+    this oracle recomputes all of them bottom-up via
+    :func:`recompute_tree` and raises ``AssertionError`` on any
+    divergence beyond ``tol``.  It is the equivalence check behind the
+    incremental-maintenance property tests.
+    """
+    acc = recompute_tree(tree)
+    if tree.pair_count() != acc.pair_count:
+        raise AssertionError(
+            f"pair count drift: cached {tree.pair_count()}, recomputed {acc.pair_count}"
+        )
+    cached_nodes = set(tree.nodes)
+    if cached_nodes != set(acc.nodes):
+        raise AssertionError(
+            f"membership drift: cached {sorted(cached_nodes)}, "
+            f"recomputed {sorted(acc.nodes)}"
+        )
+    for node in tree.nodes:
+        node_acc = acc.nodes[node]
+        quantities = (
+            ("outgoing values", tree.outgoing_values(node), node_acc.total_values),
+            ("message weight", tree.message_weight(node), node_acc.msg_weight),
+            ("send cost", tree.send_cost(node), node_acc.send),
+            ("receive cost", tree.recv_cost(node), node_acc.recv),
+        )
+        for label, cached, recomputed in quantities:
+            if abs(cached - recomputed) > tol:
+                raise AssertionError(
+                    f"{label} drift at node {node}: cached {cached!r}, "
+                    f"recomputed {recomputed!r}"
+                )
+    if abs(tree.central_used() - acc.central_used) > tol:
+        raise AssertionError(
+            f"central usage drift: cached {tree.central_used()!r}, "
+            f"recomputed {acc.central_used!r}"
+        )

@@ -125,12 +125,33 @@ def _plan_summary(plan, elapsed: Optional[float] = None) -> Dict[str, Any]:
     return summary
 
 
+def _planning_stats_payload(stats) -> Dict[str, Any]:
+    """JSON block for :class:`PlanningStats`.
+
+    The same field names are emitted by ``benchmarks/
+    bench_planner_scaling.py`` so dashboards can join the two sources.
+    """
+    return {
+        "iterations": stats.iterations,
+        "candidates_ranked": stats.candidates_ranked,
+        "candidates_evaluated": stats.candidates_evaluated,
+        "accepted_ops": list(stats.accepted_ops),
+        "elapsed_seconds": stats.elapsed_seconds,
+    }
+
+
 def _plan(args) -> int:
     cluster, cost, tasks = _setup(args)
-    planner = SCHEMES[args.scheme](cost)
-    started = time.perf_counter()
-    plan = planner.plan(tasks, cluster)
-    elapsed = time.perf_counter() - started
+    pstats = None
+    if args.scheme == "remo":
+        planner = RemoPlanner(cost, parallelism=getattr(args, "parallelism", 1))
+        plan, pstats = planner.plan_with_stats(tasks, cluster)
+        elapsed = pstats.elapsed_seconds
+    else:
+        planner = SCHEMES[args.scheme](cost)
+        started = time.perf_counter()
+        plan = planner.plan(tasks, cluster)
+        elapsed = time.perf_counter() - started
     plan.validate({n.node_id: n.capacity for n in cluster}, cluster.central_capacity)
     summary = _plan_summary(plan, elapsed)
     tree_rows = [
@@ -143,31 +164,42 @@ def _plan(args) -> int:
         for attr_set, result in sorted(plan.trees.items(), key=lambda kv: sorted(kv[0]))
     ]
     if args.json:
-        _emit_json(
-            {
-                "command": "plan",
-                "scheme": args.scheme,
-                "nodes": args.nodes,
-                "tasks": args.tasks,
-                "summary": summary,
-                "trees": tree_rows,
-            }
-        )
+        payload: Dict[str, Any] = {
+            "command": "plan",
+            "scheme": args.scheme,
+            "nodes": args.nodes,
+            "tasks": args.tasks,
+            "summary": summary,
+            "trees": tree_rows,
+        }
+        if pstats is not None:
+            payload["planning"] = _planning_stats_payload(pstats)
+        _emit_json(payload)
         return 0
+    metric_rows = [
+        ["coverage", round(summary["coverage"], 4)],
+        ["collected pairs", summary["collected_pairs"]],
+        ["requested pairs", summary["requested_pairs"]],
+        ["trees", summary["trees"]],
+        ["max tree depth", summary["max_tree_depth"]],
+        ["traffic / period", round(summary["traffic_per_period"], 1)],
+        ["collector usage", round(summary["collector_usage"], 1)],
+        ["planning seconds", round(elapsed, 3)],
+    ]
+    if pstats is not None:
+        metric_rows.extend(
+            [
+                ["search iterations", pstats.iterations],
+                ["candidates ranked", pstats.candidates_ranked],
+                ["candidates evaluated", pstats.candidates_evaluated],
+                ["accepted ops", len(pstats.accepted_ops)],
+            ]
+        )
     print(
         format_table(
             f"{args.scheme} plan ({args.nodes} nodes, {args.tasks} tasks)",
             ["metric", "value"],
-            [
-                ["coverage", round(summary["coverage"], 4)],
-                ["collected pairs", summary["collected_pairs"]],
-                ["requested pairs", summary["requested_pairs"]],
-                ["trees", summary["trees"]],
-                ["max tree depth", summary["max_tree_depth"]],
-                ["traffic / period", round(summary["traffic_per_period"], 1)],
-                ["collector usage", round(summary["collector_usage"], 1)],
-                ["planning seconds", round(elapsed, 3)],
-            ],
+            metric_rows,
         )
     )
     rows = [
@@ -392,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p = sub.add_parser("plan", help="plan a monitoring forest")
     _add_common(plan_p)
     _add_json(plan_p)
+    plan_p.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker processes for candidate evaluation (remo scheme only; "
+        "results are identical to a serial run)",
+    )
     plan_p.set_defaults(func=_plan)
 
     sim_p = sub.add_parser("simulate", help="plan then simulate")

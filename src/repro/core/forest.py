@@ -8,7 +8,7 @@ whose collected-pair count is the objective the local search compares.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cluster.node import Cluster
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
@@ -95,10 +95,12 @@ class ForestBuilder:
         if keep and not self.allocation.is_sequential:
             raise ValueError("keep is only supported under sequential allocation")
 
-        demands = self._demands_by_set(partition, pair_set, pair_weights)
-        set_volumes = {
-            s: sum(len(d) for d in demands[s].values()) for s in partition.sets
-        }
+        # Kept trees are retained verbatim, so their per-node demand
+        # dicts are never read -- only their volume (for build
+        # ordering); skip materializing them.
+        demands, set_volumes = self._demands_by_set(
+            partition, pair_set, pair_weights, skip=frozenset(keep)
+        )
 
         if self.allocation.is_sequential:
             results = self._build_sequential(
@@ -116,13 +118,24 @@ class ForestBuilder:
         partition: Partition,
         pairs: Iterable[NodeAttributePair],
         pair_weights: Optional[PairWeights],
-    ) -> Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]]:
+        skip: FrozenSet[AttributeSet] = frozenset(),
+    ) -> Tuple[
+        Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]],
+        Dict[AttributeSet, int],
+    ]:
+        """Group pair demands by partition set and count set volumes.
+
+        Sets in ``skip`` get volumes but no demand dicts (their trees
+        are being kept verbatim, so demands would go unread).
+        """
         attr_to_set = {a: s for s in partition.sets for a in s}
         demands: Dict[AttributeSet, Dict[NodeId, Dict[AttributeId, float]]] = {
-            s: {} for s in partition.sets
+            s: {} for s in partition.sets if s not in skip
         }
+        volumes: Dict[AttributeSet, int] = {s: 0 for s in partition.sets}
         for pair in pairs:
             target = attr_to_set[pair.attribute]
+            volumes[target] += 1
             weight = 1.0
             if pair_weights is not None:
                 weight = pair_weights.get(pair, 1.0)
@@ -130,8 +143,10 @@ class ForestBuilder:
                     raise ValueError(
                         f"pair weight for {pair} must be in (0, 1], got {weight}"
                     )
+            if target in skip:
+                continue
             demands[target].setdefault(pair.node, {})[pair.attribute] = weight
-        return demands
+        return demands, volumes
 
     def _build_sequential(
         self,

@@ -21,9 +21,22 @@ paper's rationale for ranking by usage reduction in the first place).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.checks.runner import assert_plan_valid
 from repro.cluster.node import Cluster
@@ -61,6 +74,96 @@ class PlanningStats:
 def objective(plan: MonitoringPlan) -> Tuple[int, float]:
     """Lexicographic objective: collected pairs up, message volume down."""
     return (plan.collected_pair_count(), -plan.total_message_cost())
+
+
+@dataclass(frozen=True)
+class _EvalContext:
+    """Everything a candidate evaluation needs besides the incumbent.
+
+    One instance is created per :meth:`RemoPlanner.plan_with_stats`
+    call and shared by the serial path and (via the process-pool
+    initializer) every worker, so both evaluate candidates through
+    literally the same code and produce bit-identical plans.
+    """
+
+    forest: ForestBuilder
+    pairs: FrozenSet[NodeAttributePair]
+    cluster: Cluster
+    pair_weights: Optional[PairWeights]
+    msg_weights: Optional[Mapping[NodeId, float]]
+    debug_checks: bool
+
+
+def _context_build(
+    ctx: _EvalContext,
+    part: Partition,
+    keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
+) -> MonitoringPlan:
+    built = ctx.forest.build(
+        part,
+        ctx.pairs,
+        ctx.cluster,
+        pair_weights=ctx.pair_weights,
+        msg_weights=ctx.msg_weights,
+        keep=keep,
+    )
+    if ctx.debug_checks:
+        # Every candidate the search evaluates flows through this
+        # helper, so one hook verifies them all.
+        assert_plan_valid(
+            built,
+            ctx.cluster,
+            context=f"candidate plan for {len(part)} set(s)",
+        )
+    return built
+
+
+def _evaluate_with_context(
+    ctx: _EvalContext, incumbent: MonitoringPlan, op: PartitionOp
+) -> MonitoringPlan:
+    """Resource-aware evaluation of one augmentation.
+
+    Per Section 3.2, only the trees affected by the operation are
+    reconstructed; untouched trees are carried over (their capacity
+    usage is charged to the ledger before the affected trees are
+    rebuilt against the remainder).  Pre-divided allocation policies
+    cannot keep trees, so they fall back to full rebuild.
+    """
+    candidate_partition = incumbent.partition.apply(op)
+    if not ctx.forest.allocation.is_sequential:
+        return _context_build(ctx, candidate_partition)
+    if isinstance(op, MergeOp):
+        touched = {op.left | op.right}
+    else:
+        touched = {op.source - {op.attribute}, frozenset({op.attribute})}
+    keep = {
+        s: incumbent.trees[s]
+        for s in candidate_partition.sets
+        if s not in touched and s in incumbent.trees
+    }
+    return _context_build(ctx, candidate_partition, keep=keep)
+
+
+#: Per-worker evaluation context, installed by the pool initializer.
+_WORKER_CTX: Optional[_EvalContext] = None
+
+
+def _init_eval_worker(ctx: _EvalContext) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _eval_op_batch(
+    incumbent: MonitoringPlan, indexed_ops: Sequence[Tuple[int, PartitionOp]]
+) -> List[Tuple[int, MonitoringPlan]]:
+    """Worker entry point: evaluate a batch of ranked candidates.
+
+    Results carry their rank index so the parent can merge batches
+    back into rank order and apply the exact serial acceptance logic.
+    """
+    ctx = _WORKER_CTX
+    assert ctx is not None, "worker used before initialization"
+    return [(idx, _evaluate_with_context(ctx, incumbent, op)) for idx, op in indexed_ops]
 
 
 def _separate_forbidden(
@@ -132,6 +235,14 @@ class RemoPlanner:
     forbidden_pairs:
         Attribute pairs that must never share a partition set (the
         reliability extension's SSDP/DSDP constraint, Section 6.2).
+    parallelism:
+        Number of worker processes for candidate evaluation.  The
+        ranked candidates of each iteration are independent, so they
+        are dispatched across a process pool and merged back in rank
+        order -- the accepted plan is bit-identical to a serial run.
+        ``1`` (the default) evaluates inline.  Workers are forked, so
+        the knob silently degrades to serial where fork is
+        unavailable.
     """
 
     def __init__(
@@ -145,11 +256,14 @@ class RemoPlanner:
         first_improvement: bool = False,
         forbidden_pairs: Optional[Set[FrozenSet[AttributeId]]] = None,
         plan_cost_fn: Optional[Callable[[MonitoringPlan], float]] = None,
+        parallelism: int = 1,
     ) -> None:
         if candidate_budget is not None and candidate_budget <= 0:
             raise ValueError(f"candidate_budget must be > 0 or None, got {candidate_budget}")
         if max_iterations <= 0:
             raise ValueError(f"max_iterations must be > 0, got {max_iterations}")
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.cost = cost_model
         self.forest = ForestBuilder(
             cost_model,
@@ -160,6 +274,7 @@ class RemoPlanner:
         self.candidate_budget = candidate_budget
         self.max_iterations = max_iterations
         self.first_improvement = first_improvement
+        self.parallelism = parallelism
         self.forbidden_pairs = set(forbidden_pairs or set())
         #: Top-ranked candidates granted a full forest rebuild when the
         #: cheap incremental evaluation finds no improvement.
@@ -229,61 +344,79 @@ class RemoPlanner:
         else:
             partition = None
 
+        ctx = _EvalContext(
+            forest=self.forest,
+            pairs=pairs,
+            cluster=cluster,
+            pair_weights=pair_weights,
+            msg_weights=msg_weights,
+            debug_checks=debug_checks,
+        )
+
         def build(
             part: Partition,
             keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
         ) -> MonitoringPlan:
-            built = self.forest.build(
-                part,
-                pairs,
-                cluster,
-                pair_weights=pair_weights,
-                msg_weights=msg_weights,
-                keep=keep,
-            )
-            if debug_checks:
-                # Every candidate the search evaluates flows through
-                # this closure, so one hook verifies them all.
-                assert_plan_valid(
-                    built,
-                    cluster,
-                    context=f"candidate plan for {len(part)} set(s)",
-                )
-            return built
+            return _context_build(ctx, part, keep)
 
-        if partition is not None:
-            incumbent = build(partition)
-        else:
-            # REMO seeks the middle ground between the two extreme
-            # partitions, but a merge-walk from singletons cannot reach
-            # merge-heavy optima within bounded iterations when there
-            # are many attribute types (nor can a split-walk from the
-            # one-set partition reach balanced k-way groupings).  Seed
-            # the local search with both endpoints plus a ladder of
-            # k-way partitions that cluster attributes by node-set
-            # similarity, and start from whichever evaluates best.
-            incumbent = build(Partition.singletons(attributes))
-            for seed in self._seed_partitions(pairs, attributes):
-                candidate = build(seed)
-                stats.candidates_evaluated += 1
-                if self._improves(candidate, incumbent):
-                    incumbent = candidate
-        for _ in range(self.max_iterations):
-            stats.iterations += 1
-            accepted = self._improve_once(incumbent, pairs, build, stats)
-            if accepted is None:
-                break
-            incumbent = accepted
-        if stats.accepted_ops:
-            # Candidate evaluation carries unaffected trees over, which
-            # charges capacity in stale order; one final full rebuild of
-            # the winning partition restores the allocation policy's
-            # global ordering and is kept only if it helps.
-            final = build(incumbent.partition)
-            if self._improves(final, incumbent):
-                incumbent = final
+        executor = self._make_executor(ctx)
+        try:
+            if partition is not None:
+                incumbent = build(partition)
+            else:
+                # REMO seeks the middle ground between the two extreme
+                # partitions, but a merge-walk from singletons cannot reach
+                # merge-heavy optima within bounded iterations when there
+                # are many attribute types (nor can a split-walk from the
+                # one-set partition reach balanced k-way groupings).  Seed
+                # the local search with both endpoints plus a ladder of
+                # k-way partitions that cluster attributes by node-set
+                # similarity, and start from whichever evaluates best.
+                incumbent = build(Partition.singletons(attributes))
+                for seed in self._seed_partitions(pairs, attributes):
+                    candidate = build(seed)
+                    stats.candidates_evaluated += 1
+                    if self._improves(candidate, incumbent):
+                        incumbent = candidate
+            for _ in range(self.max_iterations):
+                stats.iterations += 1
+                accepted = self._improve_once(incumbent, ctx, build, stats, executor)
+                if accepted is None:
+                    break
+                incumbent = accepted
+            if stats.accepted_ops:
+                # Candidate evaluation carries unaffected trees over, which
+                # charges capacity in stale order; one final full rebuild of
+                # the winning partition restores the allocation policy's
+                # global ordering and is kept only if it helps.
+                final = build(incumbent.partition)
+                if self._improves(final, incumbent):
+                    incumbent = final
+        finally:
+            if executor is not None:
+                executor.shutdown()
         stats.elapsed_seconds = time.perf_counter() - started
         return incumbent, stats
+
+    def _make_executor(self, ctx: _EvalContext) -> Optional[ProcessPoolExecutor]:
+        """Spin up the candidate-evaluation pool, or ``None`` for serial.
+
+        Workers are forked so they inherit the parent's hash seed --
+        set iteration orders, and therefore every float accumulation
+        order, match the serial path exactly.
+        """
+        if self.parallelism <= 1:
+            return None
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+        return ProcessPoolExecutor(
+            max_workers=self.parallelism,
+            mp_context=mp_context,
+            initializer=_init_eval_worker,
+            initargs=(ctx,),
+        )
 
     # ------------------------------------------------------------------
     def _seed_partitions(
@@ -355,23 +488,36 @@ class RemoPlanner:
     def _improve_once(
         self,
         incumbent: MonitoringPlan,
-        pairs: FrozenSet[NodeAttributePair],
+        ctx: _EvalContext,
         build: "PlanBuilder",
         stats: PlanningStats,
+        executor: Optional[ProcessPoolExecutor] = None,
     ) -> Optional[MonitoringPlan]:
         partition = incumbent.partition
-        ctx = GainContext.from_plan(incumbent, self.cost)
+        gain_ctx = GainContext.from_plan(incumbent, self.cost)
         ops: List[PartitionOp] = list(
             partition.merge_ops(forbidden_pairs=self.forbidden_pairs or None)
         )
         ops.extend(partition.split_ops())
-        ranked = rank_candidates(ops, ctx, budget=self.candidate_budget)
+        ranked = rank_candidates(ops, gain_ctx, budget=self.candidate_budget)
         stats.candidates_ranked += len(ops)
+
+        # With a pool, evaluate the whole ranked budget up front; the
+        # acceptance loop below then consumes the precomputed plans in
+        # rank order, so accepted plans (and, except for wasted work
+        # past a first-improvement cut, the stats) match serial runs
+        # exactly.
+        evaluated: Optional[List[MonitoringPlan]] = None
+        if executor is not None and len(ranked) > 1:
+            evaluated = self._evaluate_parallel(executor, incumbent, ranked)
 
         best_plan: Optional[MonitoringPlan] = None
         best_op: Optional[PartitionOp] = None
-        for _gain, op in ranked:
-            candidate = self._evaluate_candidate(incumbent, pairs, op, build)
+        for rank_idx, (_gain, op) in enumerate(ranked):
+            if evaluated is not None:
+                candidate = evaluated[rank_idx]
+            else:
+                candidate = _evaluate_with_context(ctx, incumbent, op)
             stats.candidates_evaluated += 1
             if not self._improves(candidate, incumbent):
                 continue
@@ -399,31 +545,28 @@ class RemoPlanner:
             stats.accepted_ops.append(best_op.describe())
         return best_plan
 
-    def _evaluate_candidate(
+    def _evaluate_parallel(
         self,
+        executor: ProcessPoolExecutor,
         incumbent: MonitoringPlan,
-        pairs: FrozenSet[NodeAttributePair],
-        op: PartitionOp,
-        build: "PlanBuilder",
-    ) -> MonitoringPlan:
-        """Resource-aware evaluation of one augmentation.
+        ranked: Sequence[Tuple[float, PartitionOp]],
+    ) -> List[MonitoringPlan]:
+        """Fan the ranked candidates across the pool, merge by rank.
 
-        Per Section 3.2, only the trees affected by the operation are
-        reconstructed; untouched trees are carried over (their capacity
-        usage is charged to the ledger before the affected trees are
-        rebuilt against the remainder).  Pre-divided allocation
-        policies cannot keep trees, so they fall back to full rebuild.
+        Candidates are strided across workers (worker ``i`` gets ranks
+        ``i, i+P, ...``) so expensive low-rank evaluations spread out,
+        then reassembled into rank order for the acceptance loop.
         """
-        candidate_partition = incumbent.partition.apply(op)
-        if not self.forest.allocation.is_sequential:
-            return build(candidate_partition)
-        if isinstance(op, MergeOp):
-            touched = {op.left | op.right}
-        else:
-            touched = {op.source - {op.attribute}, frozenset({op.attribute})}
-        keep = {
-            s: incumbent.trees[s]
-            for s in candidate_partition.sets
-            if s not in touched and s in incumbent.trees
-        }
-        return build(candidate_partition, keep=keep)
+        workers = max(self.parallelism, 1)
+        indexed = [(idx, op) for idx, (_gain, op) in enumerate(ranked)]
+        chunks = [indexed[i::workers] for i in range(workers)]
+        futures = [
+            executor.submit(_eval_op_batch, incumbent, chunk)
+            for chunk in chunks
+            if chunk
+        ]
+        merged: Dict[int, MonitoringPlan] = {}
+        for future in futures:
+            for idx, plan in future.result():
+                merged[idx] = plan
+        return [merged[idx] for idx in range(len(ranked))]

@@ -68,6 +68,9 @@ class AdaptiveTreeBuilder(GreedyTreeBuilder):
         #: weighs relay depth against parent headroom, which performs
         #: better at the forest level (see parent_preference).
         self.construction = construction
+        # Cached per-payload sort constant for parent_preference.
+        self._pp_payload = -1.0
+        self._pp_per_child = 1.0
 
     def parent_preference(self, tree: MonitoringTree, parent: NodeId) -> tuple:
         # Trade relay cost against load spreading: attaching under a
@@ -90,9 +93,14 @@ class AdaptiveTreeBuilder(GreedyTreeBuilder):
         # and load spreads like MAX_AVB.  This is the construction-side
         # half of the middle ground Fig. 4(e) motivates.
         payload = getattr(self, "_inserting_payload", 1.0)
+        # per_child depends only on the payload, which is fixed for the
+        # duration of one insertion's candidate sort; cache it instead
+        # of recomputing it for every candidate parent.
+        if payload != self._pp_payload:
+            self._pp_payload = payload
+            self._pp_per_child = self.cost.weighted_message_cost(1.0, 2.0 * payload)
         relay_toll = self.cost.value_cost(2.0 * payload * tree.depth(parent))
-        per_child = self.cost.weighted_message_cost(1.0, 2.0 * payload)
-        slots = min(64.0, max(0.0, (tree.available(parent) - relay_toll) / per_child))
+        slots = min(64.0, max(0.0, (tree.available(parent) - relay_toll) / self._pp_per_child))
         return (-int(slots), tree.depth(parent), -tree.available(parent), parent)
 
     def _max_retry_rounds(self) -> int:

@@ -80,7 +80,7 @@ class TreeAdjuster:
             branch_cost = tree.send_cost(branch)
             targets = self._candidate_targets(tree, dc, branch, branch_cost, failed_cost)
             if self.branch_based:
-                if self._reattach_branch(tree, branch, targets):
+                if self._reattach_branch(tree, dc, branch, targets):
                     return True
             else:
                 if self._reattach_nodes(tree, dc, branch, targets):
@@ -109,20 +109,54 @@ class TreeAdjuster:
             pool = [n for n in tree.nodes if n != dc and n not in branch_nodes]
         return sorted(pool, key=lambda n: (-tree.depth(n), -tree.available(n), n))
 
-    def _reattach_branch(self, tree: MonitoringTree, branch: NodeId, targets: List[NodeId]) -> bool:
+    def _reattach_branch(
+        self, tree: MonitoringTree, dc: NodeId, branch: NodeId, targets: List[NodeId]
+    ) -> bool:
         """Branch-based re-attaching: one move_branch per candidate.
 
         A target must at least absorb the branch's message on its
-        receive side, so candidates with less headroom are skipped
-        without attempting the (expensive) move.
+        receive side -- and, in funnel-free trees, relay the branch's
+        values on its own send side -- so candidates with less headroom
+        are skipped without attempting the (read-only-probed) move.
+        Detaching the branch only relieves ``dc`` and its ancestors, so
+        the sharpened bar must not be applied to those.  Likewise, a
+        probe that fails at a relay hop with a minimal delta rules out
+        every other target routing through that hop (see
+        ``MonitoringTree.last_attach_failure``).
         """
         branch_cost = tree.send_cost(branch)
+        min_headroom = branch_cost
+        if not tree.has_aggregation():
+            min_headroom += tree.cost.value_cost(tree.outgoing_values(branch))
+        relieved: set = set()
+        current = dc
+        while current is not None:
+            relieved.add(current)
+            current = tree.parent(current)
+        transferable = not tree.has_aggregation()
+        blocked: set = set()
         for target in targets:
-            if tree.available(target) < branch_cost - 1e-9:
+            bar = branch_cost if target in relieved else min_headroom
+            if tree.available(target) < bar - 1e-9:
+                continue
+            if blocked and self._path_blocked(tree, target, blocked):
                 continue
             self.probe_count += 1
             if tree.move_branch(branch, target):
                 return True
+            if transferable:
+                fail_node, minimal = tree.last_attach_failure()
+                if minimal and fail_node is not None and fail_node != target:
+                    blocked.add(fail_node)
+        return False
+
+    @staticmethod
+    def _path_blocked(tree: MonitoringTree, target: NodeId, blocked: "set") -> bool:
+        current = target
+        while current is not None:
+            if current in blocked:
+                return True
+            current = tree.parent(current)
         return False
 
     def _reattach_nodes(

@@ -141,15 +141,47 @@ class GreedyTreeBuilder:
         entry_cost = tree.entry_cost(demand, msgw)
         # Payload of the insertion, available to parent_preference
         # implementations that trade relay depth against headroom.
-        self._inserting_payload = sum(w for w in demand.values() if w > 0)
+        payload = sum(w for w in demand.values() if w > 0)
+        self._inserting_payload = payload
+        # A parent pays the child's message on its receive side; with
+        # no aggregation funnels its own send also grows by the full
+        # relayed payload, so the headroom bar sharpens to exactly the
+        # capacity check the feasibility walk performs at the parent.
+        min_headroom = entry_cost
+        if not tree.has_aggregation():
+            min_headroom += self.cost.value_cost(payload)
         attempts = 0
         while True:
-            viable = self._ordered_parents(tree, entry_cost)
+            viable = self._ordered_parents(tree, min_headroom)
             failed: List[NodeId] = []
-            for parent in viable:
+            # Minimal-delta failures transfer between candidate parents
+            # (see MonitoringTree.last_attach_failure): once an ancestor
+            # has rejected the insertion, every candidate routing
+            # through it can be skipped without probing.
+            transferable = not tree.has_aggregation()
+            blocked: set = set()
+            for idx, parent in enumerate(viable):
+                if blocked and self._path_blocked(tree, parent, blocked):
+                    failed.append(parent)
+                    continue
                 if tree.add_node(node, parent, demand, msgw):
                     return True
                 failed.append(parent)
+                if transferable:
+                    fail_node, minimal = tree.last_attach_failure()
+                    if fail_node == node:
+                        # The node's own capacity cannot absorb its own
+                        # message; no parent can help.
+                        failed.extend(viable[idx + 1 :])
+                        break
+                    if minimal and fail_node is not None and fail_node != parent:
+                        # A relay-hop failure transfers: any candidate
+                        # routing through fail_node delivers at least
+                        # the same delta there.  A failure at the
+                        # probed parent itself does NOT -- the direct
+                        # attach charges the new child's per-message
+                        # overhead, which routed attaches avoid.
+                        blocked.add(fail_node)
             attempts += 1
             if attempts > self._max_retry_rounds():
                 return False
@@ -159,6 +191,15 @@ class GreedyTreeBuilder:
             pruned = [p for p in tree.nodes if p not in set(viable)]
             if not self.on_saturated(tree, request, node, failed + pruned):
                 return False
+
+    @staticmethod
+    def _path_blocked(tree: MonitoringTree, parent: NodeId, blocked: "set") -> bool:
+        current: Optional[NodeId] = parent
+        while current is not None:
+            if current in blocked:
+                return True
+            current = tree.parent(current)
+        return False
 
     def _ordered_parents(self, tree: MonitoringTree, entry_cost: float = 0.0) -> List[NodeId]:
         # A parent must at least absorb the new child's message on its

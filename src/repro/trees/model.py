@@ -10,6 +10,22 @@ send costs), and the resulting capacity usage, all maintained
 incrementally so that feasibility of attaching a node or moving a
 branch can be checked in ``O(depth * |attributes|)``.
 
+Cost maintenance is *delta based*: when a child's outgoing content
+changes, only the per-attribute deltas are pushed up the ancestor
+path (never a from-scratch recomputation per level), and the walk
+terminates early at the first ancestor whose outgoing message is
+unchanged -- funnel saturation (``min(1.0, incoming)``) makes deltas
+vanish after one hop in aggregation-heavy trees, so most propagations
+are O(1) instead of O(depth * attrs).  Two auxiliary caches make the
+per-level step O(changed attrs): per-attribute *contributor refcounts*
+(how many of {local demand, children} supply each incoming attribute)
+decide key removal without scanning children, and a cached
+*max-child-message-weight* with a contributor count avoids re-deriving
+``max()`` over children at every level.  The from-scratch recomputer
+in :mod:`repro.checks.recompute` is the oracle every incremental
+state must match; :meth:`MonitoringTree.validate` cross-checks all
+caches against it.
+
 Capacity semantics (Problem Statement 2, constraint 1): for every
 member node ``i``, ``send(i) + recv(i) <= capacity(i)``, where
 ``capacity(i)`` is the slice of node ``i``'s budget allocated to this
@@ -33,6 +49,15 @@ NodeDemand = Dict[AttributeId, float]
 #: Tolerance for floating-point capacity comparisons.
 EPSILON = 1e-9
 
+#: How the changed child relates to the node a delta walk starts at.
+_CHILD_MODIFIED = 0
+_CHILD_ATTACHED = 1
+_CHILD_DETACHED = -1
+
+#: Per-attribute delta of a child's outgoing content: ``(old, new)``
+#: value weights (0.0 encodes absence).
+_ValueDeltas = Dict[AttributeId, Tuple[float, float]]
+
 
 class TreeInvariantError(AssertionError):
     """Raised by :meth:`MonitoringTree.validate` when bookkeeping drifts."""
@@ -55,6 +80,35 @@ class _Content:
 
     def total(self) -> float:
         return sum(self.values.values())
+
+
+class _SimNodeState:
+    """Overlay state for one node during a read-only walk simulation.
+
+    ``in_values``/``out_values`` hold only the attributes the
+    simulation changed; unchanged attributes fall through to the real
+    tables.  ``total`` caches the node's simulated outgoing value sum
+    so consecutive walk phases (detach, then attach) compose without
+    rescanning the values dict.
+    """
+
+    __slots__ = ("in_values", "out_values", "msg_weight", "msgw_count", "total", "send", "recv")
+
+    def __init__(
+        self,
+        msg_weight: float,
+        msgw_count: int,
+        total: float,
+        send: float,
+        recv: float,
+    ) -> None:
+        self.in_values: Dict[AttributeId, float] = {}
+        self.out_values: Dict[AttributeId, float] = {}
+        self.msg_weight = msg_weight
+        self.msgw_count = msgw_count
+        self.total = total
+        self.send = send
+        self.recv = recv
 
 
 class MonitoringTree:
@@ -99,6 +153,9 @@ class MonitoringTree:
                 AggregationKind.DISTINCT,
             ):
                 self._agg[attr] = spec
+        #: Fast-path flag: with no funnels, outgoing = incoming and the
+        #: delta walk can skip the per-attribute funnel dispatch.
+        self._has_agg = bool(self._agg)
 
         self._parent: Dict[NodeId, Optional[NodeId]] = {}
         self._children: Dict[NodeId, Set[NodeId]] = {}
@@ -107,12 +164,29 @@ class MonitoringTree:
         self._local_msgw: Dict[NodeId, float] = {}
         # Incoming per-attribute weights (local + children outputs).
         self._in: Dict[NodeId, Dict[AttributeId, float]] = {}
+        # Contributor refcounts per incoming attribute: 1 for the local
+        # demand plus 1 per child whose outgoing content carries the
+        # attribute.  A key is dropped from ``_in`` exactly when its
+        # refcount reaches zero -- no child scan needed.
+        self._in_count: Dict[NodeId, Dict[AttributeId, int]] = {}
         # Cached outgoing content (funnel applied) and costs.
         self._out: Dict[NodeId, _Content] = {}
+        # How many contributors (local msg weight + children's outgoing
+        # weights) achieve ``_out[node].msg_weight``.  A departing
+        # contributor only forces a rescan when this count hits zero.
+        self._msgw_count: Dict[NodeId, int] = {}
         self._send: Dict[NodeId, float] = {}
         self._recv: Dict[NodeId, float] = {}
         self._root: Optional[NodeId] = None
         self._pair_count = 0
+        # Node at which the most recent check-mode walk failed (None if
+        # it passed), and whether the failing walk carried a *minimal*
+        # delta (no funnel attenuation possible, no message-weight
+        # growth anywhere).  A minimal failure at node X means any
+        # attach whose path to the root passes through X fails too, so
+        # builders can prune sibling candidate parents without probing.
+        self._last_check_fail: Optional[NodeId] = None
+        self._last_check_fail_minimal = True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -200,6 +274,28 @@ class MonitoringTree:
     def pair_count(self) -> int:
         """Number of node-attribute pairs this tree collects."""
         return self._pair_count
+
+    def has_aggregation(self) -> bool:
+        """Whether any attribute in this tree has a non-holistic funnel."""
+        return self._has_agg
+
+    def last_attach_failure(self) -> Tuple[Optional[NodeId], bool]:
+        """Where the most recent feasibility check failed, and whether
+        the failing walk carried a minimal delta.
+
+        Returns ``(node, minimal)``.  ``node`` is ``None`` when the
+        last check passed (or failed only at the central collector
+        during a root attach).  When ``minimal`` is true, the tree has
+        no aggregation funnels, and the failure occurred at a *strict
+        ancestor* of the attach point (a relay hop), it transfers:
+        any attach of the same content whose path to the root passes
+        through ``node`` delivers at least the same delta there and
+        must fail too.  A failure at the attach parent itself does
+        not transfer -- the direct attach charges the new child's
+        per-message overhead, which routed attaches avoid.  Builders
+        use this to prune sibling candidate parents without probing.
+        """
+        return self._last_check_fail, self._last_check_fail_minimal
 
     def subtree_nodes(self, node: NodeId) -> List[NodeId]:
         """All nodes in the subtree rooted at ``node`` (preorder)."""
@@ -307,21 +403,34 @@ class MonitoringTree:
         if check and not self._attach_feasible(content, parent, extra_node=(node, demand)):
             return False
 
+        send = self._send_cost_of(content)
         self._parent[node] = parent
         self._children[node] = set()
         self._depth[node] = 0 if parent is None else self._depth[parent] + 1
         self._local[node] = dict(demand)
         self._local_msgw[node] = msg_weight
         self._in[node] = dict(demand)
+        self._in_count[node] = {a: 1 for a in demand}
         self._out[node] = content
-        self._send[node] = self._send_cost_of(content)
+        self._msgw_count[node] = 1
+        self._send[node] = send
         self._recv[node] = 0.0
         self._pair_count += len(demand)
         if parent is None:
             self._root = node
         else:
             self._children[parent].add(node)
-            self._propagate_child_change(parent, None, self._out[node], child=node)
+            self._propagate_delta(
+                parent,
+                node,
+                {a: (0.0, w) for a, w in content.values.items()},
+                0.0,
+                content.msg_weight,
+                0.0,
+                send,
+                _CHILD_ATTACHED,
+                commit=True,
+            )
         return True
 
     def entry_cost(self, demand: NodeDemand, msg_weight: float = 1.0) -> float:
@@ -385,19 +494,42 @@ class MonitoringTree:
 
     def _apply_local(self, node: NodeId, demand: NodeDemand, msgw: float) -> None:
         old_out = self._out[node]
+        old_send = self._send[node]
         self._local[node] = dict(demand)
         self._local_msgw[node] = msgw
         incoming: Dict[AttributeId, float] = dict(demand)
+        counts: Dict[AttributeId, int] = {a: 1 for a in demand}
         for child in self._children[node]:
             for attr, weight in self._out[child].values.items():
                 incoming[attr] = incoming.get(attr, 0.0) + weight
+                counts[attr] = counts.get(attr, 0) + 1
         self._in[node] = incoming
+        self._in_count[node] = counts
         new_out = self._compute_out(node)
         self._out[node] = new_out
+        self._msgw_count[node] = self._count_msgw_contributors(node, new_out.msg_weight)
         self._send[node] = self._send_cost_of(new_out)
         parent = self._parent[node]
         if parent is not None:
-            self._propagate_child_change(parent, old_out, new_out, child=node)
+            changed = _diff_values(old_out.values, new_out.values)
+            self._propagate_delta(
+                parent,
+                node,
+                changed,
+                old_out.msg_weight,
+                new_out.msg_weight,
+                old_send,
+                self._send[node],
+                _CHILD_MODIFIED,
+                commit=True,
+            )
+
+    def _count_msgw_contributors(self, node: NodeId, msgw: float) -> int:
+        count = 1 if self._local_msgw[node] == msgw else 0
+        for child in self._children[node]:
+            if self._out[child].msg_weight == msgw:
+                count += 1
+        return count
 
     def _path_within_capacity(self, node: NodeId) -> bool:
         current: Optional[NodeId] = node
@@ -433,7 +565,17 @@ class MonitoringTree:
             )
         if parent is not None:
             self._children[parent].discard(branch_root)
-            self._propagate_child_change(parent, branch_out, None, child=branch_root)
+            self._propagate_delta(
+                parent,
+                branch_root,
+                {a: (w, 0.0) for a, w in branch_out.values.items()},
+                branch_out.msg_weight,
+                0.0,
+                self._send[branch_root],
+                0.0,
+                _CHILD_DETACHED,
+                commit=True,
+            )
         else:
             self._root = None
         for node in order:
@@ -445,7 +587,9 @@ class MonitoringTree:
                 self._local,
                 self._local_msgw,
                 self._in,
+                self._in_count,
                 self._out,
+                self._msgw_count,
                 self._send,
                 self._recv,
             ):
@@ -455,11 +599,12 @@ class MonitoringTree:
     def move_branch(self, branch_root: NodeId, new_parent: NodeId, check: bool = True) -> bool:
         """Re-attach the subtree at ``branch_root`` under ``new_parent``.
 
-        Returns ``True`` on success.  With ``check=True``, if the move
-        would violate a capacity constraint the tree is restored to its
-        prior state and ``False`` is returned.  Moving a branch under
-        one of its own descendants, under itself, or detaching the root
-        is rejected with ``ValueError``.
+        Returns ``True`` on success.  With ``check=True`` feasibility is
+        established by a read-only simulation *before* anything mutates
+        (no rollback is ever needed), and ``False`` is returned if the
+        move would violate a capacity constraint.  Moving a branch
+        under one of its own descendants, under itself, or detaching
+        the root is rejected with ``ValueError``.
         """
         if branch_root not in self._parent:
             raise ValueError(f"node {branch_root} is not in the tree")
@@ -470,33 +615,52 @@ class MonitoringTree:
             raise ValueError("cannot move the tree root")
         if new_parent == old_parent:
             return True
-        branch_nodes = set(self.subtree_nodes(branch_root))
-        if new_parent in branch_nodes:
+        if self._is_ancestor_or_self(branch_root, new_parent):
             raise ValueError(
                 f"cannot attach branch {branch_root} under its own descendant {new_parent}"
             )
 
-        branch_out = self._out[branch_root]
-        # Phase 1: detach from the old parent (always feasible).
-        self._children[old_parent].discard(branch_root)
-        self._propagate_child_change(old_parent, branch_out, None, child=branch_root)
-        self._parent[branch_root] = None
-
-        # Phase 2: check and attach under the new parent.
-        if check and not self._attach_feasible(branch_out, new_parent):
-            # Roll back.
-            self._parent[branch_root] = old_parent
-            self._children[old_parent].add(branch_root)
-            self._propagate_child_change(old_parent, None, branch_out, child=branch_root)
+        if check and not self._move_feasible(branch_root, new_parent):
             return False
+
+        branch_out = self._out[branch_root]
+        branch_send = self._send[branch_root]
+        self._children[old_parent].discard(branch_root)
+        self._propagate_delta(
+            old_parent,
+            branch_root,
+            {a: (w, 0.0) for a, w in branch_out.values.items()},
+            branch_out.msg_weight,
+            0.0,
+            branch_send,
+            0.0,
+            _CHILD_DETACHED,
+            commit=True,
+        )
         self._parent[branch_root] = new_parent
         self._children[new_parent].add(branch_root)
-        self._propagate_child_change(new_parent, None, branch_out, child=branch_root)
+        self._propagate_delta(
+            new_parent,
+            branch_root,
+            {a: (0.0, w) for a, w in branch_out.values.items()},
+            0.0,
+            branch_out.msg_weight,
+            0.0,
+            branch_send,
+            _CHILD_ATTACHED,
+            commit=True,
+        )
         self._refresh_depths(branch_root)
         return True
 
     def can_move_branch(self, branch_root: NodeId, new_parent: NodeId) -> bool:
-        """Feasibility of :meth:`move_branch` without permanent mutation."""
+        """Feasibility of :meth:`move_branch` as a read-only simulation.
+
+        Nothing is mutated: the detach and re-attach are replayed
+        against a scratch overlay of the ancestor paths, so a failed
+        probe costs one early-terminating walk instead of a full
+        ``move_branch`` + rollback.
+        """
         if branch_root not in self._parent or new_parent not in self._parent:
             return False
         old_parent = self._parent[branch_root]
@@ -504,14 +668,85 @@ class MonitoringTree:
             return False
         if new_parent == old_parent:
             return True
-        if new_parent in set(self.subtree_nodes(branch_root)):
+        if self._is_ancestor_or_self(branch_root, new_parent):
             return False
-        moved = self.move_branch(branch_root, new_parent, check=True)
-        if moved:
-            # Undo: move back is always feasible (it was the prior state).
-            restored = self.move_branch(branch_root, old_parent, check=False)
-            assert restored
-        return moved
+        return self._move_feasible(branch_root, new_parent)
+
+    def _is_ancestor_or_self(self, ancestor: NodeId, node: NodeId) -> bool:
+        current: Optional[NodeId] = node
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._parent[current]
+        return False
+
+    def _move_feasible(self, branch_root: NodeId, new_parent: NodeId) -> bool:
+        """Simulate detach-then-attach of ``branch_root`` on an overlay.
+
+        Fast paths first: the attach is checked *pessimistically*
+        against the current state (as if the branch were not detached).
+        Tree state after detaching is pointwise no larger than before
+        (funnels are monotone), and an attach that fits a larger state
+        fits a smaller one, so a pessimistic pass is a real pass.  A
+        pessimistic failure at a node strictly below where the old and
+        new paths merge is exact too: detaching cannot change state
+        there.  Only the ambiguous remainder -- failure at a shared
+        ancestor -- pays for the full two-phase overlay simulation.
+
+        In the full simulation, the detach phase is pure decrease, so
+        it never needs capacity checks; the attach phase reads the
+        composed overlay state and enforces every constraint the real
+        mutation would.
+        """
+        old_parent = self._parent[branch_root]
+        assert old_parent is not None
+        branch_out = self._out[branch_root]
+        branch_send = self._send[branch_root]
+
+        attach_deltas = {a: (0.0, w) for a, w in branch_out.values.items()}
+        if self._propagate_delta(
+            new_parent,
+            None,
+            attach_deltas,
+            0.0,
+            branch_out.msg_weight,
+            0.0,
+            branch_send,
+            _CHILD_ATTACHED,
+            check=True,
+        ):
+            return True
+        fail_node = self._last_check_fail
+        if fail_node is not None:
+            # Exact rejection if the failing node is untouched by the
+            # detach (i.e. not an ancestor of the old parent).
+            if not self._is_ancestor_or_self(fail_node, old_parent):
+                return False
+
+        overlay: Dict[NodeId, _SimNodeState] = {}
+        self._propagate_delta(
+            old_parent,
+            branch_root,
+            {a: (w, 0.0) for a, w in branch_out.values.items()},
+            branch_out.msg_weight,
+            0.0,
+            branch_send,
+            0.0,
+            _CHILD_DETACHED,
+            overlay=overlay,
+        )
+        return self._propagate_delta(
+            new_parent,
+            branch_root,
+            {a: (0.0, w) for a, w in branch_out.values.items()},
+            0.0,
+            branch_out.msg_weight,
+            0.0,
+            branch_send,
+            _CHILD_ATTACHED,
+            check=True,
+            overlay=overlay,
+        )
 
     # ------------------------------------------------------------------
     # Internals
@@ -526,52 +761,273 @@ class MonitoringTree:
             for child in self._children[node]:
                 stack.append((child, depth + 1))
 
-    def _propagate_child_change(
+    def _propagate_delta(
         self,
         start: NodeId,
-        old_child_out: Optional[_Content],
-        new_child_out: Optional[_Content],
-        child: NodeId,
-    ) -> None:
-        """Update ``_in``/``_out``/``_send``/``_recv`` from ``start`` up to the root
-        after ``child``'s outgoing content changed from ``old`` to ``new``."""
+        child: Optional[NodeId],
+        changed: _ValueDeltas,
+        old_msgw: float,
+        new_msgw: float,
+        old_send: float,
+        new_send: float,
+        sign: int,
+        commit: bool = False,
+        check: bool = False,
+        overlay: Optional[Dict[NodeId, _SimNodeState]] = None,
+    ) -> bool:
+        """Push a child's content delta up the ancestor path.
+
+        ``changed`` maps each attribute whose outgoing weight changed at
+        the child to its ``(old, new)`` pair; ``old_/new_msgw`` and
+        ``old_/new_send`` describe the child's message weight and send
+        cost before/after; ``sign`` says whether the child was modified
+        in place, newly attached, or detached.
+
+        Three modes share this one walk so the incremental math cannot
+        drift between them:
+
+        - ``commit=True`` writes the real tables (the mutation path);
+        - ``check=True`` verifies capacity along the way and returns
+          ``False`` at the first violated node (feasibility path);
+        - ``overlay`` (a scratch dict) makes the walk read *through*
+          and write *to* simulated per-node state, so multi-phase
+          simulations (detach, then attach) compose read-only.
+
+        The walk stops at the first ancestor whose outgoing message is
+        unchanged: its parent then sees zero delta, so nothing above
+        can change.  Under funnel saturation this usually happens after
+        one hop.
+        """
+        parent_tab = self._parent
+        in_tab = self._in
+        out_tab = self._out
+        funnel = self._funnel
+        has_agg = self._has_agg
+        capacities = self.capacities
+        if check:
+            self._last_check_fail = None
+            self._last_check_fail_minimal = True
+        msgw_grew = False
         node: Optional[NodeId] = start
-        old_out = old_child_out
-        new_out = new_child_out
         while node is not None:
-            incoming = self._in[node]
-            if old_out is not None:
-                for attr, weight in old_out.values.items():
-                    remaining = incoming.get(attr, 0.0) - weight
-                    if remaining <= EPSILON and attr not in self._local[node] and all(
-                        attr not in self._out[c].values for c in self._children[node]
-                    ):
-                        incoming.pop(attr, None)
+            entry = overlay.get(node) if overlay is not None else None
+            real_out = out_tab[node]
+            if entry is not None:
+                cur_msgw = entry.msg_weight
+                cur_count = entry.msgw_count
+                cur_total: Optional[float] = entry.total
+                cur_send = entry.send
+                cur_recv = entry.recv
+            else:
+                cur_msgw = real_out.msg_weight
+                cur_count = self._msgw_count[node]
+                cur_total = None  # computed lazily, only if the message changes
+                cur_send = self._send[node]
+                cur_recv = self._recv[node]
+
+            # -- per-attribute incoming/outgoing deltas ----------------
+            real_in = in_tab[node]
+            counts = self._in_count[node] if commit else None
+            out_pairs: _ValueDeltas = {}
+            out_delta = 0.0
+            in_changes: Optional[Dict[AttributeId, float]] = {} if overlay is not None else None
+            for attr, (ow, nw) in changed.items():
+                if commit:
+                    counts_t = counts
+                    assert counts_t is not None
+                    if sign == _CHILD_ATTACHED:
+                        gained, lost = nw > 0.0, False
+                    elif sign == _CHILD_DETACHED:
+                        gained, lost = False, ow > 0.0
                     else:
-                        incoming[attr] = max(remaining, 0.0)
-            if new_out is not None:
-                for attr, weight in new_out.values.items():
-                    incoming[attr] = incoming.get(attr, 0.0) + weight
-            prior_out = self._out[node]
-            prior_send = self._send[node]
-            # recv delta at this node: the changed child's message cost.
-            recv_delta = 0.0
-            if old_out is not None:
-                recv_delta -= self._send_cost_of(old_out)
-            if new_out is not None:
-                recv_delta += self._send_cost_of(new_out)
-            self._recv[node] += recv_delta
-            if self._recv[node] < 0.0:
-                self._recv[node] = 0.0
+                        gained = ow <= 0.0 < nw
+                        lost = nw <= 0.0 < ow
+                    if gained:
+                        counts_t[attr] = counts_t.get(attr, 0) + 1
+                    ref = counts_t.get(attr, 0)
+                    if lost:
+                        ref -= 1
+                        if ref <= 0:
+                            counts_t.pop(attr, None)
+                            ref = 0
+                        else:
+                            counts_t[attr] = ref
+                else:
+                    ref = -1  # unknown; simulations tolerate ~0 residue
+                if entry is not None and attr in entry.in_values:
+                    cur_in = entry.in_values[attr]
+                else:
+                    cur_in = real_in.get(attr, 0.0)
+                new_in = cur_in + (nw - ow)
+                if ref == 0:
+                    # Last contributor gone: snap the residue to exactly
+                    # zero so incremental state matches a recompute.
+                    new_in = 0.0
+                if commit:
+                    if ref == 0:
+                        real_in.pop(attr, None)
+                    else:
+                        real_in[attr] = new_in if new_in > 0.0 else 0.0
+                elif in_changes is not None:
+                    in_changes[attr] = new_in
+                if entry is not None and attr in entry.out_values:
+                    old_out_w = entry.out_values[attr]
+                else:
+                    old_out_w = real_out.values.get(attr, 0.0)
+                if has_agg:
+                    new_out_w = funnel(attr, new_in)
+                else:
+                    new_out_w = new_in if new_in > 0.0 else 0.0
+                if new_out_w != old_out_w:
+                    out_pairs[attr] = (old_out_w, new_out_w)
+                    out_delta += new_out_w - old_out_w
 
-            updated = self._compute_out(node)
-            self._out[node] = updated
-            self._send[node] = self._send_cost_of(updated)
+            # -- cached max over {local msgw, children msgw} -----------
+            node_msgw = cur_msgw
+            node_count = cur_count
+            if sign == _CHILD_ATTACHED:
+                if new_msgw > cur_msgw:
+                    node_msgw, node_count = new_msgw, 1
+                elif new_msgw == cur_msgw:
+                    node_count = cur_count + 1
+            elif sign == _CHILD_DETACHED:
+                if old_msgw == cur_msgw:
+                    node_count = cur_count - 1
+                    if node_count <= 0:
+                        node_msgw, node_count = self._rescan_msgw(node, child, None, overlay)
+            else:  # modified in place
+                if new_msgw > cur_msgw:
+                    node_msgw, node_count = new_msgw, 1
+                elif new_msgw == cur_msgw:
+                    if old_msgw != cur_msgw:
+                        node_count = cur_count + 1
+                elif old_msgw == cur_msgw:
+                    node_count = cur_count - 1
+                    if node_count <= 0:
+                        node_msgw, node_count = self._rescan_msgw(node, child, new_msgw, overlay)
 
-            old_out = prior_out
-            new_out = updated
+            if node_msgw != cur_msgw:
+                msgw_grew = True
+            new_recv = cur_recv + new_send - old_send
+            if new_recv < 0.0:
+                new_recv = 0.0
+
+            # -- early termination -------------------------------------
+            if not out_pairs and node_msgw == cur_msgw:
+                # Outgoing message unchanged: the parent sees no delta.
+                # Settle recv (and the msgw contributor count) here and
+                # stop walking.
+                if commit:
+                    self._recv[node] = new_recv
+                    self._msgw_count[node] = node_count
+                elif overlay is not None:
+                    if entry is None:
+                        entry = self._overlay_entry(node, cur_msgw, cur_count, real_out)
+                        overlay[node] = entry
+                    if in_changes:
+                        entry.in_values.update(in_changes)
+                    entry.msgw_count = node_count
+                    entry.recv = new_recv
+                if check and cur_send + new_recv > capacities.get(node, 0.0) + EPSILON:
+                    self._last_check_fail = node
+                    self._last_check_fail_minimal = not msgw_grew
+                    return False
+                return True
+
+            if cur_total is None:
+                cur_total = sum(real_out.values.values())
+            new_total = cur_total + out_delta
+            node_send = (
+                self.cost.weighted_message_cost(node_msgw, new_total)
+                if node_msgw > 0.0
+                else 0.0
+            )
+            if check and node_send + new_recv > capacities.get(node, 0.0) + EPSILON:
+                self._last_check_fail = node
+                self._last_check_fail_minimal = not msgw_grew
+                return False
+
+            parent = parent_tab[node]
+            if check and parent is None and node_send > self.central_capacity + EPSILON:
+                # The root's message grows; the collector must absorb it.
+                self._last_check_fail = node
+                self._last_check_fail_minimal = not msgw_grew
+                return False
+
+            if commit:
+                values = real_out.values
+                for attr, (_ow2, nw2) in out_pairs.items():
+                    if nw2 > 0.0:
+                        values[attr] = nw2
+                    else:
+                        values.pop(attr, None)
+                real_out.msg_weight = node_msgw
+                self._msgw_count[node] = node_count
+                self._send[node] = node_send
+                self._recv[node] = new_recv
+            elif overlay is not None:
+                if entry is None:
+                    entry = self._overlay_entry(node, cur_msgw, cur_count, real_out)
+                    overlay[node] = entry
+                if in_changes:
+                    entry.in_values.update(in_changes)
+                for attr, (_ow2, nw2) in out_pairs.items():
+                    entry.out_values[attr] = nw2
+                entry.msg_weight = node_msgw
+                entry.msgw_count = node_count
+                entry.total = new_total
+                entry.send = node_send
+                entry.recv = new_recv
+
+            # The node itself is the changed child at the next level.
+            changed = out_pairs
+            old_msgw, new_msgw = cur_msgw, node_msgw
+            old_send, new_send = cur_send, node_send
+            sign = _CHILD_MODIFIED
             child = node
-            node = self._parent[node]
+            node = parent
+        return True
+
+    def _overlay_entry(
+        self, node: NodeId, msgw: float, msgw_count: int, real_out: _Content
+    ) -> _SimNodeState:
+        return _SimNodeState(
+            msgw,
+            msgw_count,
+            sum(real_out.values.values()),
+            self._send[node],
+            self._recv[node],
+        )
+
+    def _rescan_msgw(
+        self,
+        node: NodeId,
+        child: Optional[NodeId],
+        replacement: Optional[float],
+        overlay: Optional[Dict[NodeId, _SimNodeState]],
+    ) -> Tuple[float, int]:
+        """Recompute the max message weight over {local, children} and
+        its contributor count, with the changed ``child`` excluded (or
+        its weight replaced by ``replacement`` for in-place changes)."""
+        best = self._local_msgw[node]
+        count = 1
+        for c in self._children[node]:
+            if c == child:
+                continue
+            if overlay is not None and c in overlay:
+                w = overlay[c].msg_weight
+            else:
+                w = self._out[c].msg_weight
+            if w > best:
+                best, count = w, 1
+            elif w == best:
+                count += 1
+        if replacement is not None:
+            if replacement > best:
+                best, count = replacement, 1
+            elif replacement == best:
+                count += 1
+        return best, count
 
     def _attach_feasible(
         self,
@@ -587,51 +1043,29 @@ class MonitoringTree:
         against its capacity too.
         """
         new_msg_cost = self._send_cost_of(content)
+        self._last_check_fail = None
+        self._last_check_fail_minimal = True
         if extra_node is not None:
             node, _demand = extra_node
             if new_msg_cost > self.capacities.get(node, 0.0) + EPSILON:
+                # The new node's own send exceeds its own capacity: no
+                # choice of parent can fix that.
+                self._last_check_fail = node
                 return False
         if parent is None:
             # Becoming the root: the collector receives the message.
             return new_msg_cost <= self.central_capacity + EPSILON
-
-        # Walk up the path simulating per-attribute funnel deltas.
-        delta_values = dict(content.values)
-        delta_msgw = content.msg_weight
-        node: Optional[NodeId] = parent
-        child_msg_delta = new_msg_cost  # recv delta at `parent` = whole new message
-        while node is not None:
-            incoming = self._in[node]
-            out = self._out[node].values
-            new_delta_values: Dict[AttributeId, float] = {}
-            send_values_delta = 0.0
-            for attr, dw in delta_values.items():
-                if dw <= 0.0:
-                    continue
-                before = out.get(attr, 0.0)
-                after = self._funnel(attr, incoming.get(attr, 0.0) + dw)
-                change = after - before
-                if change > EPSILON:
-                    new_delta_values[attr] = change
-                    send_values_delta += change
-            out_msgw = self._out[node].msg_weight
-            new_msgw = max(out_msgw, self._local_msgw[node], delta_msgw)
-            msgw_delta = new_msgw - out_msgw
-            send_delta = self.cost.weighted_message_cost(msgw_delta, send_values_delta)
-            projected = self._send[node] + send_delta + self._recv[node] + child_msg_delta
-            if projected > self.capacities.get(node, 0.0) + EPSILON:
-                return False
-            # Prepare deltas seen by this node's parent.
-            child_msg_delta = send_delta
-            delta_values = new_delta_values
-            delta_msgw = new_msgw  # parent's max over children uses absolute weight
-            parent_of = self._parent[node]
-            if parent_of is None:
-                # The root's message grows; the collector must absorb it.
-                if self.central_used() + send_delta > self.central_capacity + EPSILON:
-                    return False
-            node = parent_of
-        return True
+        return self._propagate_delta(
+            parent,
+            None,
+            {a: (0.0, w) for a, w in content.values.items()},
+            0.0,
+            content.msg_weight,
+            0.0,
+            new_msg_cost,
+            _CHILD_ATTACHED,
+            check=True,
+        )
 
     # ------------------------------------------------------------------
     # Validation
@@ -670,19 +1104,36 @@ class MonitoringTree:
         order = self.subtree_nodes(self._root)
         for node in reversed(order):
             incoming: Dict[AttributeId, float] = dict(self._local[node])
+            counts: Dict[AttributeId, int] = {a: 1 for a in self._local[node]}
             msgw = self._local_msgw[node]
+            msgw_count = 1
             recv = 0.0
             for child in self._children[node]:
                 for attr, weight in self._out[child].values.items():
                     incoming[attr] = incoming.get(attr, 0.0) + weight
+                    counts[attr] = counts.get(attr, 0) + 1
                 recv += self._send[child]
-                msgw = max(msgw, self._out[child].msg_weight)
+                child_msgw = self._out[child].msg_weight
+                if child_msgw > msgw:
+                    msgw, msgw_count = child_msgw, 1
+                elif child_msgw == msgw:
+                    msgw_count += 1
             for attr, weight in incoming.items():
                 cached = self._in[node].get(attr, 0.0)
                 if abs(cached - weight) > 1e-6:
                     raise TreeInvariantError(
                         f"incoming weight drift at {node}/{attr}: cached {cached}, actual {weight}"
                     )
+            stale = set(self._in[node]) - set(incoming)
+            if stale:
+                raise TreeInvariantError(
+                    f"stale incoming attributes cached at {node}: {sorted(stale)}"
+                )
+            if self._in_count[node] != counts:
+                raise TreeInvariantError(
+                    f"incoming refcount drift at {node}: cached {self._in_count[node]}, "
+                    f"actual {counts}"
+                )
             expected_out = {
                 attr: self._funnel(attr, weight) for attr, weight in incoming.items()
             }
@@ -695,6 +1146,11 @@ class MonitoringTree:
                     raise TreeInvariantError(f"outgoing weight drift at {node}/{attr}")
             if abs(self._out[node].msg_weight - msgw) > 1e-6:
                 raise TreeInvariantError(f"message weight drift at {node}")
+            if self._msgw_count[node] != msgw_count:
+                raise TreeInvariantError(
+                    f"message weight contributor count drift at {node}: "
+                    f"cached {self._msgw_count[node]}, actual {msgw_count}"
+                )
             if abs(self._recv[node] - recv) > 1e-6:
                 raise TreeInvariantError(
                     f"recv drift at {node}: cached {self._recv[node]}, actual {recv}"
@@ -718,3 +1174,18 @@ class MonitoringTree:
             raise TreeInvariantError(
                 f"pair count drift: cached {self._pair_count}, actual {expected_pairs}"
             )
+
+
+def _diff_values(
+    old: Dict[AttributeId, float], new: Dict[AttributeId, float]
+) -> _ValueDeltas:
+    """Per-attribute ``(old, new)`` pairs over the union of two value maps."""
+    changed: _ValueDeltas = {}
+    for attr, ow in old.items():
+        nw = new.get(attr, 0.0)
+        if nw != ow:
+            changed[attr] = (ow, nw)
+    for attr, nw in new.items():
+        if attr not in old and nw > 0.0:
+            changed[attr] = (0.0, nw)
+    return changed

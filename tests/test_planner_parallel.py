@@ -1,0 +1,61 @@
+"""Parallel candidate evaluation must be invisible in the output.
+
+``RemoPlanner(parallelism=N)`` fans each iteration's ranked candidates
+across a forked process pool and merges the results back in rank order,
+so the acceptance loop sees exactly the sequence a serial run would.
+These tests pin that guarantee: identical plans *and* identical search
+stats, not merely equal objective values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.planner import RemoPlanner
+
+HEAVY = CostModel(per_message=10.0, per_value=1.0)
+
+
+def _observable(cluster, nodes, attrs):
+    pairs = pairs_for(nodes, attrs)
+    return {p for p in pairs if cluster.node(p.node).observes(p.attribute)}
+
+
+def _fingerprint(plan):
+    return (
+        frozenset(plan.partition.sets),
+        plan.collected_pair_count(),
+        plan.total_message_cost(),
+        plan.tree_count(),
+    )
+
+
+class TestParallelIdentity:
+    def test_plan_and_stats_identical_to_serial(self, medium_cluster):
+        pairs = _observable(
+            medium_cluster, range(40), ["attr%02d" % i for i in range(8)]
+        )
+        kwargs = dict(candidate_budget=6, max_iterations=12)
+        serial_plan, serial_stats = RemoPlanner(HEAVY, **kwargs).plan_with_stats(
+            pairs, medium_cluster
+        )
+        parallel_plan, parallel_stats = RemoPlanner(
+            HEAVY, parallelism=3, **kwargs
+        ).plan_with_stats(pairs, medium_cluster)
+        assert _fingerprint(parallel_plan) == _fingerprint(serial_plan)
+        assert parallel_stats.iterations == serial_stats.iterations
+        assert parallel_stats.candidates_ranked == serial_stats.candidates_ranked
+        assert parallel_stats.candidates_evaluated == serial_stats.candidates_evaluated
+        assert parallel_stats.accepted_ops == serial_stats.accepted_ops
+
+    def test_parallel_with_debug_checks(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b", "c"])
+        planner = RemoPlanner(HEAVY, parallelism=2, max_iterations=4)
+        plan = planner.plan(pairs, small_cluster, debug_checks=True)
+        assert plan.coverage() > 0
+
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RemoPlanner(HEAVY, parallelism=0)

@@ -1,0 +1,148 @@
+"""Property tests: incremental tree maintenance matches recomputation.
+
+The tree model maintains incoming/outgoing values, message weights, and
+send/receive costs *delta by delta* -- attach, detach, move, and local
+update each propagate only their change along the ancestor path, with
+early termination once nothing downstream can differ.  These tests
+drive random mutation sequences through a :class:`MonitoringTree` and,
+after every operation, compare the cached state against the from-scratch
+oracle in :mod:`repro.checks.recompute` and the tree's own
+``validate()`` invariants.  Any bookkeeping drift -- a stale ``_in``
+residue, a miscounted message-weight contributor, an early exit taken
+too eagerly -- surfaces here.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checks import assert_tree_matches_recompute
+from repro.core.cost import AggregationKind, AggregationSpec, CostModel
+from repro.trees.model import MonitoringTree
+
+ATTRS = ("cpu", "mem", "net", "disk", "io")
+
+#: Funnel mix exercised by the aggregation-aware runs: a saturating
+#: funnel, a TOP_K cap, and one holistic attribute (identity).
+AGG_MAP = {
+    "cpu": AggregationSpec(kind=AggregationKind.SUM),
+    "mem": AggregationSpec(kind=AggregationKind.TOP_K, k=2),
+}
+
+
+@st.composite
+def mutation_runs(draw):
+    """A random (cost, capacities, aggregation, op-script) quadruple."""
+    rnd = draw(st.randoms(use_true_random=False))
+    per_message = draw(st.floats(min_value=0.5, max_value=20.0))
+    per_value = draw(st.floats(min_value=0.1, max_value=3.0))
+    cost = CostModel(per_message=per_message, per_value=per_value)
+
+    n_nodes = draw(st.integers(min_value=3, max_value=14))
+    # Tight capacities exercise the rejection/early-exit paths; loose
+    # ones let deep structures form so long delta walks happen.
+    tight = draw(st.booleans())
+    capacities = {
+        node: (
+            draw(st.floats(min_value=40.0, max_value=160.0)) if tight else 1e9
+        )
+        for node in range(n_nodes)
+    }
+    central = draw(st.floats(min_value=50.0, max_value=500.0)) if tight else 1e9
+    aggregation = AGG_MAP if draw(st.booleans()) else None
+    n_ops = draw(st.integers(min_value=5, max_value=30))
+    return rnd, cost, capacities, central, aggregation, n_ops
+
+
+def _random_demand(rnd):
+    attrs = rnd.sample(ATTRS, rnd.randint(1, len(ATTRS)))
+    return {a: rnd.uniform(0.1, 3.0) for a in attrs}
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(mutation_runs())
+def test_incremental_state_matches_recompute_oracle(run):
+    rnd, cost, capacities, central, aggregation, n_ops = run
+    tree = MonitoringTree(
+        attributes=ATTRS,
+        cost_model=cost,
+        capacities=capacities,
+        central_capacity=central,
+        aggregation=aggregation,
+    )
+    next_node = 0
+    for _ in range(n_ops):
+        members = tree.nodes
+        op = rnd.choice(("add", "add", "add", "update", "move", "remove"))
+        if op == "add" or not members:
+            if next_node >= len(capacities):
+                continue
+            parent = rnd.choice(members) if members else None
+            tree.add_node(
+                next_node, parent, _random_demand(rnd), rnd.uniform(0.5, 2.0)
+            )
+            next_node += 1
+        elif op == "update":
+            node = rnd.choice(members)
+            # Occasionally clear the demand entirely (pure relay).
+            demand = {} if rnd.random() < 0.2 else _random_demand(rnd)
+            tree.update_local(node, demand, rnd.uniform(0.5, 2.0))
+        elif op == "move" and len(members) >= 3:
+            branch = rnd.choice([n for n in members if tree.parent(n) is not None])
+            in_branch = set(tree.subtree_nodes(branch))
+            hosts = [n for n in members if n not in in_branch]
+            if hosts:
+                tree.move_branch(branch, rnd.choice(hosts))
+        elif op == "remove" and len(members) >= 2:
+            branch = rnd.choice([n for n in members if tree.parent(n) is not None])
+            tree.remove_branch(branch)
+        # Whether the operation committed or was refused on capacity
+        # grounds, the cached state must match a from-scratch pass.
+        if len(tree) > 0:
+            assert_tree_matches_recompute(tree)
+            tree.validate()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(mutation_runs())
+def test_readonly_probes_leave_no_trace(run):
+    """can_add_node / can_move_branch simulations must not mutate."""
+    rnd, cost, capacities, central, aggregation, n_ops = run
+    tree = MonitoringTree(
+        attributes=ATTRS,
+        cost_model=cost,
+        capacities=capacities,
+        central_capacity=central,
+        aggregation=aggregation,
+    )
+    next_node = 0
+    for _ in range(n_ops):
+        members = tree.nodes
+        if not members or (rnd.random() < 0.6 and next_node < len(capacities)):
+            parent = rnd.choice(members) if members else None
+            tree.add_node(
+                next_node, parent, _random_demand(rnd), rnd.uniform(0.5, 2.0)
+            )
+            next_node += 1
+            continue
+        # Fire read-only probes, including infeasible ones, then check
+        # the overlay simulation left the real tables untouched.
+        if next_node < len(capacities):
+            tree.can_add_node(next_node, rnd.choice(members), _random_demand(rnd))
+        movable = [n for n in members if tree.parent(n) is not None]
+        if movable:
+            branch = rnd.choice(movable)
+            target = rnd.choice(members)
+            if branch != target:
+                tree.can_move_branch(branch, target)
+        assert_tree_matches_recompute(tree)
+        tree.validate()
