@@ -1,0 +1,128 @@
+"""Telemetry overhead guard: tracing must cost <5% of planning time.
+
+The :mod:`repro.obs` layer promises that instrumentation is cheap
+enough to leave enabled in CI.  This bench holds it to that promise:
+the 80-node CI workload is planned repeatedly with tracing disabled
+and with a live tracer plus ambient registry installed, interleaved
+best-of-N so machine noise hits both arms equally, and the relative
+slowdown of the traced arm is asserted under ``LIMIT`` (5%).
+
+Exit status 1 when the gate fails -- the CI perf-smoke job runs this
+directly.  Results are persisted as ``BENCH_telemetry.json`` under
+``benchmarks/results/`` (override with ``REPRO_BENCH_RESULTS``).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict
+
+from _common import emit, results_dir
+from bench_planner_scaling import COST, _workload
+from repro.analysis.report import format_table
+from repro.core.planner import RemoPlanner
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+#: Maximum tolerated relative slowdown of the traced arm.
+LIMIT = 0.05
+
+DEFAULT_NODES = 80
+DEFAULT_ROUNDS = 5
+
+
+def _time_plan(cluster, tasks) -> float:
+    planner = RemoPlanner(COST)
+    started = time.perf_counter()
+    planner.plan(tasks, cluster)
+    return time.perf_counter() - started
+
+
+def measure(n_nodes: int, rounds: int) -> Dict[str, float]:
+    """Best-of-``rounds`` for each arm, interleaved plain/traced."""
+    cluster, tasks = _workload(n_nodes, n_nodes)
+    # Warm-up: first plan pays one-time import and allocation costs.
+    _time_plan(cluster, tasks)
+    plain = float("inf")
+    traced = float("inf")
+    spans = 0
+    for _ in range(rounds):
+        plain = min(plain, _time_plan(cluster, tasks))
+        with use_registry(MetricsRegistry()):
+            with trace.installed() as tracer:
+                traced = min(traced, _time_plan(cluster, tasks))
+                spans = len(tracer)
+    overhead = (traced - plain) / plain
+    return {
+        "nodes": float(n_nodes),
+        "rounds": float(rounds),
+        "plain_seconds": plain,
+        "traced_seconds": traced,
+        "overhead_fraction": overhead,
+        "spans_recorded": float(spans),
+    }
+
+
+def persist(row: Dict[str, float]) -> str:
+    payload = {"bench": "telemetry_overhead", "limit": LIMIT, "result": row}
+    target = results_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, "BENCH_telemetry.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def report(row: Dict[str, float]) -> None:
+    emit(
+        "telemetry_overhead",
+        format_table(
+            f"Telemetry overhead (limit {LIMIT:.0%})",
+            ["metric", "value"],
+            [
+                ["nodes", int(row["nodes"])],
+                ["plain seconds (best)", round(row["plain_seconds"], 4)],
+                ["traced seconds (best)", round(row["traced_seconds"], 4)],
+                ["overhead", f"{row['overhead_fraction']:.2%}"],
+                ["spans recorded", int(row["spans_recorded"])],
+            ],
+        ),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--nodes", type=int, default=DEFAULT_NODES, help="workload size"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=DEFAULT_ROUNDS, help="best-of rounds per arm"
+    )
+    args = parser.parse_args()
+    row = measure(args.nodes, args.rounds)
+    report(row)
+    path = persist(row)
+    print(f"wrote {path}")
+    if row["overhead_fraction"] >= LIMIT:
+        print(
+            f"FAIL: telemetry overhead {row['overhead_fraction']:.2%} "
+            f">= limit {LIMIT:.0%}"
+        )
+        return 1
+    print(
+        f"OK: telemetry overhead {row['overhead_fraction']:.2%} "
+        f"< limit {LIMIT:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

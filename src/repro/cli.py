@@ -10,11 +10,17 @@ Five subcommands over synthetic workloads, mirroring the examples:
   (exit 1 on any ERROR diagnostic);
 - ``run``        execute the plan live on the asyncio runtime -- one
   concurrent agent per node plus a collector -- with capacity
-  budgets, heartbeats, and failure detection.
+  budgets, heartbeats, and failure detection;
+- ``metrics``    render (and validate) a ``--metrics`` Prometheus
+  snapshot back into tables.
 
 ``plan``, ``simulate``, ``adapt``, and ``run`` all accept ``--json``
 for machine-readable output, so CI and benches can consume results
-without screen-scraping.
+without screen-scraping.  The same four accept ``--trace PATH``
+(execution trace: ``.jsonl`` for the span log, anything else for
+Chrome trace-event JSON loadable in Perfetto / ``about:tracing``) and
+``--metrics PATH`` (Prometheus text-format snapshot of every counter,
+gauge, and histogram the command touched).
 
 Usage::
 
@@ -25,6 +31,8 @@ Usage::
     python -m repro check --nodes 48 --tasks 12 --corrupt cycle
     python -m repro run --preset quickstart --periods 10 --json
     python -m repro run --nodes 32 --tasks 8 --fail-node 3:2:6
+    python -m repro run --nodes 120 --trace run.trace.json --metrics run.prom
+    python -m repro metrics run.prom
 """
 
 from __future__ import annotations
@@ -32,7 +40,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.report import format_table
@@ -47,7 +54,17 @@ from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
+from repro.obs import trace
+from repro.obs.export import (
+    check_prometheus_text,
+    parse_prometheus_text,
+    write_chrome_trace,
+    write_jsonl_spans,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry, default_registry, use_registry
 from repro.runtime import AgentOutage, DropPolicy, MonitoringRuntime, RuntimeConfig
+from repro.runtime.metrics import RuntimeMetrics
 from repro.simulation import MonitoringSimulation, SimulationConfig
 from repro.workloads.presets import quickstart_workload
 from repro.workloads.tasks import TaskSampler
@@ -87,6 +104,23 @@ def _add_json(parser: argparse.ArgumentParser) -> None:
         "--json",
         action="store_true",
         help="emit one machine-readable JSON object instead of tables",
+    )
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write an execution trace: .jsonl for the raw span log, "
+        "any other extension for Chrome trace-event JSON (Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus text-format snapshot of every metric "
+        "this command touched",
     )
 
 
@@ -149,9 +183,9 @@ def _plan(args) -> int:
         elapsed = pstats.elapsed_seconds
     else:
         planner = SCHEMES[args.scheme](cost)
-        started = time.perf_counter()
-        plan = planner.plan(tasks, cluster)
-        elapsed = time.perf_counter() - started
+        with trace.timer("planner.plan", lane="planner", scheme=args.scheme) as t:
+            plan = planner.plan(tasks, cluster)
+        elapsed = t.elapsed
     plan.validate({n.node_id: n.capacity for n in cluster}, cluster.central_capacity)
     summary = _plan_summary(plan, elapsed)
     tree_rows = [
@@ -395,7 +429,15 @@ def _run(args) -> int:
         seed=args.seed,
         outages=list(args.fail_node),
     )
-    runtime = MonitoringRuntime(plan, cluster, config=config)
+    # Record into the ambient registry so a ``--metrics`` snapshot
+    # covers planner and runtime counters together and always
+    # reconciles with the report (they are the same bookkeeping).
+    runtime = MonitoringRuntime(
+        plan,
+        cluster,
+        config=config,
+        metrics=RuntimeMetrics(registry=default_registry()),
+    )
     report = runtime.run(args.periods)
     if args.json:
         payload: Dict[str, Any] = {
@@ -414,6 +456,42 @@ def _run(args) -> int:
     return 0
 
 
+def _metrics(args) -> int:
+    """Validate and render a ``--metrics`` Prometheus snapshot file."""
+    try:
+        with open(args.path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    problems = check_prometheus_text(text)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    samples = parse_prometheus_text(text)
+    if args.json:
+        _emit_json({"command": "metrics", "path": args.path, "samples": samples})
+        return 0
+    rows = [[series, round(value, 4)] for series, value in sorted(samples.items())]
+    print(format_table(f"metrics snapshot ({args.path})", ["series", "value"], rows))
+    return 0
+
+
+def _export_observability(args, registry: MetricsRegistry, tracer) -> None:
+    """Write the ``--trace`` / ``--metrics`` artifacts for one command."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        spans = tracer.spans()
+        if trace_path.endswith(".jsonl"):
+            write_jsonl_spans(spans, trace_path)
+        else:
+            write_chrome_trace(spans, trace_path, epoch=tracer.epoch)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path is not None:
+        write_prometheus(registry, metrics_path)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -424,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p = sub.add_parser("plan", help="plan a monitoring forest")
     _add_common(plan_p)
     _add_json(plan_p)
+    _add_obs(plan_p)
     plan_p.add_argument(
         "--parallelism",
         type=int,
@@ -436,12 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p = sub.add_parser("simulate", help="plan then simulate")
     _add_common(sim_p)
     _add_json(sim_p)
+    _add_obs(sim_p)
     sim_p.add_argument("--periods", type=int, default=20, help="collection periods")
     sim_p.set_defaults(func=_simulate)
 
     adapt_p = sub.add_parser("adapt", help="run the adaptive service under churn")
     _add_common(adapt_p)
     _add_json(adapt_p)
+    _add_obs(adapt_p)
     adapt_p.add_argument("--batches", type=int, default=5, help="update batches")
     adapt_p.add_argument(
         "--strategy",
@@ -479,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(run_p)
     _add_json(run_p)
+    _add_obs(run_p)
     run_p.add_argument(
         "--preset",
         choices=["quickstart"],
@@ -521,13 +603,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the pre-launch plan invariant check",
     )
     run_p.set_defaults(func=_run)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="validate and render a --metrics snapshot file"
+    )
+    metrics_p.add_argument("path", help="Prometheus text-format snapshot to render")
+    _add_json(metrics_p)
+    metrics_p.set_defaults(func=_metrics)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    wants_obs = (
+        getattr(args, "trace", None) is not None
+        or getattr(args, "metrics", None) is not None
+    )
+    if not wants_obs:
+        return args.func(args)
+    # Fresh ambient registry per invocation: two commands run in one
+    # process (tests, notebooks) must not bleed counters into each
+    # other's --metrics snapshot.  Tracing is enabled only when a
+    # --trace path asks for it, keeping the no-flags path zero-cost.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        if getattr(args, "trace", None) is not None:
+            with trace.installed() as tracer:
+                code = args.func(args)
+        else:
+            tracer = None
+            code = args.func(args)
+        _export_observability(args, registry, tracer)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

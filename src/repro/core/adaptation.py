@@ -32,11 +32,12 @@ than starved (see DESIGN.md).
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.node import Cluster
+from repro.obs import trace
+from repro.obs.metrics import default_registry
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
 from repro.core.allocation import AllocationPolicy
 from repro.core.cost import AggregationMap, CostModel
@@ -171,14 +172,46 @@ class AdaptiveMonitoringService:
         force_rebuild: bool = False,
     ) -> AdaptationReport:
         """Apply a batch of task mutations and adapt the topology."""
-        started = time.perf_counter()
+        with trace.timer(
+            "adaptation.apply_changes",
+            lane="adaptation",
+            strategy=self.strategy.value,
+        ) as batch_timer:
+            report = self._apply_changes_timed(list(ops), now, force_rebuild)
+        report.planning_seconds = batch_timer.elapsed
+        registry = default_registry()
+        registry.incr(
+            "adaptation_ops_applied_total",
+            len(report.applied_ops),
+            strategy=self.strategy.value,
+        )
+        registry.incr(
+            "adaptation_ops_throttled_total",
+            report.throttled_ops,
+            strategy=self.strategy.value,
+        )
+        registry.incr(
+            "adaptation_messages_total",
+            report.adaptation_messages,
+            strategy=self.strategy.value,
+        )
+        return report
+
+    def _apply_changes_timed(
+        self,
+        ops: List[TaskOp],
+        now: float,
+        force_rebuild: bool,
+    ) -> AdaptationReport:
+        """:meth:`apply_changes` body; ``planning_seconds`` is stamped by
+        the caller's timer, so every return path reports 0.0 here."""
         previous_plan = self.plan
         # DIRECT-APPLY mutates trees in place and the previous plan
         # aliases the same objects, so capture its structure now.
         previous_edges = (
             previous_plan.edge_multiset() if previous_plan is not None else None
         )
-        delta = self.tasks.apply(list(ops))
+        delta = self.tasks.apply(ops)
         pairs = frozenset(
             p
             for p in self.tasks.pairs()
@@ -192,7 +225,7 @@ class AdaptiveMonitoringService:
             self._tadj.clear()
             return AdaptationReport(
                 strategy=self.strategy,
-                planning_seconds=time.perf_counter() - started,
+                planning_seconds=0.0,
                 adaptation_messages=sum(previous_edges.values()) if previous_edges else 0,
                 monitoring_volume=0.0,
                 collected_pairs=0,
@@ -226,7 +259,7 @@ class AdaptiveMonitoringService:
         )
         return AdaptationReport(
             strategy=self.strategy,
-            planning_seconds=time.perf_counter() - started,
+            planning_seconds=0.0,
             adaptation_messages=adaptation_messages,
             monitoring_volume=new_plan.total_message_cost(),
             collected_pairs=new_plan.collected_pair_count(),
@@ -454,28 +487,32 @@ class AdaptiveMonitoringService:
         anchor = set(dirty) & set(plan.partition.sets)
         applied: List[PartitionOp] = []
         throttled = 0
-        for _ in range(self.max_ops_per_batch):
-            if not anchor:
-                break
-            candidate = self._find_operation(plan, pairs, anchor)
-            if candidate is None:
-                break
-            op, cand_plan = candidate
-            if self.strategy is AdaptationStrategy.ADAPTIVE:
-                if not self._cost_effective(plan, cand_plan, op, now):
-                    throttled += 1
-                    # Once an operation fails the cost-benefit test the
-                    # algorithm terminates immediately (Section 4.2).
+        with trace.span(
+            "adaptation.restricted_search", lane="adaptation", anchor=len(anchor)
+        ) as search_span:
+            for _ in range(self.max_ops_per_batch):
+                if not anchor:
                     break
-            plan = cand_plan
-            applied.append(op)
-            touched = self._sets_created_by(op)
-            anchor = (anchor & set(plan.partition.sets)) | touched
-            for s in touched:
-                self._tadj[s] = now
-            self._tadj = {
-                s: t for s, t in self._tadj.items() if s in set(plan.partition.sets)
-            }
+                candidate = self._find_operation(plan, pairs, anchor)
+                if candidate is None:
+                    break
+                op, cand_plan = candidate
+                if self.strategy is AdaptationStrategy.ADAPTIVE:
+                    if not self._cost_effective(plan, cand_plan, op, now):
+                        throttled += 1
+                        # Once an operation fails the cost-benefit test the
+                        # algorithm terminates immediately (Section 4.2).
+                        break
+                plan = cand_plan
+                applied.append(op)
+                touched = self._sets_created_by(op)
+                anchor = (anchor & set(plan.partition.sets)) | touched
+                for s in touched:
+                    self._tadj[s] = now
+                self._tadj = {
+                    s: t for s, t in self._tadj.items() if s in set(plan.partition.sets)
+                }
+            search_span.set(applied=len(applied), throttled=throttled)
         return plan, applied, throttled
 
     def _find_operation(
@@ -581,7 +618,17 @@ class AdaptiveMonitoringService:
             candidate.collected_pair_count() - current.collected_pair_count(), 0
         )
         benefit = traffic_saving + self.cost.value_cost(recovered)
-        return m_adapt < stability * benefit
+        verdict = m_adapt < stability * benefit
+        trace.event(
+            "adaptation.cost_benefit",
+            lane="adaptation",
+            op=op.describe(),
+            m_adapt=m_adapt,
+            stability=stability,
+            benefit=benefit,
+            verdict="apply" if verdict else "throttle",
+        )
+        return verdict
 
 
 def _plan_key(plan: MonitoringPlan) -> Tuple[int, float]:

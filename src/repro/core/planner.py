@@ -22,9 +22,8 @@ paper's rationale for ranking by usage reduction in the first place).
 from __future__ import annotations
 
 import multiprocessing
-import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -40,6 +39,9 @@ from typing import (
 
 from repro.checks.runner import assert_plan_valid
 from repro.cluster.node import Cluster
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import Span
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
 from repro.core.allocation import AllocationPolicy
 from repro.core.cost import AggregationMap, CostModel
@@ -60,15 +62,65 @@ _COST_EPS = 1e-6
 PlanBuilder = Callable[..., MonitoringPlan]
 
 
-@dataclass
 class PlanningStats:
-    """Search-effort accounting for one :meth:`RemoPlanner.plan` call."""
+    """Search-effort accounting for one :meth:`RemoPlanner.plan` call.
 
-    iterations: int = 0
-    candidates_ranked: int = 0
-    candidates_evaluated: int = 0
-    accepted_ops: List[str] = field(default_factory=list)
-    elapsed_seconds: float = 0.0
+    The numeric counters are snapshots of the ambient
+    :class:`~repro.obs.metrics.MetricsRegistry` rather than parallel
+    bookkeeping: :meth:`bump` writes through to ``planner_*`` counter
+    series (labeled by search phase), and the properties read back the
+    delta accumulated since this object's creation.  ``accepted_ops``
+    stays a plain list -- operation descriptions are trace events, not
+    metrics.
+    """
+
+    #: (property, registry counter) pairs backing the numeric fields.
+    _COUNTERS: Tuple[Tuple[str, str], ...] = (
+        ("iterations", "planner_iterations_total"),
+        ("candidates_ranked", "planner_candidates_ranked_total"),
+        ("candidates_evaluated", "planner_candidates_evaluated_total"),
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self._base = {
+            counter: self.registry.counter_total(counter)
+            for _attr, counter in self._COUNTERS
+        }
+        self._final: Optional[Dict[str, float]] = None
+        self.accepted_ops: List[str] = []
+        self.elapsed_seconds: float = 0.0
+
+    def bump(self, counter: str, amount: int = 1, **labels: object) -> None:
+        self.registry.incr(counter, amount, **labels)
+
+    def freeze(self) -> None:
+        """Close the accounting window: later registry activity (another
+        ``plan()`` call on the same ambient registry) must not bleed
+        into this object's readings."""
+        self._final = {
+            counter: self.registry.counter_total(counter)
+            for _attr, counter in self._COUNTERS
+        }
+
+    def _delta(self, counter: str) -> int:
+        if self._final is not None:
+            total = self._final[counter]
+        else:
+            total = self.registry.counter_total(counter)
+        return int(round(total - self._base[counter]))
+
+    @property
+    def iterations(self) -> int:
+        return self._delta("planner_iterations_total")
+
+    @property
+    def candidates_ranked(self) -> int:
+        return self._delta("planner_candidates_ranked_total")
+
+    @property
+    def candidates_evaluated(self) -> int:
+        return self._delta("planner_candidates_evaluated_total")
 
 
 def objective(plan: MonitoringPlan) -> Tuple[int, float]:
@@ -151,19 +203,36 @@ _WORKER_CTX: Optional[_EvalContext] = None
 def _init_eval_worker(ctx: _EvalContext) -> None:
     global _WORKER_CTX
     _WORKER_CTX = ctx
+    # The worker's tracer is a fork-time copy of the parent's,
+    # including any spans already recorded -- discard those so the
+    # batches below ship back only spans this worker produced.
+    trace.drain_local()
 
 
 def _eval_op_batch(
-    incumbent: MonitoringPlan, indexed_ops: Sequence[Tuple[int, PartitionOp]]
-) -> List[Tuple[int, MonitoringPlan]]:
+    incumbent: MonitoringPlan,
+    indexed_ops: Sequence[Tuple[int, PartitionOp]],
+    worker_rank: int,
+) -> Tuple[List[Tuple[int, MonitoringPlan]], List[Span]]:
     """Worker entry point: evaluate a batch of ranked candidates.
 
     Results carry their rank index so the parent can merge batches
     back into rank order and apply the exact serial acceptance logic.
+    Spans recorded during evaluation (attributed to this worker's
+    rank) ride along for the parent tracer to ingest.
     """
     ctx = _WORKER_CTX
     assert ctx is not None, "worker used before initialization"
-    return [(idx, _evaluate_with_context(ctx, incumbent, op)) for idx, op in indexed_ops]
+    results: List[Tuple[int, MonitoringPlan]] = []
+    for idx, op in indexed_ops:
+        with trace.span(
+            "planner.evaluate_candidate",
+            lane=f"planner-worker-{worker_rank}",
+            rank=idx,
+            worker=worker_rank,
+        ):
+            results.append((idx, _evaluate_with_context(ctx, incumbent, op)))
+    return results, trace.drain_local()
 
 
 def _separate_forbidden(
@@ -329,73 +398,87 @@ class RemoPlanner:
         :class:`~repro.checks.PlanCheckError` at the first invariant
         violation.  Expensive; meant for tests and bug hunts.
         """
-        started = time.perf_counter()
         stats = PlanningStats()
-        pairs = observable_pairs(tasks, cluster)
-        if not pairs:
-            raise ValueError("cannot plan for an empty workload")
-        attributes = frozenset(p.attribute for p in pairs)
-        if initial_partition is not None:
-            if frozenset(initial_partition.universe) != attributes:
-                raise ValueError(
-                    "initial partition universe must equal the workload's attributes"
-                )
-            partition = initial_partition
-        else:
-            partition = None
-
-        ctx = _EvalContext(
-            forest=self.forest,
-            pairs=pairs,
-            cluster=cluster,
-            pair_weights=pair_weights,
-            msg_weights=msg_weights,
-            debug_checks=debug_checks,
-        )
-
-        def build(
-            part: Partition,
-            keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
-        ) -> MonitoringPlan:
-            return _context_build(ctx, part, keep)
-
-        executor = self._make_executor(ctx)
-        try:
-            if partition is not None:
-                incumbent = build(partition)
+        with trace.timer("planner.plan", lane="planner") as plan_timer:
+            pairs = observable_pairs(tasks, cluster)
+            if not pairs:
+                raise ValueError("cannot plan for an empty workload")
+            attributes = frozenset(p.attribute for p in pairs)
+            if initial_partition is not None:
+                if frozenset(initial_partition.universe) != attributes:
+                    raise ValueError(
+                        "initial partition universe must equal the workload's attributes"
+                    )
+                partition = initial_partition
             else:
-                # REMO seeks the middle ground between the two extreme
-                # partitions, but a merge-walk from singletons cannot reach
-                # merge-heavy optima within bounded iterations when there
-                # are many attribute types (nor can a split-walk from the
-                # one-set partition reach balanced k-way groupings).  Seed
-                # the local search with both endpoints plus a ladder of
-                # k-way partitions that cluster attributes by node-set
-                # similarity, and start from whichever evaluates best.
-                incumbent = build(Partition.singletons(attributes))
-                for seed in self._seed_partitions(pairs, attributes):
-                    candidate = build(seed)
-                    stats.candidates_evaluated += 1
-                    if self._improves(candidate, incumbent):
-                        incumbent = candidate
-            for _ in range(self.max_iterations):
-                stats.iterations += 1
-                accepted = self._improve_once(incumbent, ctx, build, stats, executor)
-                if accepted is None:
-                    break
-                incumbent = accepted
-            if stats.accepted_ops:
-                # Candidate evaluation carries unaffected trees over, which
-                # charges capacity in stale order; one final full rebuild of
-                # the winning partition restores the allocation policy's
-                # global ordering and is kept only if it helps.
-                final = build(incumbent.partition)
-                if self._improves(final, incumbent):
-                    incumbent = final
-        finally:
-            if executor is not None:
-                executor.shutdown()
-        stats.elapsed_seconds = time.perf_counter() - started
+                partition = None
+
+            ctx = _EvalContext(
+                forest=self.forest,
+                pairs=pairs,
+                cluster=cluster,
+                pair_weights=pair_weights,
+                msg_weights=msg_weights,
+                debug_checks=debug_checks,
+            )
+
+            def build(
+                part: Partition,
+                keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
+            ) -> MonitoringPlan:
+                return _context_build(ctx, part, keep)
+
+            executor = self._make_executor(ctx)
+            try:
+                if partition is not None:
+                    incumbent = build(partition)
+                else:
+                    # REMO seeks the middle ground between the two extreme
+                    # partitions, but a merge-walk from singletons cannot reach
+                    # merge-heavy optima within bounded iterations when there
+                    # are many attribute types (nor can a split-walk from the
+                    # one-set partition reach balanced k-way groupings).  Seed
+                    # the local search with both endpoints plus a ladder of
+                    # k-way partitions that cluster attributes by node-set
+                    # similarity, and start from whichever evaluates best.
+                    incumbent = build(Partition.singletons(attributes))
+                    for seed_rank, seed in enumerate(
+                        self._seed_partitions(pairs, attributes)
+                    ):
+                        with trace.span(
+                            "planner.seed_eval",
+                            lane="planner",
+                            rank=seed_rank,
+                            sets=len(seed),
+                        ):
+                            candidate = build(seed)
+                        stats.bump(
+                            "planner_candidates_evaluated_total", phase="seed"
+                        )
+                        if self._improves(candidate, incumbent):
+                            incumbent = candidate
+                for _ in range(self.max_iterations):
+                    stats.bump("planner_iterations_total")
+                    accepted = self._improve_once(
+                        incumbent, ctx, build, stats, executor
+                    )
+                    if accepted is None:
+                        break
+                    incumbent = accepted
+                if stats.accepted_ops:
+                    # Candidate evaluation carries unaffected trees over, which
+                    # charges capacity in stale order; one final full rebuild of
+                    # the winning partition restores the allocation policy's
+                    # global ordering and is kept only if it helps.
+                    with trace.span("planner.final_rebuild", lane="planner"):
+                        final = build(incumbent.partition)
+                    if self._improves(final, incumbent):
+                        incumbent = final
+            finally:
+                if executor is not None:
+                    executor.shutdown()
+        stats.elapsed_seconds = plan_timer.elapsed
+        stats.freeze()
         return incumbent, stats
 
     def _make_executor(self, ctx: _EvalContext) -> Optional[ProcessPoolExecutor]:
@@ -493,57 +576,74 @@ class RemoPlanner:
         stats: PlanningStats,
         executor: Optional[ProcessPoolExecutor] = None,
     ) -> Optional[MonitoringPlan]:
-        partition = incumbent.partition
-        gain_ctx = GainContext.from_plan(incumbent, self.cost)
-        ops: List[PartitionOp] = list(
-            partition.merge_ops(forbidden_pairs=self.forbidden_pairs or None)
-        )
-        ops.extend(partition.split_ops())
-        ranked = rank_candidates(ops, gain_ctx, budget=self.candidate_budget)
-        stats.candidates_ranked += len(ops)
+        with trace.span(
+            "partition.merge_iteration", lane="planner", iteration=stats.iterations
+        ) as iteration_span:
+            partition = incumbent.partition
+            gain_ctx = GainContext.from_plan(incumbent, self.cost)
+            ops: List[PartitionOp] = list(
+                partition.merge_ops(forbidden_pairs=self.forbidden_pairs or None)
+            )
+            ops.extend(partition.split_ops())
+            ranked = rank_candidates(ops, gain_ctx, budget=self.candidate_budget)
+            stats.bump("planner_candidates_ranked_total", len(ops))
+            iteration_span.set(neighborhood=len(ops), candidates=len(ranked))
 
-        # With a pool, evaluate the whole ranked budget up front; the
-        # acceptance loop below then consumes the precomputed plans in
-        # rank order, so accepted plans (and, except for wasted work
-        # past a first-improvement cut, the stats) match serial runs
-        # exactly.
-        evaluated: Optional[List[MonitoringPlan]] = None
-        if executor is not None and len(ranked) > 1:
-            evaluated = self._evaluate_parallel(executor, incumbent, ranked)
+            # With a pool, evaluate the whole ranked budget up front; the
+            # acceptance loop below then consumes the precomputed plans in
+            # rank order, so accepted plans (and, except for wasted work
+            # past a first-improvement cut, the stats) match serial runs
+            # exactly.
+            evaluated: Optional[List[MonitoringPlan]] = None
+            if executor is not None and len(ranked) > 1:
+                evaluated = self._evaluate_parallel(executor, incumbent, ranked)
 
-        best_plan: Optional[MonitoringPlan] = None
-        best_op: Optional[PartitionOp] = None
-        for rank_idx, (_gain, op) in enumerate(ranked):
-            if evaluated is not None:
-                candidate = evaluated[rank_idx]
-            else:
-                candidate = _evaluate_with_context(ctx, incumbent, op)
-            stats.candidates_evaluated += 1
-            if not self._improves(candidate, incumbent):
-                continue
-            if self.first_improvement:
-                stats.accepted_ops.append(op.describe())
-                return candidate
-            if best_plan is None or self._improves(candidate, best_plan):
-                best_plan = candidate
-                best_op = op
-        if best_plan is None:
-            # Incremental evaluation charges kept trees' capacity before
-            # the touched trees see any, so gains that require
-            # *redistributing* capacity (typically central-collector
-            # budget freed by a merge) are invisible.  Give the few
-            # top-ranked candidates one full rebuild before giving up.
-            for _gain, op in ranked[: self._full_rebuild_budget]:
-                candidate = build(incumbent.partition.apply(op))
-                stats.candidates_evaluated += 1
-                if self._improves(candidate, incumbent) and (
-                    best_plan is None or self._improves(candidate, best_plan)
-                ):
+            best_plan: Optional[MonitoringPlan] = None
+            best_op: Optional[PartitionOp] = None
+            for rank_idx, (_gain, op) in enumerate(ranked):
+                if evaluated is not None:
+                    candidate = evaluated[rank_idx]
+                else:
+                    with trace.span(
+                        "planner.evaluate_candidate", lane="planner", rank=rank_idx
+                    ):
+                        candidate = _evaluate_with_context(ctx, incumbent, op)
+                stats.bump("planner_candidates_evaluated_total", phase="search")
+                if not self._improves(candidate, incumbent):
+                    continue
+                if self.first_improvement:
+                    stats.accepted_ops.append(op.describe())
+                    trace.event("planner.accept", lane="planner", op=op.describe())
+                    return candidate
+                if best_plan is None or self._improves(candidate, best_plan):
                     best_plan = candidate
                     best_op = op
-        if best_plan is not None and best_op is not None:
-            stats.accepted_ops.append(best_op.describe())
-        return best_plan
+            if best_plan is None:
+                # Incremental evaluation charges kept trees' capacity before
+                # the touched trees see any, so gains that require
+                # *redistributing* capacity (typically central-collector
+                # budget freed by a merge) are invisible.  Give the few
+                # top-ranked candidates one full rebuild before giving up.
+                for rank_idx, (_gain, op) in enumerate(
+                    ranked[: self._full_rebuild_budget]
+                ):
+                    with trace.span(
+                        "planner.evaluate_candidate",
+                        lane="planner",
+                        rank=rank_idx,
+                        full_rebuild=True,
+                    ):
+                        candidate = build(incumbent.partition.apply(op))
+                    stats.bump("planner_candidates_evaluated_total", phase="rebuild")
+                    if self._improves(candidate, incumbent) and (
+                        best_plan is None or self._improves(candidate, best_plan)
+                    ):
+                        best_plan = candidate
+                        best_op = op
+            if best_plan is not None and best_op is not None:
+                stats.accepted_ops.append(best_op.describe())
+                trace.event("planner.accept", lane="planner", op=best_op.describe())
+            return best_plan
 
     def _evaluate_parallel(
         self,
@@ -561,12 +661,14 @@ class RemoPlanner:
         indexed = [(idx, op) for idx, (_gain, op) in enumerate(ranked)]
         chunks = [indexed[i::workers] for i in range(workers)]
         futures = [
-            executor.submit(_eval_op_batch, incumbent, chunk)
-            for chunk in chunks
+            executor.submit(_eval_op_batch, incumbent, chunk, worker_rank)
+            for worker_rank, chunk in enumerate(chunks)
             if chunk
         ]
         merged: Dict[int, MonitoringPlan] = {}
         for future in futures:
-            for idx, plan in future.result():
+            results, spans = future.result()
+            trace.ingest(spans)
+            for idx, plan in results:
                 merged[idx] = plan
         return [merged[idx] for idx in range(len(ranked))]

@@ -1,0 +1,57 @@
+"""Unified telemetry for the REMO reproduction.
+
+One cross-cutting layer shared by planning, simulation, and the live
+runtime (see DESIGN.md, "Telemetry architecture"):
+
+- :mod:`repro.obs.metrics` -- the process-wide
+  :class:`MetricsRegistry` of labeled counters, gauges, and
+  histograms; :class:`~repro.runtime.metrics.RuntimeMetrics` and
+  :class:`~repro.core.planner.PlanningStats` are snapshots of it;
+- :mod:`repro.obs.trace` -- lightweight span tracing
+  (``with trace.span("partition.merge_iteration", candidates=k):``)
+  with asyncio-task and forked-worker context propagation;
+- :mod:`repro.obs.export` -- pluggable exporters: JSONL event log,
+  Prometheus text-format snapshot, and Chrome trace-event JSON for
+  ``about:tracing`` / Perfetto.
+
+Wired through the CLI as ``--trace PATH`` / ``--metrics PATH`` on
+``plan``/``simulate``/``adapt``/``run`` plus the ``repro metrics``
+render subcommand.
+"""
+
+from repro.obs import trace
+from repro.obs.export import (
+    check_prometheus_text,
+    parse_prometheus_text,
+    prometheus_text,
+    read_jsonl_spans,
+    write_chrome_trace,
+    write_jsonl_spans,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "check_prometheus_text",
+    "default_registry",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "read_jsonl_spans",
+    "set_default_registry",
+    "trace",
+    "use_registry",
+    "write_chrome_trace",
+    "write_jsonl_spans",
+    "write_prometheus",
+]

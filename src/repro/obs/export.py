@@ -1,0 +1,267 @@
+"""Pluggable exporters for spans and metric snapshots.
+
+Three output formats, one per consumer:
+
+- **JSONL** (:func:`write_jsonl_spans` / :func:`read_jsonl_spans`) --
+  one span per line, lossless round-trip back into :class:`Span`
+  objects for programmatic analysis;
+- **Chrome trace-event JSON** (:func:`write_chrome_trace`) -- opens
+  directly in ``about:tracing`` / Perfetto; spans become complete
+  (``ph: "X"``) events, instants become ``ph: "i"``, and lanes become
+  named thread rows via metadata events;
+- **Prometheus text format** (:func:`prometheus_text` /
+  :func:`write_prometheus`) -- a scrape-shaped snapshot of a
+  :class:`MetricsRegistry`: counters and gauges as-is, histograms as
+  summaries (``quantile`` series plus ``_sum`` / ``_count``).
+
+:func:`parse_prometheus_text` and :func:`check_prometheus_text` close
+the loop: the ``repro metrics`` subcommand renders a snapshot file
+back into tables, and the format checker keeps exporter output honest
+in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry, format_series
+from repro.obs.trace import Span
+
+#: Quantiles exported for every histogram summary.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+# ----------------------------------------------------------------------
+# JSONL span log
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span) -> Dict[str, object]:
+    return {
+        "name": span.name,
+        "start": span.start,
+        "duration": span.duration,
+        "attrs": dict(span.attrs),
+        "pid": span.pid,
+        "tid": span.tid,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "kind": span.kind,
+        "lane": span.lane,
+    }
+
+
+def span_from_dict(payload: Dict[str, object]) -> Span:
+    return Span(
+        name=str(payload["name"]),
+        start=float(payload["start"]),  # type: ignore[arg-type]
+        duration=float(payload["duration"]),  # type: ignore[arg-type]
+        attrs=dict(payload.get("attrs") or {}),  # type: ignore[call-overload]
+        pid=int(payload.get("pid", 0)),  # type: ignore[arg-type]
+        tid=int(payload.get("tid", 0)),  # type: ignore[arg-type]
+        span_id=int(payload.get("span_id", 0)),  # type: ignore[arg-type]
+        parent_id=(
+            None if payload.get("parent_id") is None else int(payload["parent_id"])  # type: ignore[arg-type]
+        ),
+        kind=str(payload.get("kind", "span")),
+        lane=(None if payload.get("lane") is None else str(payload["lane"])),
+    )
+
+
+def write_jsonl_spans(spans: Sequence[Span], path: str) -> None:
+    """One JSON object per line; lossless against :func:`read_jsonl_spans`."""
+    with open(path, "w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_to_dict(span), sort_keys=True))
+            fh.write("\n")
+
+
+def read_jsonl_spans(path: str) -> List[Span]:
+    spans: List[Span] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON (about:tracing / Perfetto)
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    spans: Sequence[Span], epoch: Optional[float] = None
+) -> List[Dict[str, object]]:
+    """Spans as trace-event dicts, timestamps rebased to ``epoch``.
+
+    Lanes become synthetic thread ids with ``thread_name`` metadata so
+    each logical actor (node agent, collector, engine) renders as its
+    own labeled row.  Events are sorted by timestamp, which also makes
+    ``ts`` monotonic within every (pid, tid) track.
+    """
+    if epoch is None:
+        epoch = min((s.start for s in spans), default=0.0)
+    lane_ids: Dict[Tuple[int, str], int] = {}
+    keyed: List[Tuple[float, int, int, Dict[str, object]]] = []
+    for span in spans:
+        if span.lane is not None:
+            lane_key = (span.pid, span.lane)
+            tid = lane_ids.setdefault(lane_key, len(lane_ids) + 1)
+        else:
+            tid = span.tid
+        ts = max(span.start - epoch, 0.0) * 1e6
+        base: Dict[str, object] = {
+            "name": span.name,
+            "cat": "remo",
+            "ts": ts,
+            "pid": span.pid,
+            "tid": tid,
+            "args": dict(span.attrs),
+        }
+        if span.kind == "instant":
+            base["ph"] = "i"
+            base["s"] = "t"
+        else:
+            base["ph"] = "X"
+            base["dur"] = span.duration * 1e6
+        keyed.append((ts, span.pid, tid, base))
+    keyed.sort(key=lambda item: item[:3])
+    events = [base for _ts, _pid, _tid, base in keyed]
+    metadata: List[Dict[str, object]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for (pid, lane), tid in sorted(lane_ids.items(), key=lambda kv: kv[1])
+    ]
+    return metadata + events
+
+
+def write_chrome_trace(
+    spans: Sequence[Span], path: str, epoch: Optional[float] = None
+) -> None:
+    payload = {
+        "traceEvents": chrome_trace_events(spans, epoch=epoch),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One sample line: ``name{labels} value`` with an optional label block.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\]*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\\]*\")*\})?"
+    r" (?P<value>[-+]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][-+]?\d+)?|[-+]?Inf|NaN)$"
+)
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if not re.match(r"[a-zA-Z_:]", sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _sample(name: str, labels: Sequence[Tuple[str, str]], value: float) -> str:
+    return f"{format_series(_metric_name(name), tuple(labels))} {_format_value(value)}"
+
+
+def _histogram_lines(
+    name: str, labels: Sequence[Tuple[str, str]], hist: Histogram
+) -> List[str]:
+    lines = []
+    for q in SUMMARY_QUANTILES:
+        q_labels = list(labels) + [("quantile", str(q))]
+        lines.append(_sample(name, q_labels, hist.quantile(q)))
+    lines.append(_sample(name + "_sum", labels, hist.sum))
+    lines.append(_sample(name + "_count", labels, float(hist.count)))
+    return lines
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry as a Prometheus text-format exposition."""
+    by_name: Dict[str, List[str]] = {}
+    types: Dict[str, str] = {}
+    for kind, (name, labels) in registry.series():
+        metric = _metric_name(name)
+        key = (name, labels)
+        if kind == "counter":
+            types.setdefault(metric, "counter")
+            by_name.setdefault(metric, []).append(
+                _sample(name, labels, registry.counter_value(key))
+            )
+        elif kind == "gauge":
+            types.setdefault(metric, "gauge")
+            by_name.setdefault(metric, []).append(
+                _sample(name, labels, registry.gauge_value(key))
+            )
+        else:
+            types.setdefault(metric, "summary")
+            by_name.setdefault(metric, []).extend(
+                _histogram_lines(name, labels, registry.histogram_value(key))
+            )
+    lines: List[str] = []
+    for metric in sorted(by_name):
+        lines.append(f"# TYPE {metric} {types[metric]}")
+        lines.extend(by_name[metric])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(registry))
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Sample lines back into ``{formatted series name: value}``."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed Prometheus sample line: {line!r}")
+        labels = match.group("labels") or ""
+        samples[match.group("name") + labels] = float(match.group("value"))
+    return samples
+
+
+def check_prometheus_text(text: str) -> List[str]:
+    """Line-format violations (empty when the exposition is well-formed)."""
+    problems: List[str] = []
+    seen_sample = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not re.match(r"^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ", line):
+                problems.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        if _SAMPLE_LINE.match(line) is None:
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+        else:
+            seen_sample = True
+    if not seen_sample and text.strip():
+        problems.append("no sample lines found")
+    return problems

@@ -1,0 +1,298 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` is the single bookkeeping surface shared
+by the planner, the adaptive service, the simulator, and the live
+runtime.  Instruments are created on first touch and identified by a
+name plus an optional label set (``node``, ``tree``, ``phase``, ...),
+exactly like Prometheus series -- ``messages_sent{node="3"}`` and
+``messages_sent{node="7"}`` are distinct series that aggregate to one
+``messages_sent`` total.
+
+Higher layers read the registry two ways:
+
+- *totals* (:meth:`MetricsRegistry.counter_totals`): label sets summed
+  per base name -- the stable, small view behind
+  :class:`~repro.runtime.report.RuntimeReport` and ``--json`` output;
+- *series* (:meth:`MetricsRegistry.counters`): every labeled series,
+  the full-resolution view behind the Prometheus exporter
+  (:func:`repro.obs.export.prometheus_text`).
+
+A module-level *default registry* carries recordings from code that is
+not handed an explicit registry (the planner's search counters, the
+simulator's tallies).  The CLI swaps in a fresh one per invocation via
+:func:`use_registry` so ``--metrics`` snapshots exactly one command.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Canonical label encoding: sorted ``(key, value)`` pairs, values
+#: stringified so label identity never depends on value types.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: One series: base name plus its canonical labels.
+MetricKey = Tuple[str, LabelItems]
+
+
+def labels_key(labels: Mapping[str, object]) -> LabelItems:
+    """Canonicalize a label mapping into a hashable series key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: LabelItems) -> str:
+    """Prometheus-style series name: ``name{k="v",...}`` (or bare name)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """A histogram that is exact while small and a sketch once large.
+
+    Below ``sketch_threshold`` observations every value is retained and
+    quantiles are exact (linear interpolation over the sorted values).
+    Past the threshold the histogram switches to a bounded-memory
+    reservoir sketch (Vitter's algorithm R over ``reservoir_size``
+    slots, seeded so runs are reproducible): count, sum, mean, min and
+    max stay exact via running accumulators, while quantiles become
+    estimates read from the uniform sample.  The switch is one-way and
+    automatic, so runs with millions of observations cannot grow
+    memory without bound.
+    """
+
+    def __init__(
+        self,
+        sketch_threshold: int = 4096,
+        reservoir_size: int = 1024,
+        seed: int = 0x5EED,
+    ) -> None:
+        if reservoir_size <= 0:
+            raise ValueError(f"reservoir_size must be > 0, got {reservoir_size}")
+        if sketch_threshold < reservoir_size:
+            raise ValueError(
+                "sketch_threshold must be >= reservoir_size "
+                f"({sketch_threshold} < {reservoir_size})"
+            )
+        self.sketch_threshold = sketch_threshold
+        self.reservoir_size = reservoir_size
+        self._values: List[float] = []
+        self._sketching = False
+        self._rng = random.Random(seed)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording -----------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if not self._sketching:
+            self._values.append(value)
+            if len(self._values) > self.sketch_threshold:
+                # One-way switch: downsample the exact values into the
+                # reservoir, then keep a uniform sample from here on.
+                self._values = self._rng.sample(self._values, self.reservoir_size)
+                self._sketching = True
+            return
+        # Algorithm R: the n-th observation replaces a random slot with
+        # probability reservoir_size / n, keeping the sample uniform.
+        slot = self._rng.randrange(self._count)
+        if slot < self.reservoir_size:
+            self._values[slot] = value
+
+    # -- reading -------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether quantiles are still computed from every observation."""
+        return not self._sketching
+
+    def quantile(self, q: float) -> float:
+        """q-quantile (exact, or estimated from the reservoir); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        position = q * (len(ordered) - 1)
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return ordered[lower]
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with label support."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, float] = {}
+        self._gauges: Dict[MetricKey, float] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+    def incr(self, name: str, amount: Number = 1, **labels: object) -> None:
+        key = (name, labels_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + float(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self._gauges[(name, labels_key(labels))] = float(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # -- reading -------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> float:
+        """The value of one exact series (0.0 when never touched)."""
+        return self._counters.get((name, labels_key(labels)), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """The sum of every series sharing ``name``, labels collapsed."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def gauge(self, name: str, **labels: object) -> float:
+        return self._gauges.get((name, labels_key(labels)), 0.0)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Get-or-create the histogram for one series."""
+        key = (name, labels_key(labels))
+        found = self._histograms.get(key)
+        if found is None:
+            found = self._histograms[key] = Histogram()
+        return found
+
+    def counters(self) -> Dict[str, float]:
+        """Every counter series, keyed by formatted series name."""
+        return {
+            format_series(name, labels): value
+            for (name, labels), value in sorted(self._counters.items())
+        }
+
+    def gauges(self) -> Dict[str, float]:
+        return {
+            format_series(name, labels): value
+            for (name, labels), value in sorted(self._gauges.items())
+        }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {
+            format_series(name, labels): hist
+            for (name, labels), hist in sorted(self._histograms.items())
+        }
+
+    def counter_totals(self) -> Dict[str, float]:
+        """Counters aggregated to base names (the compact report view)."""
+        totals: Dict[str, float] = {}
+        for (name, _labels), value in self._counters.items():
+            totals[name] = totals.get(name, 0.0) + value
+        return dict(sorted(totals.items()))
+
+    def counter_value(self, key: MetricKey) -> float:
+        """Series value by canonical key (exporter access path)."""
+        return self._counters.get(key, 0.0)
+
+    def gauge_value(self, key: MetricKey) -> float:
+        return self._gauges.get(key, 0.0)
+
+    def histogram_value(self, key: MetricKey) -> Histogram:
+        return self._histograms[key]
+
+    def series(self) -> Iterator[Tuple[str, MetricKey]]:
+        """(kind, key) for every live series, in stable order."""
+        for key in sorted(self._counters):
+            yield "counter", key
+        for key in sorted(self._gauges):
+            yield "gauge", key
+        for key in sorted(self._histograms):
+            yield "histogram", key
+
+    def as_dict(self) -> Dict[str, object]:
+        """Full-resolution machine-readable snapshot."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                name: hist.summary() for name, hist in self.histograms().items()
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The ambient registry used by code not handed an explicit one.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The current ambient registry (swap with :func:`use_registry`)."""
+    return _DEFAULT_REGISTRY
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the ambient one; returns the previous."""
+    global _DEFAULT_REGISTRY
+    previous = _DEFAULT_REGISTRY
+    _DEFAULT_REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the ambient default (the CLI's per-command
+    isolation: two ``repro run`` invocations in one process must not
+    bleed counters into each other's ``--metrics`` snapshot)."""
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)

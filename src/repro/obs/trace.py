@@ -1,0 +1,280 @@
+"""Lightweight span tracing for the planner, simulator, and runtime.
+
+A :class:`Span` is one timed region -- the planner evaluating a ranked
+candidate, a node agent's per-period wave, the collector scoring a
+period -- carrying a name, wall-clock start/duration (from
+``time.perf_counter``), free-form attributes, and enough identity
+(pid, thread, optional *lane*) for the Chrome trace-event exporter to
+draw one row per logical actor in Perfetto.
+
+Tracing is off by default and costs one ``None`` check per
+instrumentation site: ``span(...)`` returns a shared no-op context
+manager until a :class:`Tracer` is installed (:func:`install` /
+:func:`installed`).  The overhead guard in
+``benchmarks/bench_telemetry_overhead.py`` holds the *enabled* path to
+<5% of planning wall-clock, so instrumentation can stay on in CI.
+
+Context propagation:
+
+- **asyncio**: the current span lives in a ``contextvars.ContextVar``,
+  which asyncio snapshots per task -- concurrent agent tasks each see
+  their own span stack;
+- **forked planner workers**: a worker inherits the installed tracer
+  through ``fork``, records spans locally (attributed by candidate
+  rank), and ships them back to the parent alongside its results via
+  :func:`drain_local` / :func:`ingest`.
+
+``timer(...)`` is the span helper for code that needs the elapsed time
+itself (``PlanningStats.elapsed_seconds``,
+``AdaptationReport.planning_seconds``): it always measures, and
+additionally records a span when tracing is enabled -- one helper in
+place of the hand-rolled ``time.perf_counter()`` pairs it replaced.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+#: Parent span id for the calling context (asyncio-task scoped).
+_CURRENT_SPAN: ContextVar[Optional[int]] = ContextVar("repro_obs_span", default=None)
+
+
+@dataclass
+class Span:
+    """One finished timed region (or instant event, ``duration == 0``)."""
+
+    name: str
+    start: float  # time.perf_counter() at entry, seconds
+    duration: float  # seconds; 0.0 for instant events
+    attrs: Dict[str, object] = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    kind: str = "span"  # "span" | "instant"
+    lane: Optional[str] = None  # logical actor row for trace viewers
+
+
+class Tracer:
+    """Collects finished spans; one per process (workers inherit a copy)."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        #: perf_counter at creation: exporters rebase timestamps on it.
+        self.epoch = time.perf_counter()
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def record(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def ingest(self, spans: Iterable[Span]) -> None:
+        """Merge spans shipped back from a forked worker."""
+        self._spans.extend(spans)
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        drained, self._spans = self._spans, []
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+#: The installed tracer; ``None`` keeps every span() call a no-op.
+_TRACER: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _TRACER
+
+
+def install(tracer: Optional[Tracer] = None) -> Tracer:
+    """Enable tracing process-wide; returns the installed tracer."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else Tracer()
+    return _TRACER
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was active."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = None
+    return previous
+
+
+@contextmanager
+def installed(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scope a tracer: install on entry, restore the previous on exit."""
+    global _TRACER
+    previous = _TRACER
+    active = install(tracer)
+    try:
+        yield active
+    finally:
+        _TRACER = previous
+
+
+class _NullSpan:
+    """Shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _PlainTimer:
+    """timer() fallback while tracing is disabled: measures, records nothing."""
+
+    __slots__ = ("elapsed", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "_PlainTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        return None
+
+    def set(self, **attrs: object) -> None:
+        return None
+
+
+class _LiveSpan:
+    """Context manager recording one span into the installed tracer."""
+
+    __slots__ = ("elapsed", "_tracer", "_name", "_attrs", "_lane", "_start",
+                 "_span_id", "_parent_id", "_token")
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        name: str,
+        attrs: Dict[str, object],
+        lane: Optional[str],
+    ) -> None:
+        self.elapsed = 0.0
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._lane = lane
+
+    def __enter__(self) -> "_LiveSpan":
+        self._parent_id = _CURRENT_SPAN.get()
+        self._span_id = self._tracer.next_id()
+        self._token = _CURRENT_SPAN.set(self._span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = time.perf_counter()
+        self.elapsed = end - self._start
+        _CURRENT_SPAN.reset(self._token)
+        self._tracer.record(
+            Span(
+                name=self._name,
+                start=self._start,
+                duration=self.elapsed,
+                attrs=self._attrs,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                kind="span",
+                lane=self._lane,
+            )
+        )
+        return None
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes discovered mid-span (e.g. a verdict)."""
+        self._attrs.update(attrs)
+
+
+#: What instrumentation sites receive: a context manager exposing
+#: ``elapsed`` (seconds, after exit) and ``set(**attrs)``.
+SpanHandle = Union["_NullSpan", "_PlainTimer", "_LiveSpan"]
+
+
+def span(name: str, lane: Optional[str] = None, **attrs: object) -> SpanHandle:
+    """A timed region; a shared no-op unless a tracer is installed.
+
+    ``lane`` names the logical actor row (``node-3``, ``collector``,
+    ``engine``) for the Chrome trace exporter; it is not an attribute.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return _LiveSpan(tracer, name, attrs, lane)
+
+
+def timer(name: str, lane: Optional[str] = None, **attrs: object) -> SpanHandle:
+    """Like :func:`span`, but the handle's ``elapsed`` is always measured."""
+    tracer = _TRACER
+    if tracer is None:
+        return _PlainTimer()
+    return _LiveSpan(tracer, name, attrs, lane)
+
+
+def event(name: str, lane: Optional[str] = None, **attrs: object) -> None:
+    """Record an instant event (a decision, not a duration)."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    tracer.record(
+        Span(
+            name=name,
+            start=time.perf_counter(),
+            duration=0.0,
+            attrs=dict(attrs),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            span_id=tracer.next_id(),
+            parent_id=_CURRENT_SPAN.get(),
+            kind="instant",
+            lane=lane,
+        )
+    )
+
+
+def drain_local() -> List[Span]:
+    """Drain the process-local tracer (forked workers ship these back)."""
+    tracer = _TRACER
+    if tracer is None:
+        return []
+    return tracer.drain()
+
+
+def ingest(spans: Iterable[Span]) -> None:
+    """Merge worker spans into the parent's tracer (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.ingest(spans)

@@ -33,6 +33,7 @@ from repro.cluster.metrics import MetricRegistry
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.cost import CostModel
 from repro.core.partition import AttributeSet
+from repro.obs import trace
 from repro.runtime.config import DropPolicy, RuntimeConfig
 from repro.runtime.messages import (
     COLLECTOR_ADDRESS,
@@ -59,6 +60,9 @@ class TreeRole:
     local_pairs: Tuple[NodeAttributePair, ...]
     depth: int
     height: int
+    #: Stable short id (``t0``, ``t1``, ...) labeling this tree's
+    #: metric series and trace spans; assigned by the engine.
+    tree_id: str = ""
 
     @property
     def receiver(self) -> NodeId:
@@ -100,6 +104,8 @@ class NodeAgent:
         #: Signalled whenever a child update lands.
         self._update_event: Optional["asyncio.Event"] = None
         self._period_tasks: Set["asyncio.Task[None]"] = set()
+        #: Trace-viewer row for this agent's spans.
+        self._lane = f"node-{node_id}"
 
     # ------------------------------------------------------------------
     def busy(self) -> bool:
@@ -140,7 +146,7 @@ class NodeAgent:
         self._budget = self.capacity
         self._period_tasks = {task for task in self._period_tasks if not task.done()}
         if self.down(tick.period):
-            self.metrics.incr("agent_down_periods")
+            self.metrics.incr("agent_down_periods", node=self.node_id)
             return
         if tick.period % self.config.heartbeat_every == 0:
             self._spawn(self._send_heartbeat(tick.period))
@@ -149,7 +155,7 @@ class NodeAgent:
 
     def _on_update(self, envelope: UpdateEnvelope) -> None:
         if self.down(self._current_period):
-            self.metrics.incr("messages_dropped_failure")
+            self.metrics.incr("messages_dropped_failure", node=self.node_id)
             return
         # The child reported, whether or not its batch is affordable --
         # record that first so a capacity drop cannot stall the wave.
@@ -160,12 +166,12 @@ class NodeAgent:
         charge = envelope.cost(self.cost)
         if self.config.enforce_capacity:
             if self._budget < charge - _EPS:
-                self.metrics.incr("messages_dropped_capacity")
+                self.metrics.incr("messages_dropped_capacity", node=self.node_id)
                 return
             self._budget -= charge
         envelope.merge_into(self._buffers.setdefault(envelope.tree, {}))
-        self.metrics.incr("messages_delivered")
-        self.metrics.incr("cost_units_spent", charge)
+        self.metrics.incr("messages_delivered", node=self.node_id)
+        self.metrics.incr("cost_units_spent", charge, node=self.node_id)
 
     # ------------------------------------------------------------------
     # Per-period work
@@ -178,33 +184,41 @@ class NodeAgent:
         await self.transport.send(
             COLLECTOR_ADDRESS, HeartbeatEnvelope(sender=self.node_id, period=period)
         )
-        self.metrics.incr("heartbeats_sent")
+        self.metrics.incr("heartbeats_sent", node=self.node_id)
 
     async def _send_update(self, role: TreeRole, period: int) -> None:
-        await self._await_children(role, period)
-        payload: Dict[NodeAttributePair, Reading] = {}
-        buffered = self._buffers.pop(role.attr_set, None)
-        if buffered:
-            payload.update(buffered)
-        for pair in role.local_pairs:
-            payload[pair] = Reading(self.registry.value(pair), sampled_at=float(period))
-        if not payload:
-            return
-        shaped = self._apply_budget(role, payload, period)
-        if shaped is None:
-            return
-        charge = self.cost.message_cost(len(shaped))
-        if self.config.enforce_capacity:
-            self._budget -= charge
-        self.metrics.incr("messages_sent")
-        self.metrics.incr("cost_units_spent", charge)
-        self.metrics.observe("payload_values", len(shaped))
-        await self.transport.send(
-            role.receiver,
-            UpdateEnvelope(
-                sender=self.node_id, tree=role.attr_set, period=period, payload=shaped
-            ),
-        )
+        with trace.span(
+            "agent.wave", lane=self._lane, tree=role.tree_id, period=period
+        ) as wave:
+            await self._await_children(role, period)
+            payload: Dict[NodeAttributePair, Reading] = {}
+            buffered = self._buffers.pop(role.attr_set, None)
+            if buffered:
+                payload.update(buffered)
+            for pair in role.local_pairs:
+                payload[pair] = Reading(
+                    self.registry.value(pair), sampled_at=float(period)
+                )
+            if not payload:
+                wave.set(outcome="empty")
+                return
+            shaped = self._apply_budget(role, payload, period)
+            if shaped is None:
+                wave.set(outcome="shaped_out", offered=len(payload))
+                return
+            charge = self.cost.message_cost(len(shaped))
+            if self.config.enforce_capacity:
+                self._budget -= charge
+            self.metrics.incr("messages_sent", node=self.node_id, tree=role.tree_id)
+            self.metrics.incr("cost_units_spent", charge, node=self.node_id)
+            self.metrics.observe("payload_values", len(shaped))
+            wave.set(outcome="sent", values=len(shaped))
+            await self.transport.send(
+                role.receiver,
+                UpdateEnvelope(
+                    sender=self.node_id, tree=role.attr_set, period=period, payload=shaped
+                ),
+            )
 
     def _children_ready(self, role: TreeRole, period: int) -> bool:
         seen = self._children_seen.get(role.attr_set, {})
@@ -215,20 +229,23 @@ class NodeAgent:
         this tree, or the child-wait deadline passes."""
         if not role.children:
             return
-        deadline = time.monotonic() + self.config.child_wait_seconds
-        while not self._children_ready(role, period):
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or self._update_event is None:
-                self.metrics.incr("child_wait_timeouts")
-                return
-            self._update_event.clear()
-            if self._children_ready(role, period):
-                return
-            try:
-                await asyncio.wait_for(self._update_event.wait(), timeout=remaining)
-            except asyncio.TimeoutError:
-                self.metrics.incr("child_wait_timeouts")
-                return
+        with trace.span(
+            "agent.child_wait", lane=self._lane, tree=role.tree_id, period=period
+        ):
+            deadline = time.monotonic() + self.config.child_wait_seconds
+            while not self._children_ready(role, period):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._update_event is None:
+                    self.metrics.incr("child_wait_timeouts", node=self.node_id)
+                    return
+                self._update_event.clear()
+                if self._children_ready(role, period):
+                    return
+                try:
+                    await asyncio.wait_for(self._update_event.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    self.metrics.incr("child_wait_timeouts", node=self.node_id)
+                    return
 
     def _apply_budget(
         self, role: TreeRole, payload: Dict[NodeAttributePair, Reading], period: int
@@ -243,7 +260,7 @@ class NodeAgent:
         policy = self.config.drop_policy
         if policy is DropPolicy.DROP:
             if self._budget < self.cost.message_cost(len(payload)) - _EPS:
-                self.metrics.incr("messages_dropped_capacity")
+                self.metrics.incr("messages_dropped_capacity", node=self.node_id)
                 return None
             return payload
         affordable = int(self.cost.values_within_budget(self._budget) + _EPS)
@@ -252,7 +269,7 @@ class NodeAgent:
             if policy is DropPolicy.DEFER:
                 self._defer(role, payload)
             else:
-                self.metrics.incr("messages_dropped_capacity")
+                self.metrics.incr("messages_dropped_capacity", node=self.node_id)
             return None
         if affordable >= len(payload):
             return payload
@@ -276,7 +293,7 @@ class NodeAgent:
                 last_sent[pair] = period
             self._defer(role, overflow)
         else:
-            self.metrics.incr("values_trimmed", len(overflow))
+            self.metrics.incr("values_trimmed", len(overflow), node=self.node_id)
         return {pair: payload[pair] for pair in keep}
 
     def _defer(self, role: TreeRole, overflow: Dict[NodeAttributePair, Reading]) -> None:
@@ -286,4 +303,4 @@ class NodeAgent:
             existing = buffer.get(pair)
             if existing is None or reading.sampled_at >= existing.sampled_at:
                 buffer[pair] = reading
-        self.metrics.incr("values_deferred", len(overflow))
+        self.metrics.incr("values_deferred", len(overflow), node=self.node_id)

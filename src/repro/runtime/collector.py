@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence, Set
 from repro.cluster.metrics import MetricRegistry
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.cost import CostModel
+from repro.obs import trace
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.messages import (
     COLLECTOR_ADDRESS,
@@ -134,34 +135,40 @@ class CollectorAgent:
         ground truth of the same period -- the simulator's deadline
         measurement, reproduced live.
         """
-        pairs = self.requested_pairs
-        n = len(pairs)
-        if n == 0:
-            sample = RuntimePeriodSample(period, 0.0, 1.0, 1.0)
-        else:
-            total_error = 0.0
-            fresh = 0
-            received = 0
-            for pair in pairs:
-                truth = self.registry.value(pair)
-                total_error += self.state.percentage_error(pair, truth)
-                reading = self.state.reading(pair)
-                if reading is not None:
-                    received += 1
-                    self.metrics.observe(
-                        "staleness_periods", float(period) - reading.sampled_at
-                    )
-                    if reading.sampled_at >= float(period) - _EPS:
-                        fresh += 1
-            sample = RuntimePeriodSample(
-                period=period,
-                mean_error=total_error / n,
-                fresh_fraction=fresh / n,
-                received_fraction=received / n,
+        with trace.span(
+            "collector.close_period", lane="collector", period=period
+        ) as score_span:
+            pairs = self.requested_pairs
+            n = len(pairs)
+            if n == 0:
+                sample = RuntimePeriodSample(period, 0.0, 1.0, 1.0)
+            else:
+                total_error = 0.0
+                fresh = 0
+                received = 0
+                for pair in pairs:
+                    truth = self.registry.value(pair)
+                    total_error += self.state.percentage_error(pair, truth)
+                    reading = self.state.reading(pair)
+                    if reading is not None:
+                        received += 1
+                        self.metrics.observe(
+                            "staleness_periods", float(period) - reading.sampled_at
+                        )
+                        if reading.sampled_at >= float(period) - _EPS:
+                            fresh += 1
+                sample = RuntimePeriodSample(
+                    period=period,
+                    mean_error=total_error / n,
+                    fresh_fraction=fresh / n,
+                    received_fraction=received / n,
+                )
+            self.samples.append(sample)
+            self.metrics.observe("period_coverage", sample.received_fraction)
+            score_span.set(
+                coverage=sample.received_fraction, mean_error=sample.mean_error
             )
-        self.samples.append(sample)
-        self.metrics.observe("period_coverage", sample.received_fraction)
-        self._detect_failures(period)
+            self._detect_failures(period)
         return sample
 
     def _detect_failures(self, period: int) -> None:

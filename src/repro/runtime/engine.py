@@ -30,6 +30,7 @@ from repro.cluster.metrics import MetricRegistry
 from repro.cluster.node import Cluster
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.plan import MonitoringPlan
+from repro.obs import trace
 from repro.runtime.agent import NodeAgent, TreeRole
 from repro.runtime.collector import CollectorAgent
 from repro.runtime.config import RuntimeConfig
@@ -96,11 +97,18 @@ class MonitoringRuntime:
 
     # ------------------------------------------------------------------
     def _build_roles(self) -> Dict[NodeId, List[TreeRole]]:
-        """One :class:`TreeRole` per (member node, tree) of the plan."""
+        """One :class:`TreeRole` per (member node, tree) of the plan.
+
+        Trees get stable short ids (``t0``, ``t1``, ... in sorted
+        attribute-set order) so metric labels and trace spans can name
+        a tree without serializing its attribute set.
+        """
         roles: Dict[NodeId, List[TreeRole]] = {}
-        for attr_set, result in self.plan.trees.items():
+        ordered_trees = sorted(self.plan.trees.items(), key=lambda kv: sorted(kv[0]))
+        for index, (attr_set, result) in enumerate(ordered_trees):
             tree = result.tree
             height = tree.height()
+            tree_id = f"t{index}"
             for node in tree.nodes:
                 local_pairs = tuple(
                     NodeAttributePair(node, attr) for attr in sorted(tree.local_demand(node))
@@ -113,6 +121,7 @@ class MonitoringRuntime:
                         local_pairs=local_pairs,
                         depth=tree.depth(node),
                         height=height,
+                        tree_id=tree_id,
                     )
                 )
         return roles
@@ -134,12 +143,14 @@ class MonitoringRuntime:
         tasks.append(asyncio.ensure_future(self.collector.run()))
         try:
             for period in range(n_periods):
-                self.registry.advance_all()
-                tick = TickEnvelope(period=period)
-                await self._broadcast(tick)
-                await asyncio.sleep(self.config.period_seconds)
-                await self._settle()
-                self.collector.close_period(period)
+                with trace.span("runtime.period", lane="engine", period=period):
+                    self.registry.advance_all()
+                    tick = TickEnvelope(period=period)
+                    await self._broadcast(tick)
+                    await asyncio.sleep(self.config.period_seconds)
+                    with trace.span("runtime.settle", lane="engine", period=period):
+                        await self._settle()
+                    self.collector.close_period(period)
             await self._broadcast(StopEnvelope())
             await asyncio.wait(tasks, timeout=5.0)
         finally:

@@ -1,130 +1,84 @@
-"""The runtime's observability hub: counters and histograms.
+"""The runtime's observability hub, backed by :mod:`repro.obs`.
 
 Every agent and the collector record into one shared
-:class:`RuntimeMetrics` instance; the engine snapshots it into the
-final :class:`~repro.runtime.report.RuntimeReport`.  Rendering goes
-through :mod:`repro.analysis` so live-run output lines up with the
-benchmark tables, and :meth:`RuntimeMetrics.as_dict` is the
-machine-readable face consumed by ``repro run --json`` and CI.
+:class:`RuntimeMetrics` instance, which is a thin view over a
+:class:`~repro.obs.metrics.MetricsRegistry` -- the engine snapshots it
+into the final :class:`~repro.runtime.report.RuntimeReport`, and the
+CLI's ``--metrics`` flag exports the very same registry as a
+Prometheus snapshot, so the two can never disagree.
+
+Agents record with labels (``node=...``, ``tree=...``); the report
+reads label-collapsed totals so its machine-readable shape
+(:meth:`RuntimeMetrics.as_dict`, consumed by ``repro run --json`` and
+CI) stays compact and stable.  Rendering goes through
+:mod:`repro.analysis` so live-run output lines up with the benchmark
+tables.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Union
+from typing import Dict, Optional, Union
 
 from repro.analysis.report import format_table
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 Number = Union[int, float]
 
-
-class Histogram:
-    """A value-list histogram with on-demand summary statistics.
-
-    The runtime's distributions are small (one observation per message
-    or per period), so keeping raw values and computing quantiles
-    exactly is both simplest and most accurate.  A streaming sketch is
-    the upgrade path if runs ever grow to millions of observations.
-    """
-
-    def __init__(self) -> None:
-        self._values: List[float] = []
-
-    def observe(self, value: float) -> None:
-        self._values.append(float(value))
-
-    def __len__(self) -> int:
-        return len(self._values)
-
-    @property
-    def count(self) -> int:
-        return len(self._values)
-
-    @property
-    def mean(self) -> float:
-        if not self._values:
-            return 0.0
-        return sum(self._values) / len(self._values)
-
-    @property
-    def max(self) -> float:
-        return max(self._values) if self._values else 0.0
-
-    @property
-    def min(self) -> float:
-        return min(self._values) if self._values else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Exact q-quantile by linear interpolation; 0.0 when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self._values:
-            return 0.0
-        ordered = sorted(self._values)
-        position = q * (len(ordered) - 1)
-        lower = math.floor(position)
-        upper = math.ceil(position)
-        if lower == upper:
-            return ordered[lower]
-        weight = position - lower
-        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "count": float(self.count),
-            "mean": self.mean,
-            "p50": self.quantile(0.5),
-            "p95": self.quantile(0.95),
-            "max": self.max,
-        }
+__all__ = ["Histogram", "Number", "RuntimeMetrics"]
 
 
 class RuntimeMetrics:
-    """Named counters plus named histograms.
+    """Named counters plus named histograms over a metrics registry.
 
-    Counter and histogram names are created on first touch so agents
+    Counter and histogram series are created on first touch so agents
     do not need a registration step; :meth:`as_dict` and
-    :meth:`render` emit them sorted for stable output.
+    :meth:`render` emit label-collapsed totals sorted for stable
+    output.  Pass an explicit ``registry`` to share series with other
+    recorders (the CLI does this so ``--metrics`` snapshots planner
+    and runtime counters together); the default is a private registry
+    per instance, keeping independent runs independent.
     """
 
-    def __init__(self) -> None:
-        self._counters: Dict[str, float] = {}
-        self._histograms: Dict[str, Histogram] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     # -- recording -----------------------------------------------------
-    def incr(self, name: str, amount: Number = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+    def incr(self, name: str, amount: Number = 1, **labels: object) -> None:
+        self.registry.incr(name, amount, **labels)
 
-    def observe(self, name: str, value: float) -> None:
-        self._histograms.setdefault(name, Histogram()).observe(value)
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.registry.observe(name, value, **labels)
 
     # -- reading -------------------------------------------------------
     def counter(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        """Label-collapsed total for ``name`` (0.0 when never touched)."""
+        return self.registry.counter_total(name)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._histograms.setdefault(name, Histogram())
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self.registry.histogram(name, **labels)
 
     def counters(self) -> Dict[str, float]:
-        return dict(self._counters)
+        return self.registry.counter_totals()
+
+    def _histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: hist.summary() for name, hist in self.registry.histograms().items()
+        }
 
     def as_dict(self) -> Dict[str, object]:
         return {
-            "counters": {k: self._counters[k] for k in sorted(self._counters)},
-            "histograms": {
-                k: self._histograms[k].summary() for k in sorted(self._histograms)
-            },
+            "counters": self.counters(),
+            "histograms": self._histogram_summaries(),
         }
 
     def render(self) -> str:
         """Aligned tables (via :mod:`repro.analysis`) for terminal output."""
         counter_rows = [
-            [name, round(value, 3)] for name, value in sorted(self._counters.items())
+            [name, round(value, 3)] for name, value in self.counters().items()
         ]
         blocks = [format_table("runtime counters", ["counter", "value"], counter_rows)]
         histogram_rows = []
-        for name in sorted(self._histograms):
-            s = self._histograms[name].summary()
+        for name, s in sorted(self._histogram_summaries().items()):
             histogram_rows.append(
                 [name, int(s["count"]), s["mean"], s["p50"], s["p95"], s["max"]]
             )

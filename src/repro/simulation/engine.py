@@ -31,6 +31,8 @@ from repro.cluster.node import Cluster
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.partition import AttributeSet
 from repro.core.plan import MonitoringPlan
+from repro.obs import trace
+from repro.obs.metrics import default_registry
 from repro.simulation.collection import CollectionStats, CollectorState, PeriodSample
 from repro.simulation.events import EventQueue
 from repro.simulation.failures import FailureInjector
@@ -79,6 +81,8 @@ class MonitoringSimulation:
         self.queue = EventQueue()
         self.collector = CollectorState()
         self.stats = CollectionStats(requested_pairs=len(plan.pairs))
+        #: Registry-mirrored counter values as of the last ``run`` end.
+        self._mirrored: Dict[str, float] = {}
         self._budget: Dict[NodeId, float] = {}
         self._central_budget = 0.0
         # Relay buffers: readings received by (node, tree), pending merge.
@@ -104,22 +108,49 @@ class MonitoringSimulation:
         if n_periods <= 0:
             raise ValueError(f"n_periods must be > 0, got {n_periods}")
         for k in range(n_periods):
-            t0 = k * self.config.period
-            self.queue.schedule(t0, self._begin_period)
-            for attr_set, parents, depths, height, locals_ in self._tree_info:
-                for node, depth in depths.items():
-                    phase = (height - depth) * self.config.hop_latency
-                    self.queue.schedule(
-                        t0 + phase,
-                        self._make_send(node, attr_set, parents[node], locals_[node], k),
-                    )
-            deadline = t0 + self.config.period - 1e-9
-            self.queue.schedule(deadline, self._make_measure(k))
-            self.queue.run_until(deadline)
+            with trace.span("simulation.period", lane="simulator", period=k):
+                t0 = k * self.config.period
+                self.queue.schedule(t0, self._begin_period)
+                for attr_set, parents, depths, height, locals_ in self._tree_info:
+                    for node, depth in depths.items():
+                        phase = (height - depth) * self.config.hop_latency
+                        self.queue.schedule(
+                            t0 + phase,
+                            self._make_send(
+                                node, attr_set, parents[node], locals_[node], k
+                            ),
+                        )
+                deadline = t0 + self.config.period - 1e-9
+                self.queue.schedule(deadline, self._make_measure(k))
+                self.queue.run_until(deadline)
         # Drain any stragglers scheduled past the last deadline so late
         # arrivals are at least accounted in message statistics.
         self.queue.run_all()
+        self._mirror_stats()
         return self.stats
+
+    def _mirror_stats(self) -> None:
+        """Mirror :class:`CollectionStats` tallies into the ambient
+        metrics registry so ``--metrics`` snapshots cover simulation
+        runs too.  Deltas since the last mirror, so repeated ``run``
+        calls on one simulation do not double-count."""
+        registry = default_registry()
+        tallies = {
+            "sim_messages_sent": float(self.stats.messages_sent),
+            "sim_messages_delivered": float(self.stats.messages_delivered),
+            "sim_messages_dropped_capacity": float(
+                self.stats.messages_dropped_capacity
+            ),
+            "sim_messages_dropped_failure": float(self.stats.messages_dropped_failure),
+            "sim_values_trimmed": float(self.stats.values_trimmed),
+            "sim_cost_units_spent": float(self.stats.cost_units_spent),
+            "sim_periods": float(len(self.stats.periods)),
+        }
+        for name, total in tallies.items():
+            delta = total - self._mirrored.get(name, 0.0)
+            if delta:
+                registry.incr(name, delta)
+            self._mirrored[name] = total
 
     # ------------------------------------------------------------------
     # Event actions

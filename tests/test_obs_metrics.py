@@ -1,0 +1,182 @@
+"""Tests for the metrics registry and the sketching histogram."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    format_series,
+    labels_key,
+    use_registry,
+)
+
+
+class TestLabels:
+    def test_labels_key_sorts_and_stringifies(self):
+        assert labels_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_format_series_bare_and_labeled(self):
+        assert format_series("up", ()) == "up"
+        assert (
+            format_series("up", (("node", "3"), ("tree", "t0")))
+            == 'up{node="3",tree="t0"}'
+        )
+
+
+class TestRegistryCounters:
+    def test_incr_and_total(self):
+        reg = MetricsRegistry()
+        reg.incr("messages_sent")
+        reg.incr("messages_sent", 2, node=1)
+        reg.incr("messages_sent", 3, node=2)
+        assert reg.counter("messages_sent") == 1.0
+        assert reg.counter("messages_sent", node=1) == 2.0
+        assert reg.counter_total("messages_sent") == 6.0
+
+    def test_counter_totals_collapse_labels(self):
+        reg = MetricsRegistry()
+        reg.incr("a", 1, node=1)
+        reg.incr("a", 2, node=2)
+        reg.incr("b", 5)
+        assert reg.counter_totals() == {"a": 3.0, "b": 5.0}
+
+    def test_counters_keyed_by_formatted_series(self):
+        reg = MetricsRegistry()
+        reg.incr("a", 1, node=1)
+        assert reg.counters() == {'a{node="1"}': 1.0}
+
+    def test_gauges(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 4.0, tree="t1")
+        reg.set_gauge("depth", 2.0, tree="t1")
+        assert reg.gauge("depth", tree="t1") == 2.0
+        assert reg.gauge("missing") == 0.0
+
+    def test_histogram_get_or_create(self):
+        reg = MetricsRegistry()
+        h1 = reg.histogram("lat", node=1)
+        h2 = reg.histogram("lat", node=1)
+        assert h1 is h2
+        reg.observe("lat", 3.5, node=1)
+        assert h1.count == 1
+
+    def test_series_enumeration_and_clear(self):
+        reg = MetricsRegistry()
+        reg.incr("c")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 2.0)
+        kinds = [kind for kind, _key in reg.series()]
+        assert kinds == ["counter", "gauge", "histogram"]
+        reg.clear()
+        assert list(reg.series()) == []
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.incr("c", 2)
+        reg.observe("h", 1.0)
+        snap = reg.as_dict()
+        assert snap["counters"] == {"c": 2.0}
+        assert set(snap["histograms"]["h"]) == {"count", "mean", "p50", "p95", "max"}
+
+
+class TestAmbientRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        outer = default_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped) as active:
+            assert active is scoped
+            assert default_registry() is scoped
+            default_registry().incr("inside")
+        assert default_registry() is outer
+        assert scoped.counter_total("inside") == 1.0
+        assert outer.counter_total("inside") == 0.0
+
+
+class TestHistogramExact:
+    def test_summary_on_known_values(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.quantile(0.5) == 2.5
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert h.is_exact
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert len(h) == 0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_size=0)
+        with pytest.raises(ValueError):
+            Histogram(sketch_threshold=10, reservoir_size=100)
+
+
+class TestHistogramSketch:
+    def test_switches_past_threshold_and_bounds_memory(self):
+        h = Histogram(sketch_threshold=100, reservoir_size=50)
+        for i in range(100):
+            h.observe(float(i))
+        assert h.is_exact
+        h.observe(100.0)
+        assert not h.is_exact
+        for i in range(10_000):
+            h.observe(float(i))
+        assert len(h._values) == 50
+        assert h.count == 10_101
+
+    def test_exact_moments_survive_sketching(self):
+        h = Histogram(sketch_threshold=100, reservoir_size=50)
+        values = [float(i) for i in range(1000)]
+        for v in values:
+            h.observe(v)
+        assert h.count == 1000
+        assert h.sum == sum(values)
+        assert h.min == 0.0
+        assert h.max == 999.0
+
+    def test_quantile_accuracy_uniform(self):
+        # ~20k uniform draws: reservoir quantiles should land within a
+        # few percent of the true quantiles.
+        rng = random.Random(7)
+        h = Histogram()  # defaults: threshold 4096, reservoir 1024
+        for _ in range(20_000):
+            h.observe(rng.uniform(0.0, 100.0))
+        assert not h.is_exact
+        assert abs(h.quantile(0.5) - 50.0) < 5.0
+        assert abs(h.quantile(0.95) - 95.0) < 5.0
+
+    def test_quantile_accuracy_skewed(self):
+        rng = random.Random(11)
+        h = Histogram()
+        for _ in range(20_000):
+            h.observe(rng.expovariate(1.0))
+        # True exponential(1) median is ln 2 ~ 0.693.
+        assert abs(h.quantile(0.5) - 0.693) < 0.15
+
+    def test_reproducible_across_instances(self):
+        def fill():
+            h = Histogram(sketch_threshold=100, reservoir_size=50)
+            for i in range(5000):
+                h.observe(float(i % 997))
+            return h
+
+        a, b = fill(), fill()
+        assert a.quantile(0.5) == b.quantile(0.5)
+        assert a.quantile(0.95) == b.quantile(0.95)
