@@ -78,26 +78,26 @@ def run_window(strategy, cluster, tasks, n_batches, seed):
             delta = abs(count - previous_edges.get((node, parent), 0))
             if delta:
                 node_adapt_cost[node] = (
-                    node_adapt_cost.get(node, 0.0) + delta * COST.per_message
+                    node_adapt_cost.get(node, 0.0) + COST.overhead_cost(delta)
                 )
                 if parent >= 0:
                     node_adapt_cost[parent] = (
-                        node_adapt_cost.get(parent, 0.0) + delta * COST.per_message
+                        node_adapt_cost.get(parent, 0.0) + COST.overhead_cost(delta)
                     )
         for (node, parent), count in previous_edges.items():
             if (node, parent) not in current:
                 node_adapt_cost[node] = (
-                    node_adapt_cost.get(node, 0.0) + count * COST.per_message
+                    node_adapt_cost.get(node, 0.0) + COST.overhead_cost(count)
                 )
                 if parent >= 0:
                     node_adapt_cost[parent] = (
-                        node_adapt_cost.get(parent, 0.0) + count * COST.per_message
+                        node_adapt_cost.get(parent, 0.0) + COST.overhead_cost(count)
                     )
         previous_edges = current
     final = svc.plan
     monitoring_msgs = final.total_message_cost() * WINDOW_PERIODS
     collected = _simulate_collected(final, cluster, node_adapt_cost)
-    adaptation_cost = adaptation_msgs * COST.per_message
+    adaptation_cost = COST.overhead_cost(adaptation_msgs)
     return cpu, adaptation_cost, monitoring_msgs, collected
 
 

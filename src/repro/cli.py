@@ -12,7 +12,10 @@ Five subcommands over synthetic workloads, mirroring the examples:
   concurrent agent per node plus a collector -- with capacity
   budgets, heartbeats, and failure detection;
 - ``metrics``    render (and validate) a ``--metrics`` Prometheus
-  snapshot back into tables.
+  snapshot back into tables;
+- ``lint``       run the REMO4xx static source analysis
+  (:mod:`repro.staticcheck`) over the given paths (exit 1 on
+  findings, 2 on usage/IO errors).
 
 ``plan``, ``simulate``, ``adapt``, and ``run`` all accept ``--json``
 for machine-readable output, so CI and benches can consume results
@@ -33,6 +36,8 @@ Usage::
     python -m repro run --nodes 32 --tasks 8 --fail-node 3:2:6
     python -m repro run --nodes 120 --trace run.trace.json --metrics run.prom
     python -m repro metrics run.prom
+    python -m repro lint src/ tools/ benchmarks/
+    python -m repro lint --format github --rule REMO421 src/
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.report import format_table
@@ -54,7 +60,7 @@ from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.obs.export import (
     check_prometheus_text,
     parse_prometheus_text,
@@ -183,7 +189,7 @@ def _plan(args) -> int:
         elapsed = pstats.elapsed_seconds
     else:
         planner = SCHEMES[args.scheme](cost)
-        with trace.timer("planner.plan", lane="planner", scheme=args.scheme) as t:
+        with trace.timer(names.SPAN_PLANNER_PLAN, lane=names.LANE_PLANNER, scheme=args.scheme) as t:
             plan = planner.plan(tasks, cluster)
         elapsed = t.elapsed
     plan.validate({n.node_id: n.capacity for n in cluster}, cluster.central_capacity)
@@ -478,6 +484,48 @@ def _metrics(args) -> int:
     return 0
 
 
+def _lint(args) -> int:
+    """Run the REMO4xx static analysis (see :mod:`repro.staticcheck`)."""
+    from repro.staticcheck import Baseline, describe_rules, lint_paths, render
+    from repro.staticcheck.baseline import BASELINE_FILENAME
+
+    if args.codes:
+        rows = [[info.code, info.family, info.title] for info in describe_rules()]
+        print(format_table("staticcheck rules", ["code", "family", "title"], rows))
+        return 0
+    root = Path.cwd()
+    targets = [Path(p) for p in args.paths] or [Path("src")]
+    baseline_path = Path(args.baseline) if args.baseline else root / BASELINE_FILENAME
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"repro lint: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(
+            targets,
+            root=root,
+            codes=args.rule,
+            baseline=baseline,
+            context_cache=Path(args.context_cache) if args.context_cache else None,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        Baseline.from_diagnostics(result.pre_baseline).save(baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(result.pre_baseline)} finding(s) "
+            "grandfathered)"
+        )
+        return 0
+    print(render(result, args.format))
+    return 0 if result.ok else 1
+
+
 def _export_observability(args, registry: MetricsRegistry, tracer) -> None:
     """Write the ``--trace`` / ``--metrics`` artifacts for one command."""
     trace_path = getattr(args, "trace", None)
@@ -610,6 +658,55 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_p.add_argument("path", help="Prometheus text-format snapshot to render")
     _add_json(metrics_p)
     metrics_p.set_defaults(func=_metrics)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the REMO4xx static source analysis"
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=["text", "json", "github"],
+        default="text",
+        help="output format (github emits workflow-command annotations)",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="run only this rule (repeatable; default: all)",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: ./staticcheck-baseline.json when present)",
+    )
+    lint_p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    lint_p.add_argument(
+        "--context-cache",
+        metavar="PATH",
+        default=None,
+        help="JSON cache for the analysis context (reused when file "
+        "hashes match; for CI)",
+    )
+    lint_p.add_argument(
+        "--codes",
+        action="store_true",
+        help="list the rule registry and exit",
+    )
+    lint_p.set_defaults(func=_lint)
     return parser
 
 

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.node import Cluster
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.obs.metrics import default_registry
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
 from repro.core.allocation import AllocationPolicy
@@ -173,25 +173,25 @@ class AdaptiveMonitoringService:
     ) -> AdaptationReport:
         """Apply a batch of task mutations and adapt the topology."""
         with trace.timer(
-            "adaptation.apply_changes",
-            lane="adaptation",
+            names.SPAN_ADAPTATION_APPLY_CHANGES,
+            lane=names.LANE_ADAPTATION,
             strategy=self.strategy.value,
         ) as batch_timer:
             report = self._apply_changes_timed(list(ops), now, force_rebuild)
         report.planning_seconds = batch_timer.elapsed
         registry = default_registry()
         registry.incr(
-            "adaptation_ops_applied_total",
+            names.ADAPTATION_OPS_APPLIED_TOTAL,
             len(report.applied_ops),
             strategy=self.strategy.value,
         )
         registry.incr(
-            "adaptation_ops_throttled_total",
+            names.ADAPTATION_OPS_THROTTLED_TOTAL,
             report.throttled_ops,
             strategy=self.strategy.value,
         )
         registry.incr(
-            "adaptation_messages_total",
+            names.ADAPTATION_MESSAGES_TOTAL,
             report.adaptation_messages,
             strategy=self.strategy.value,
         )
@@ -488,7 +488,7 @@ class AdaptiveMonitoringService:
         applied: List[PartitionOp] = []
         throttled = 0
         with trace.span(
-            "adaptation.restricted_search", lane="adaptation", anchor=len(anchor)
+            names.SPAN_ADAPTATION_RESTRICTED_SEARCH, lane=names.LANE_ADAPTATION, anchor=len(anchor)
         ) as search_span:
             for _ in range(self.max_ops_per_batch):
                 if not anchor:
@@ -620,8 +620,8 @@ class AdaptiveMonitoringService:
         benefit = traffic_saving + self.cost.value_cost(recovered)
         verdict = m_adapt < stability * benefit
         trace.event(
-            "adaptation.cost_benefit",
-            lane="adaptation",
+            names.EVENT_ADAPTATION_COST_BENEFIT,
+            lane=names.LANE_ADAPTATION,
             op=op.describe(),
             m_adapt=m_adapt,
             stability=stability,

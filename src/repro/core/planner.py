@@ -39,7 +39,7 @@ from typing import (
 
 from repro.checks.runner import assert_plan_valid
 from repro.cluster.node import Cluster
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.trace import Span
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
@@ -76,9 +76,9 @@ class PlanningStats:
 
     #: (property, registry counter) pairs backing the numeric fields.
     _COUNTERS: Tuple[Tuple[str, str], ...] = (
-        ("iterations", "planner_iterations_total"),
-        ("candidates_ranked", "planner_candidates_ranked_total"),
-        ("candidates_evaluated", "planner_candidates_evaluated_total"),
+        ("iterations", names.PLANNER_ITERATIONS_TOTAL),
+        ("candidates_ranked", names.PLANNER_CANDIDATES_RANKED_TOTAL),
+        ("candidates_evaluated", names.PLANNER_CANDIDATES_EVALUATED_TOTAL),
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -112,15 +112,15 @@ class PlanningStats:
 
     @property
     def iterations(self) -> int:
-        return self._delta("planner_iterations_total")
+        return self._delta(names.PLANNER_ITERATIONS_TOTAL)
 
     @property
     def candidates_ranked(self) -> int:
-        return self._delta("planner_candidates_ranked_total")
+        return self._delta(names.PLANNER_CANDIDATES_RANKED_TOTAL)
 
     @property
     def candidates_evaluated(self) -> int:
-        return self._delta("planner_candidates_evaluated_total")
+        return self._delta(names.PLANNER_CANDIDATES_EVALUATED_TOTAL)
 
 
 def objective(plan: MonitoringPlan) -> Tuple[int, float]:
@@ -226,8 +226,8 @@ def _eval_op_batch(
     results: List[Tuple[int, MonitoringPlan]] = []
     for idx, op in indexed_ops:
         with trace.span(
-            "planner.evaluate_candidate",
-            lane=f"planner-worker-{worker_rank}",
+            names.SPAN_PLANNER_EVALUATE_CANDIDATE,
+            lane=names.worker_lane(worker_rank),
             rank=idx,
             worker=worker_rank,
         ):
@@ -399,7 +399,7 @@ class RemoPlanner:
         violation.  Expensive; meant for tests and bug hunts.
         """
         stats = PlanningStats()
-        with trace.timer("planner.plan", lane="planner") as plan_timer:
+        with trace.timer(names.SPAN_PLANNER_PLAN, lane=names.LANE_PLANNER) as plan_timer:
             pairs = observable_pairs(tasks, cluster)
             if not pairs:
                 raise ValueError("cannot plan for an empty workload")
@@ -446,19 +446,19 @@ class RemoPlanner:
                         self._seed_partitions(pairs, attributes)
                     ):
                         with trace.span(
-                            "planner.seed_eval",
-                            lane="planner",
+                            names.SPAN_PLANNER_SEED_EVAL,
+                            lane=names.LANE_PLANNER,
                             rank=seed_rank,
                             sets=len(seed),
                         ):
                             candidate = build(seed)
                         stats.bump(
-                            "planner_candidates_evaluated_total", phase="seed"
+                            names.PLANNER_CANDIDATES_EVALUATED_TOTAL, phase="seed"
                         )
                         if self._improves(candidate, incumbent):
                             incumbent = candidate
                 for _ in range(self.max_iterations):
-                    stats.bump("planner_iterations_total")
+                    stats.bump(names.PLANNER_ITERATIONS_TOTAL)
                     accepted = self._improve_once(
                         incumbent, ctx, build, stats, executor
                     )
@@ -470,7 +470,7 @@ class RemoPlanner:
                     # charges capacity in stale order; one final full rebuild of
                     # the winning partition restores the allocation policy's
                     # global ordering and is kept only if it helps.
-                    with trace.span("planner.final_rebuild", lane="planner"):
+                    with trace.span(names.SPAN_PLANNER_FINAL_REBUILD, lane=names.LANE_PLANNER):
                         final = build(incumbent.partition)
                     if self._improves(final, incumbent):
                         incumbent = final
@@ -577,7 +577,7 @@ class RemoPlanner:
         executor: Optional[ProcessPoolExecutor] = None,
     ) -> Optional[MonitoringPlan]:
         with trace.span(
-            "partition.merge_iteration", lane="planner", iteration=stats.iterations
+            names.SPAN_PARTITION_MERGE_ITERATION, lane=names.LANE_PLANNER, iteration=stats.iterations
         ) as iteration_span:
             partition = incumbent.partition
             gain_ctx = GainContext.from_plan(incumbent, self.cost)
@@ -586,7 +586,7 @@ class RemoPlanner:
             )
             ops.extend(partition.split_ops())
             ranked = rank_candidates(ops, gain_ctx, budget=self.candidate_budget)
-            stats.bump("planner_candidates_ranked_total", len(ops))
+            stats.bump(names.PLANNER_CANDIDATES_RANKED_TOTAL, len(ops))
             iteration_span.set(neighborhood=len(ops), candidates=len(ranked))
 
             # With a pool, evaluate the whole ranked budget up front; the
@@ -605,15 +605,15 @@ class RemoPlanner:
                     candidate = evaluated[rank_idx]
                 else:
                     with trace.span(
-                        "planner.evaluate_candidate", lane="planner", rank=rank_idx
+                        names.SPAN_PLANNER_EVALUATE_CANDIDATE, lane=names.LANE_PLANNER, rank=rank_idx
                     ):
                         candidate = _evaluate_with_context(ctx, incumbent, op)
-                stats.bump("planner_candidates_evaluated_total", phase="search")
+                stats.bump(names.PLANNER_CANDIDATES_EVALUATED_TOTAL, phase="search")
                 if not self._improves(candidate, incumbent):
                     continue
                 if self.first_improvement:
                     stats.accepted_ops.append(op.describe())
-                    trace.event("planner.accept", lane="planner", op=op.describe())
+                    trace.event(names.EVENT_PLANNER_ACCEPT, lane=names.LANE_PLANNER, op=op.describe())
                     return candidate
                 if best_plan is None or self._improves(candidate, best_plan):
                     best_plan = candidate
@@ -628,13 +628,13 @@ class RemoPlanner:
                     ranked[: self._full_rebuild_budget]
                 ):
                     with trace.span(
-                        "planner.evaluate_candidate",
-                        lane="planner",
+                        names.SPAN_PLANNER_EVALUATE_CANDIDATE,
+                        lane=names.LANE_PLANNER,
                         rank=rank_idx,
                         full_rebuild=True,
                     ):
                         candidate = build(incumbent.partition.apply(op))
-                    stats.bump("planner_candidates_evaluated_total", phase="rebuild")
+                    stats.bump(names.PLANNER_CANDIDATES_EVALUATED_TOTAL, phase="rebuild")
                     if self._improves(candidate, incumbent) and (
                         best_plan is None or self._improves(candidate, best_plan)
                     ):
@@ -642,7 +642,7 @@ class RemoPlanner:
                         best_op = op
             if best_plan is not None and best_op is not None:
                 stats.accepted_ops.append(best_op.describe())
-                trace.event("planner.accept", lane="planner", op=best_op.describe())
+                trace.event(names.EVENT_PLANNER_ACCEPT, lane=names.LANE_PLANNER, op=best_op.describe())
             return best_plan
 
     def _evaluate_parallel(

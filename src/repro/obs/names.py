@@ -1,0 +1,183 @@
+"""The one manifest of metric, span, and lane names.
+
+Every counter, gauge, histogram, span, and trace lane the planner,
+adaptive service, simulator, and live runtime emit is declared here --
+instrumentation sites import these constants instead of repeating
+string literals.  The point is that a typo'd series name becomes an
+import error (or a ``repro lint`` REMO431/432/433 finding) instead of
+a silent dead series that dashboards quietly stop seeing.
+
+The static analyzer (:mod:`repro.staticcheck`) parses this module
+*without importing it*: declarations must stay simple enough for that
+-- module-level ``UPPER_CASE = "literal"`` assignments, the
+``METRICS`` / ``SPANS`` / ``LANES`` / ``LANE_PREFIXES`` collections of
+those constants, and the two lane helper functions.  Keep it that way;
+anything dynamic belongs elsewhere.
+
+Naming conventions:
+
+- counters owned by the runtime are bare nouns (``messages_sent``);
+  the simulator mirrors them under a ``sim_`` prefix so one registry
+  can hold both engines' tallies without collision;
+- planner/adaptation counters end in ``_total`` (Prometheus idiom for
+  monotonic series shared across components);
+- span names are ``actor.action`` (``agent.wave``,
+  ``collector.close_period``);
+- lanes name the logical actor row trace viewers draw; per-instance
+  lanes (one per node agent, one per planner worker) are derived from
+  a declared prefix via :func:`node_lane` / :func:`worker_lane`.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Metric names -- runtime agents and collector
+# ---------------------------------------------------------------------------
+MESSAGES_SENT = "messages_sent"
+MESSAGES_DELIVERED = "messages_delivered"
+MESSAGES_DROPPED_CAPACITY = "messages_dropped_capacity"
+MESSAGES_DROPPED_FAILURE = "messages_dropped_failure"
+COST_UNITS_SPENT = "cost_units_spent"
+HEARTBEATS_SENT = "heartbeats_sent"
+CHILD_WAIT_TIMEOUTS = "child_wait_timeouts"
+VALUES_TRIMMED = "values_trimmed"
+VALUES_DEFERRED = "values_deferred"
+AGENT_DOWN_PERIODS = "agent_down_periods"
+FAILURE_DETECTIONS = "failure_detections"
+FAILURE_RECOVERIES = "failure_recoveries"
+
+# Runtime histograms.
+COLLECTION_LATENCY_S = "collection_latency_s"
+STALENESS_PERIODS = "staleness_periods"
+PERIOD_COVERAGE = "period_coverage"
+PAYLOAD_VALUES = "payload_values"
+
+# Planner search counters (PlanningStats reads the same names back).
+PLANNER_ITERATIONS_TOTAL = "planner_iterations_total"
+PLANNER_CANDIDATES_RANKED_TOTAL = "planner_candidates_ranked_total"
+PLANNER_CANDIDATES_EVALUATED_TOTAL = "planner_candidates_evaluated_total"
+
+# Adaptive-service counters.
+ADAPTATION_OPS_APPLIED_TOTAL = "adaptation_ops_applied_total"
+ADAPTATION_OPS_THROTTLED_TOTAL = "adaptation_ops_throttled_total"
+ADAPTATION_MESSAGES_TOTAL = "adaptation_messages_total"
+
+# Simulator mirrors (deltas of CollectionStats, ``sim_`` prefixed).
+SIM_MESSAGES_SENT = "sim_messages_sent"
+SIM_MESSAGES_DELIVERED = "sim_messages_delivered"
+SIM_MESSAGES_DROPPED_CAPACITY = "sim_messages_dropped_capacity"
+SIM_MESSAGES_DROPPED_FAILURE = "sim_messages_dropped_failure"
+SIM_VALUES_TRIMMED = "sim_values_trimmed"
+SIM_COST_UNITS_SPENT = "sim_cost_units_spent"
+SIM_PERIODS = "sim_periods"
+
+METRICS = frozenset(
+    {
+        MESSAGES_SENT,
+        MESSAGES_DELIVERED,
+        MESSAGES_DROPPED_CAPACITY,
+        MESSAGES_DROPPED_FAILURE,
+        COST_UNITS_SPENT,
+        HEARTBEATS_SENT,
+        CHILD_WAIT_TIMEOUTS,
+        VALUES_TRIMMED,
+        VALUES_DEFERRED,
+        AGENT_DOWN_PERIODS,
+        FAILURE_DETECTIONS,
+        FAILURE_RECOVERIES,
+        COLLECTION_LATENCY_S,
+        STALENESS_PERIODS,
+        PERIOD_COVERAGE,
+        PAYLOAD_VALUES,
+        PLANNER_ITERATIONS_TOTAL,
+        PLANNER_CANDIDATES_RANKED_TOTAL,
+        PLANNER_CANDIDATES_EVALUATED_TOTAL,
+        ADAPTATION_OPS_APPLIED_TOTAL,
+        ADAPTATION_OPS_THROTTLED_TOTAL,
+        ADAPTATION_MESSAGES_TOTAL,
+        SIM_MESSAGES_SENT,
+        SIM_MESSAGES_DELIVERED,
+        SIM_MESSAGES_DROPPED_CAPACITY,
+        SIM_MESSAGES_DROPPED_FAILURE,
+        SIM_VALUES_TRIMMED,
+        SIM_COST_UNITS_SPENT,
+        SIM_PERIODS,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Span and instant-event names
+# ---------------------------------------------------------------------------
+SPAN_PLANNER_PLAN = "planner.plan"
+SPAN_PLANNER_SEED_EVAL = "planner.seed_eval"
+SPAN_PLANNER_EVALUATE_CANDIDATE = "planner.evaluate_candidate"
+SPAN_PLANNER_FINAL_REBUILD = "planner.final_rebuild"
+EVENT_PLANNER_ACCEPT = "planner.accept"
+SPAN_PARTITION_MERGE_ITERATION = "partition.merge_iteration"
+
+SPAN_ADAPTATION_APPLY_CHANGES = "adaptation.apply_changes"
+SPAN_ADAPTATION_RESTRICTED_SEARCH = "adaptation.restricted_search"
+EVENT_ADAPTATION_COST_BENEFIT = "adaptation.cost_benefit"
+
+SPAN_SIMULATION_PERIOD = "simulation.period"
+
+SPAN_RUNTIME_PERIOD = "runtime.period"
+SPAN_RUNTIME_SETTLE = "runtime.settle"
+SPAN_AGENT_WAVE = "agent.wave"
+SPAN_AGENT_CHILD_WAIT = "agent.child_wait"
+SPAN_COLLECTOR_CLOSE_PERIOD = "collector.close_period"
+
+SPANS = frozenset(
+    {
+        SPAN_PLANNER_PLAN,
+        SPAN_PLANNER_SEED_EVAL,
+        SPAN_PLANNER_EVALUATE_CANDIDATE,
+        SPAN_PLANNER_FINAL_REBUILD,
+        EVENT_PLANNER_ACCEPT,
+        SPAN_PARTITION_MERGE_ITERATION,
+        SPAN_ADAPTATION_APPLY_CHANGES,
+        SPAN_ADAPTATION_RESTRICTED_SEARCH,
+        EVENT_ADAPTATION_COST_BENEFIT,
+        SPAN_SIMULATION_PERIOD,
+        SPAN_RUNTIME_PERIOD,
+        SPAN_RUNTIME_SETTLE,
+        SPAN_AGENT_WAVE,
+        SPAN_AGENT_CHILD_WAIT,
+        SPAN_COLLECTOR_CLOSE_PERIOD,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Trace lanes (logical actor rows in the Chrome-trace exporter)
+# ---------------------------------------------------------------------------
+LANE_PLANNER = "planner"
+LANE_ADAPTATION = "adaptation"
+LANE_SIMULATOR = "simulator"
+LANE_ENGINE = "engine"
+LANE_COLLECTOR = "collector"
+
+#: Prefixes of the per-instance lanes built by the helpers below.
+NODE_LANE_PREFIX = "node-"
+WORKER_LANE_PREFIX = "planner-worker-"
+
+LANES = frozenset(
+    {
+        LANE_PLANNER,
+        LANE_ADAPTATION,
+        LANE_SIMULATOR,
+        LANE_ENGINE,
+        LANE_COLLECTOR,
+    }
+)
+
+LANE_PREFIXES = (NODE_LANE_PREFIX, WORKER_LANE_PREFIX)
+
+
+def node_lane(node_id: object) -> str:
+    """The trace lane of one node agent (``node-<id>``)."""
+    return f"{NODE_LANE_PREFIX}{node_id}"
+
+
+def worker_lane(rank: object) -> str:
+    """The trace lane of one forked planner worker (``planner-worker-<rank>``)."""
+    return f"{WORKER_LANE_PREFIX}{rank}"

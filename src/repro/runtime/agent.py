@@ -33,7 +33,7 @@ from repro.cluster.metrics import MetricRegistry
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.cost import CostModel
 from repro.core.partition import AttributeSet
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.runtime.config import DropPolicy, RuntimeConfig
 from repro.runtime.messages import (
     COLLECTOR_ADDRESS,
@@ -105,7 +105,7 @@ class NodeAgent:
         self._update_event: Optional["asyncio.Event"] = None
         self._period_tasks: Set["asyncio.Task[None]"] = set()
         #: Trace-viewer row for this agent's spans.
-        self._lane = f"node-{node_id}"
+        self._lane = names.node_lane(node_id)
 
     # ------------------------------------------------------------------
     def busy(self) -> bool:
@@ -122,7 +122,11 @@ class NodeAgent:
         self._update_event = asyncio.Event()
         try:
             while True:
-                envelope = await self.transport.recv(self.node_id)
+                envelope = await self.transport.recv(
+                    self.node_id, timeout=self.config.recv_timeout_seconds
+                )
+                if envelope is None:
+                    continue  # recv timed out; re-check the inbox
                 if isinstance(envelope, StopEnvelope):
                     break
                 if isinstance(envelope, TickEnvelope):
@@ -133,10 +137,14 @@ class NodeAgent:
             await self._retire_period_tasks()
 
     async def _retire_period_tasks(self) -> None:
+        # Snapshot and clear BEFORE awaiting: nothing spawns once the
+        # run loop has exited, and clearing first means a task that
+        # finishes during the gather cannot be lost from the set's
+        # read-modify-write (REMO421).
         pending = [task for task in self._period_tasks if not task.done()]
+        self._period_tasks.clear()
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
-        self._period_tasks.clear()
 
     # ------------------------------------------------------------------
     # Inbox reactions
@@ -146,7 +154,7 @@ class NodeAgent:
         self._budget = self.capacity
         self._period_tasks = {task for task in self._period_tasks if not task.done()}
         if self.down(tick.period):
-            self.metrics.incr("agent_down_periods", node=self.node_id)
+            self.metrics.incr(names.AGENT_DOWN_PERIODS, node=self.node_id)
             return
         if tick.period % self.config.heartbeat_every == 0:
             self._spawn(self._send_heartbeat(tick.period))
@@ -155,7 +163,7 @@ class NodeAgent:
 
     def _on_update(self, envelope: UpdateEnvelope) -> None:
         if self.down(self._current_period):
-            self.metrics.incr("messages_dropped_failure", node=self.node_id)
+            self.metrics.incr(names.MESSAGES_DROPPED_FAILURE, node=self.node_id)
             return
         # The child reported, whether or not its batch is affordable --
         # record that first so a capacity drop cannot stall the wave.
@@ -166,12 +174,12 @@ class NodeAgent:
         charge = envelope.cost(self.cost)
         if self.config.enforce_capacity:
             if self._budget < charge - _EPS:
-                self.metrics.incr("messages_dropped_capacity", node=self.node_id)
+                self.metrics.incr(names.MESSAGES_DROPPED_CAPACITY, node=self.node_id)
                 return
             self._budget -= charge
         envelope.merge_into(self._buffers.setdefault(envelope.tree, {}))
-        self.metrics.incr("messages_delivered", node=self.node_id)
-        self.metrics.incr("cost_units_spent", charge, node=self.node_id)
+        self.metrics.incr(names.MESSAGES_DELIVERED, node=self.node_id)
+        self.metrics.incr(names.COST_UNITS_SPENT, charge, node=self.node_id)
 
     # ------------------------------------------------------------------
     # Per-period work
@@ -184,11 +192,11 @@ class NodeAgent:
         await self.transport.send(
             COLLECTOR_ADDRESS, HeartbeatEnvelope(sender=self.node_id, period=period)
         )
-        self.metrics.incr("heartbeats_sent", node=self.node_id)
+        self.metrics.incr(names.HEARTBEATS_SENT, node=self.node_id)
 
     async def _send_update(self, role: TreeRole, period: int) -> None:
         with trace.span(
-            "agent.wave", lane=self._lane, tree=role.tree_id, period=period
+            names.SPAN_AGENT_WAVE, lane=self._lane, tree=role.tree_id, period=period
         ) as wave:
             await self._await_children(role, period)
             payload: Dict[NodeAttributePair, Reading] = {}
@@ -209,9 +217,9 @@ class NodeAgent:
             charge = self.cost.message_cost(len(shaped))
             if self.config.enforce_capacity:
                 self._budget -= charge
-            self.metrics.incr("messages_sent", node=self.node_id, tree=role.tree_id)
-            self.metrics.incr("cost_units_spent", charge, node=self.node_id)
-            self.metrics.observe("payload_values", len(shaped))
+            self.metrics.incr(names.MESSAGES_SENT, node=self.node_id, tree=role.tree_id)
+            self.metrics.incr(names.COST_UNITS_SPENT, charge, node=self.node_id)
+            self.metrics.observe(names.PAYLOAD_VALUES, len(shaped))
             wave.set(outcome="sent", values=len(shaped))
             await self.transport.send(
                 role.receiver,
@@ -230,13 +238,13 @@ class NodeAgent:
         if not role.children:
             return
         with trace.span(
-            "agent.child_wait", lane=self._lane, tree=role.tree_id, period=period
+            names.SPAN_AGENT_CHILD_WAIT, lane=self._lane, tree=role.tree_id, period=period
         ):
             deadline = time.monotonic() + self.config.child_wait_seconds
             while not self._children_ready(role, period):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or self._update_event is None:
-                    self.metrics.incr("child_wait_timeouts", node=self.node_id)
+                    self.metrics.incr(names.CHILD_WAIT_TIMEOUTS, node=self.node_id)
                     return
                 self._update_event.clear()
                 if self._children_ready(role, period):
@@ -244,7 +252,7 @@ class NodeAgent:
                 try:
                     await asyncio.wait_for(self._update_event.wait(), timeout=remaining)
                 except asyncio.TimeoutError:
-                    self.metrics.incr("child_wait_timeouts", node=self.node_id)
+                    self.metrics.incr(names.CHILD_WAIT_TIMEOUTS, node=self.node_id)
                     return
 
     def _apply_budget(
@@ -260,7 +268,7 @@ class NodeAgent:
         policy = self.config.drop_policy
         if policy is DropPolicy.DROP:
             if self._budget < self.cost.message_cost(len(payload)) - _EPS:
-                self.metrics.incr("messages_dropped_capacity", node=self.node_id)
+                self.metrics.incr(names.MESSAGES_DROPPED_CAPACITY, node=self.node_id)
                 return None
             return payload
         affordable = int(self.cost.values_within_budget(self._budget) + _EPS)
@@ -269,7 +277,7 @@ class NodeAgent:
             if policy is DropPolicy.DEFER:
                 self._defer(role, payload)
             else:
-                self.metrics.incr("messages_dropped_capacity", node=self.node_id)
+                self.metrics.incr(names.MESSAGES_DROPPED_CAPACITY, node=self.node_id)
             return None
         if affordable >= len(payload):
             return payload
@@ -293,7 +301,7 @@ class NodeAgent:
                 last_sent[pair] = period
             self._defer(role, overflow)
         else:
-            self.metrics.incr("values_trimmed", len(overflow), node=self.node_id)
+            self.metrics.incr(names.VALUES_TRIMMED, len(overflow), node=self.node_id)
         return {pair: payload[pair] for pair in keep}
 
     def _defer(self, role: TreeRole, overflow: Dict[NodeAttributePair, Reading]) -> None:
@@ -303,4 +311,4 @@ class NodeAgent:
             existing = buffer.get(pair)
             if existing is None or reading.sampled_at >= existing.sampled_at:
                 buffer[pair] = reading
-        self.metrics.incr("values_deferred", len(overflow), node=self.node_id)
+        self.metrics.incr(names.VALUES_DEFERRED, len(overflow), node=self.node_id)

@@ -25,7 +25,7 @@ from typing import Dict, List, Sequence, Set
 from repro.cluster.metrics import MetricRegistry
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.cost import CostModel
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.messages import (
     COLLECTOR_ADDRESS,
@@ -86,7 +86,11 @@ class CollectorAgent:
     async def run(self) -> None:
         """Inbox loop for ticks, updates, and heartbeats."""
         while True:
-            envelope = await self.transport.recv(COLLECTOR_ADDRESS)
+            envelope = await self.transport.recv(
+                COLLECTOR_ADDRESS, timeout=self.config.recv_timeout_seconds
+            )
+            if envelope is None:
+                continue  # recv timed out; re-check the inbox
             if isinstance(envelope, StopEnvelope):
                 break
             if isinstance(envelope, TickEnvelope):
@@ -106,16 +110,16 @@ class CollectorAgent:
         charge = envelope.cost(self.cost)
         if self.config.enforce_capacity:
             if self._budget < charge - _EPS:
-                self.metrics.incr("messages_dropped_capacity")
+                self.metrics.incr(names.MESSAGES_DROPPED_CAPACITY)
                 return
             self._budget -= charge
         for pair, reading in envelope.payload.items():
             self.state.record(pair, reading)
-        self.metrics.incr("messages_delivered")
-        self.metrics.incr("cost_units_spent", charge)
+        self.metrics.incr(names.MESSAGES_DELIVERED)
+        self.metrics.incr(names.COST_UNITS_SPENT, charge)
         tick_at = self._tick_monotonic.get(envelope.period)
         if tick_at is not None:
-            self.metrics.observe("collection_latency_s", time.monotonic() - tick_at)
+            self.metrics.observe(names.COLLECTION_LATENCY_S, time.monotonic() - tick_at)
 
     def _on_heartbeat(self, envelope: HeartbeatEnvelope) -> None:
         self._last_heartbeat[envelope.sender] = envelope.period
@@ -124,7 +128,7 @@ class CollectorAgent:
             self.failure_events.append(
                 FailureEvent(envelope.sender, max(self._current_period, 0), "recovered")
             )
-            self.metrics.incr("failure_recoveries")
+            self.metrics.incr(names.FAILURE_RECOVERIES)
 
     # ------------------------------------------------------------------
     def close_period(self, period: int) -> RuntimePeriodSample:
@@ -136,7 +140,7 @@ class CollectorAgent:
         measurement, reproduced live.
         """
         with trace.span(
-            "collector.close_period", lane="collector", period=period
+            names.SPAN_COLLECTOR_CLOSE_PERIOD, lane=names.LANE_COLLECTOR, period=period
         ) as score_span:
             pairs = self.requested_pairs
             n = len(pairs)
@@ -153,7 +157,7 @@ class CollectorAgent:
                     if reading is not None:
                         received += 1
                         self.metrics.observe(
-                            "staleness_periods", float(period) - reading.sampled_at
+                            names.STALENESS_PERIODS, float(period) - reading.sampled_at
                         )
                         if reading.sampled_at >= float(period) - _EPS:
                             fresh += 1
@@ -164,7 +168,7 @@ class CollectorAgent:
                     received_fraction=received / n,
                 )
             self.samples.append(sample)
-            self.metrics.observe("period_coverage", sample.received_fraction)
+            self.metrics.observe(names.PERIOD_COVERAGE, sample.received_fraction)
             score_span.set(
                 coverage=sample.received_fraction, mean_error=sample.mean_error
             )
@@ -179,7 +183,7 @@ class CollectorAgent:
             if period - last_seen >= self.config.failure_timeout:
                 self._failed.add(node)
                 self.failure_events.append(FailureEvent(node, period, "down"))
-                self.metrics.incr("failure_detections")
+                self.metrics.incr(names.FAILURE_DETECTIONS)
 
     @property
     def failed_nodes(self) -> Set[NodeId]:

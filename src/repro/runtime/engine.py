@@ -30,7 +30,7 @@ from repro.cluster.metrics import MetricRegistry
 from repro.cluster.node import Cluster
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.plan import MonitoringPlan
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.runtime.agent import NodeAgent, TreeRole
 from repro.runtime.collector import CollectorAgent
 from repro.runtime.config import RuntimeConfig
@@ -143,12 +143,12 @@ class MonitoringRuntime:
         tasks.append(asyncio.ensure_future(self.collector.run()))
         try:
             for period in range(n_periods):
-                with trace.span("runtime.period", lane="engine", period=period):
+                with trace.span(names.SPAN_RUNTIME_PERIOD, lane=names.LANE_ENGINE, period=period):
                     self.registry.advance_all()
                     tick = TickEnvelope(period=period)
                     await self._broadcast(tick)
                     await asyncio.sleep(self.config.period_seconds)
-                    with trace.span("runtime.settle", lane="engine", period=period):
+                    with trace.span(names.SPAN_RUNTIME_SETTLE, lane=names.LANE_ENGINE, period=period):
                         await self._settle()
                     self.collector.close_period(period)
             await self._broadcast(StopEnvelope())

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.analysis.report import format_table
+from repro.obs import names
 from repro.runtime.metrics import RuntimeMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (collector imports us)
@@ -74,13 +75,13 @@ class RuntimeReport:
 
     @property
     def messages_sent(self) -> int:
-        return int(self.metrics.counter("messages_sent"))
+        return int(self.metrics.counter(names.MESSAGES_SENT))
 
     @property
     def messages_dropped(self) -> int:
         return int(
-            self.metrics.counter("messages_dropped_capacity")
-            + self.metrics.counter("messages_dropped_failure")
+            self.metrics.counter(names.MESSAGES_DROPPED_CAPACITY)
+            + self.metrics.counter(names.MESSAGES_DROPPED_FAILURE)
         )
 
     # -- serialization -------------------------------------------------
@@ -98,16 +99,16 @@ class RuntimeReport:
             "mean_percentage_error": self.mean_percentage_error,
             "messages": {
                 "sent": self.messages_sent,
-                "delivered": int(self.metrics.counter("messages_delivered")),
-                "dropped_capacity": int(self.metrics.counter("messages_dropped_capacity")),
-                "dropped_failure": int(self.metrics.counter("messages_dropped_failure")),
-                "heartbeats": int(self.metrics.counter("heartbeats_sent")),
+                "delivered": int(self.metrics.counter(names.MESSAGES_DELIVERED)),
+                "dropped_capacity": int(self.metrics.counter(names.MESSAGES_DROPPED_CAPACITY)),
+                "dropped_failure": int(self.metrics.counter(names.MESSAGES_DROPPED_FAILURE)),
+                "heartbeats": int(self.metrics.counter(names.HEARTBEATS_SENT)),
             },
             "values": {
-                "trimmed": int(self.metrics.counter("values_trimmed")),
-                "deferred": int(self.metrics.counter("values_deferred")),
+                "trimmed": int(self.metrics.counter(names.VALUES_TRIMMED)),
+                "deferred": int(self.metrics.counter(names.VALUES_DEFERRED)),
             },
-            "cost_units_spent": self.metrics.counter("cost_units_spent"),
+            "cost_units_spent": self.metrics.counter(names.COST_UNITS_SPENT),
             "failure_events": [
                 {"node": e.node, "period": e.period, "kind": e.kind}
                 for e in self.failure_events
@@ -134,12 +135,12 @@ class RuntimeReport:
             ["mean freshness", round(self.mean_fresh_coverage, 4)],
             ["mean % error", round(self.mean_percentage_error, 4)],
             ["messages sent", self.messages_sent],
-            ["messages delivered", int(self.metrics.counter("messages_delivered"))],
-            ["dropped (capacity)", int(self.metrics.counter("messages_dropped_capacity"))],
-            ["dropped (failure)", int(self.metrics.counter("messages_dropped_failure"))],
-            ["values trimmed", int(self.metrics.counter("values_trimmed"))],
-            ["values deferred", int(self.metrics.counter("values_deferred"))],
-            ["heartbeats", int(self.metrics.counter("heartbeats_sent"))],
+            ["messages delivered", int(self.metrics.counter(names.MESSAGES_DELIVERED))],
+            ["dropped (capacity)", int(self.metrics.counter(names.MESSAGES_DROPPED_CAPACITY))],
+            ["dropped (failure)", int(self.metrics.counter(names.MESSAGES_DROPPED_FAILURE))],
+            ["values trimmed", int(self.metrics.counter(names.VALUES_TRIMMED))],
+            ["values deferred", int(self.metrics.counter(names.VALUES_DEFERRED))],
+            ["heartbeats", int(self.metrics.counter(names.HEARTBEATS_SENT))],
             ["failure events", len(self.failure_events)],
             ["wall seconds", round(self.wall_seconds, 3)],
         ]

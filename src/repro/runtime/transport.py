@@ -85,10 +85,20 @@ class InProcessTransport(Transport):
         if timeout is None:
             envelope = await queue.get()
         else:
+            # Fast path: a queued envelope is handed over without
+            # suspending the caller.  For the empty-queue wait, use
+            # asyncio.timeout rather than wait_for: wait_for wraps the
+            # get in an extra task, adding a scheduler hop to every
+            # wakeup, which is enough latency to miss child-wait
+            # deadlines in the hot inbox loop.
             try:
-                envelope = await asyncio.wait_for(queue.get(), timeout)
-            except asyncio.TimeoutError:
-                return None
+                envelope = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                try:
+                    async with asyncio.timeout(timeout):
+                        envelope = await queue.get()
+                except TimeoutError:
+                    return None
         self.envelopes_delivered += 1
         return envelope
 

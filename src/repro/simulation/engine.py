@@ -31,7 +31,7 @@ from repro.cluster.node import Cluster
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.partition import AttributeSet
 from repro.core.plan import MonitoringPlan
-from repro.obs import trace
+from repro.obs import names, trace
 from repro.obs.metrics import default_registry
 from repro.simulation.collection import CollectionStats, CollectorState, PeriodSample
 from repro.simulation.events import EventQueue
@@ -108,7 +108,7 @@ class MonitoringSimulation:
         if n_periods <= 0:
             raise ValueError(f"n_periods must be > 0, got {n_periods}")
         for k in range(n_periods):
-            with trace.span("simulation.period", lane="simulator", period=k):
+            with trace.span(names.SPAN_SIMULATION_PERIOD, lane=names.LANE_SIMULATOR, period=k):
                 t0 = k * self.config.period
                 self.queue.schedule(t0, self._begin_period)
                 for attr_set, parents, depths, height, locals_ in self._tree_info:
@@ -136,15 +136,15 @@ class MonitoringSimulation:
         calls on one simulation do not double-count."""
         registry = default_registry()
         tallies = {
-            "sim_messages_sent": float(self.stats.messages_sent),
-            "sim_messages_delivered": float(self.stats.messages_delivered),
-            "sim_messages_dropped_capacity": float(
+            names.SIM_MESSAGES_SENT: float(self.stats.messages_sent),
+            names.SIM_MESSAGES_DELIVERED: float(self.stats.messages_delivered),
+            names.SIM_MESSAGES_DROPPED_CAPACITY: float(
                 self.stats.messages_dropped_capacity
             ),
-            "sim_messages_dropped_failure": float(self.stats.messages_dropped_failure),
-            "sim_values_trimmed": float(self.stats.values_trimmed),
-            "sim_cost_units_spent": float(self.stats.cost_units_spent),
-            "sim_periods": float(len(self.stats.periods)),
+            names.SIM_MESSAGES_DROPPED_FAILURE: float(self.stats.messages_dropped_failure),
+            names.SIM_VALUES_TRIMMED: float(self.stats.values_trimmed),
+            names.SIM_COST_UNITS_SPENT: float(self.stats.cost_units_spent),
+            names.SIM_PERIODS: float(len(self.stats.periods)),
         }
         for name, total in tallies.items():
             delta = total - self._mirrored.get(name, 0.0)

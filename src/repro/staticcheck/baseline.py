@@ -1,0 +1,153 @@
+"""Suppression: ``# noqa: REMO4xx`` comments and the baseline file.
+
+Two escape hatches with different intents:
+
+- ``# noqa: REMO421 -- <why>`` on the offending line is a *permanent,
+  reviewed* suppression.  It lives next to the code, travels with it
+  in diffs, and documents the justification (the single-writer
+  argument, the deliberately-blocking call).  A bare ``# noqa`` (no
+  codes) suppresses every rule on that line, flake8-style.
+
+- ``staticcheck-baseline.json`` is *temporary debt*: pre-existing
+  findings grandfathered when a rule lands, budgeted by fingerprint
+  count so new instances of an old problem still fail the gate.
+  Fingerprints exclude line numbers (see
+  :meth:`~repro.staticcheck.diagnostics.LintDiagnostic.fingerprint`),
+  so edits above a baselined finding do not churn the file.  The
+  intended trajectory is monotonically toward an empty baseline --
+  which is what the repo ships.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.staticcheck.diagnostics import LintDiagnostic
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, relative to the project root.
+BASELINE_FILENAME = "staticcheck-baseline.json"
+
+_NOQA_RE = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+?))?\s*(?:--.*)?$",
+    re.IGNORECASE,
+)
+
+
+def noqa_codes(line: str) -> Optional[frozenset]:
+    """The codes suppressed by a ``# noqa`` comment on ``line``.
+
+    Returns ``None`` when the line carries no noqa comment, an empty
+    frozenset for a bare ``# noqa`` (suppress everything), and the
+    parsed code set for ``# noqa: REMO411, REMO421``-style comments.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return frozenset()
+    return frozenset(
+        code.strip().upper() for code in codes.split(",") if code.strip()
+    )
+
+
+def is_suppressed_by_noqa(
+    diag: LintDiagnostic, source_lines: Sequence[str]
+) -> bool:
+    """True when the physical line the finding anchors to suppresses it."""
+    if not 1 <= diag.line <= len(source_lines):
+        return False
+    codes = noqa_codes(source_lines[diag.line - 1])
+    if codes is None:
+        return False
+    return not codes or diag.code in codes
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> budget of grandfathered findings."""
+
+    budgets: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable context per fingerprint (not consulted by the
+    #: matcher; keeps the JSON reviewable).
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: baseline must be a JSON object")
+        version = payload.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = payload.get("findings", {})
+        budgets: Dict[str, int] = {}
+        notes: Dict[str, str] = {}
+        for fingerprint, entry in dict(entries).items():
+            if isinstance(entry, int):
+                budgets[fingerprint] = entry
+            elif isinstance(entry, dict):
+                budgets[fingerprint] = int(entry.get("count", 1))
+                note = entry.get("note")
+                if note:
+                    notes[fingerprint] = str(note)
+        return cls(budgets=budgets, notes=notes)
+
+    def save(self, path: Path) -> None:
+        findings: Dict[str, object] = {}
+        for fingerprint in sorted(self.budgets):
+            entry: Dict[str, object] = {"count": self.budgets[fingerprint]}
+            if fingerprint in self.notes:
+                entry["note"] = self.notes[fingerprint]
+            findings[fingerprint] = entry
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_diagnostics(
+        cls, diagnostics: Sequence[LintDiagnostic]
+    ) -> "Baseline":
+        baseline = cls()
+        for diag in diagnostics:
+            fp = diag.fingerprint()
+            baseline.budgets[fp] = baseline.budgets.get(fp, 0) + 1
+            baseline.notes.setdefault(
+                fp, f"{diag.path}: {diag.code} {diag.message}"
+            )
+        return baseline
+
+    def apply(
+        self, diagnostics: Sequence[LintDiagnostic]
+    ) -> tuple:
+        """Split ``diagnostics`` into (surviving, suppressed).
+
+        Each fingerprint's budget absorbs that many findings (in source
+        order); findings beyond the budget survive -- a *new* instance
+        of a baselined problem still fails the gate.
+        """
+        remaining = dict(self.budgets)
+        surviving: List[LintDiagnostic] = []
+        suppressed: List[LintDiagnostic] = []
+        for diag in sorted(diagnostics, key=LintDiagnostic.sort_key):
+            fp = diag.fingerprint()
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                suppressed.append(diag)
+            else:
+                surviving.append(diag)
+        return surviving, suppressed

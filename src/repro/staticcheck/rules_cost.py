@@ -1,0 +1,154 @@
+"""REMO40x: source conventions and cost-model discipline.
+
+These are the old ``tools/lint_conventions.py`` C001-C003 rules,
+migrated into the framework under stable REMO codes (C001 -> REMO401,
+C002 -> REMO402, C003 -> REMO403) and generalized: REMO403 now also
+catches augmented assignments and unary negations over the raw cost
+attributes -- the exact shapes the incremental delta paths in
+``trees/model.py`` would use if someone hand-rolled ``C + a*x`` there
+instead of going through :class:`~repro.core.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.context import AnalysisContext, ModuleUnderAnalysis
+from repro.staticcheck.diagnostics import LintDiagnostic
+from repro.staticcheck.registry import Rule, rule
+
+#: The one module allowed to do raw per_message/per_value arithmetic.
+COST_MODEL_ALLOWLIST = ("src/repro/core/cost.py",)
+
+COST_ATTRS = {"per_message", "per_value"}
+
+MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CALLS and not node.args and not node.keywords
+    return False
+
+
+def _cost_attr_in(node: ast.AST) -> str:
+    """The first raw cost attribute read inside ``node``, or ``""``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr in COST_ATTRS
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            return sub.attr
+    return ""
+
+
+@rule
+class FloatLiteralEqualityRule(Rule):
+    code = "REMO401"
+    title = "exact ==/!= against a float literal"
+    family = "conventions"
+    hint = (
+        "plan costs are accumulated floats; use math.isclose or an explicit "
+        "tolerance (integer-literal comparisons are fine)"
+    )
+
+    def check(
+        self, module: ModuleUnderAnalysis, ctx: AnalysisContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.diagnostic(
+                        module,
+                        node.lineno,
+                        node.col_offset + 1,
+                        "exact ==/!= against a float literal; use math.isclose "
+                        "or an explicit tolerance",
+                    )
+                    break
+
+
+@rule
+class MutableDefaultRule(Rule):
+    code = "REMO402"
+    title = "mutable default argument"
+    family = "conventions"
+    hint = "default to None and build the container inside the body"
+
+    def check(
+        self, module: ModuleUnderAnalysis, ctx: AnalysisContext
+    ) -> Iterator[LintDiagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for default in [*args.defaults, *args.kw_defaults]:
+                if default is not None and _mutable_default(default):
+                    yield self.diagnostic(
+                        module,
+                        default.lineno,
+                        default.col_offset + 1,
+                        f"mutable default argument in {node.name}(); default "
+                        "to None and build inside the body",
+                    )
+
+
+@rule
+class CostArithmeticRule(Rule):
+    code = "REMO403"
+    title = "raw arithmetic over CostModel attributes"
+    family = "cost-model"
+    hint = (
+        "use a CostModel method (message_cost/value_cost/overhead_cost/"
+        "weighted_message_cost/values_within_budget); hand-rolled C + a*x "
+        "is how cached-vs-recomputed drift (REMO203) gets born"
+    )
+
+    def check(
+        self, module: ModuleUnderAnalysis, ctx: AnalysisContext
+    ) -> Iterator[LintDiagnostic]:
+        if module.path.as_posix().endswith(COST_MODEL_ALLOWLIST):
+            return
+        findings = []
+
+        def visit(node: ast.AST) -> None:
+            attr = ""
+            if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+                attr = _cost_attr_in(node)
+            elif isinstance(node, ast.AugAssign):
+                # total += cost.per_value (no BinOp in sight) -- the
+                # delta-path shape the generalized rule exists for.
+                attr = _cost_attr_in(node.value) or _cost_attr_in(node.target)
+            if attr:
+                # Report the outermost arithmetic expression only;
+                # nested sub-expressions are the same finding.
+                findings.append((node.lineno, node.col_offset + 1, attr))
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(module.tree)
+        for line, col, attr in findings:
+            yield self.diagnostic(
+                module,
+                line,
+                col,
+                f"raw arithmetic over .{attr}; use a CostModel method "
+                "(message_cost/value_cost/overhead_cost/"
+                "weighted_message_cost/values_within_budget)",
+            )

@@ -1,0 +1,157 @@
+"""The lint driver: discover files, build context, run rules, suppress.
+
+:func:`lint_paths` is the one entry point everything else goes
+through -- the ``repro lint`` CLI, the deprecated
+``tools/lint_conventions.py`` shim, CI, and the test suite.  Pipeline:
+
+1. discover ``.py`` files under the targets (:func:`iter_python_files`);
+2. build the project-wide :class:`AnalysisContext` (or reuse a hash-
+   matched cache, for CI);
+3. parse each file once and run every selected rule over it, emitting
+   ``REMO400`` for files the parser rejects;
+4. drop findings suppressed by ``# noqa`` comments, then findings
+   absorbed by the baseline's fingerprint budgets.
+
+The result keeps the suppressed findings visible (separately) so
+formats and tests can report *why* the gate passed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.staticcheck.baseline import Baseline, is_suppressed_by_noqa
+from repro.staticcheck.context import AnalysisContext, ModuleUnderAnalysis
+from repro.staticcheck.diagnostics import LintDiagnostic
+from repro.staticcheck.registry import SYNTAX_ERROR_CODE, Rule, rules_for
+
+#: Directory names never descended into during discovery.
+EXCLUDED_DIRS = {
+    ".git",
+    "__pycache__",
+    ".venv",
+    "venv",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+}
+
+
+def iter_python_files(targets: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under ``targets``, sorted and de-duplicated.
+
+    Raises :class:`FileNotFoundError` for a target that does not exist
+    (the CLI maps this to exit code 2, a usage error distinct from
+    "findings exist").
+    """
+    seen = set()
+    files: List[Path] = []
+    for target in targets:
+        if not target.exists():
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        if target.is_file():
+            candidates = [target] if target.suffix == ".py" else []
+        else:
+            candidates = [
+                path
+                for path in sorted(target.rglob("*.py"))
+                if not any(part in EXCLUDED_DIRS for part in path.parts)
+            ]
+        for path in candidates:
+            key = path.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(path)
+    return files
+
+
+@dataclass
+class LintResult:
+    """Everything a caller needs to render or gate on a lint run."""
+
+    findings: List[LintDiagnostic] = field(default_factory=list)
+    checked_files: List[Path] = field(default_factory=list)
+    suppressed_noqa: List[LintDiagnostic] = field(default_factory=list)
+    suppressed_baseline: List[LintDiagnostic] = field(default_factory=list)
+    context: Optional[AnalysisContext] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    #: All raw findings before baseline suppression (noqa already
+    #: applied) -- what ``--write-baseline`` snapshots.
+    @property
+    def pre_baseline(self) -> List[LintDiagnostic]:
+        return sorted(
+            [*self.findings, *self.suppressed_baseline],
+            key=LintDiagnostic.sort_key,
+        )
+
+
+def _load_module(path: Path, root: Path) -> "ModuleUnderAnalysis | LintDiagnostic":
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        source = path.read_bytes().decode("utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = (getattr(exc, "offset", 1) or 1) if isinstance(exc, SyntaxError) else 1
+        detail = exc.msg if isinstance(exc, SyntaxError) else "not valid UTF-8"
+        return LintDiagnostic(
+            path=rel,
+            line=line,
+            col=col,
+            code=SYNTAX_ERROR_CODE,
+            message=f"file does not parse: {detail}",
+        )
+    return ModuleUnderAnalysis(
+        path=path, rel=rel, tree=tree, source_lines=source.splitlines()
+    )
+
+
+def lint_paths(
+    targets: Sequence[Path],
+    root: Optional[Path] = None,
+    codes: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    context_cache: Optional[Path] = None,
+) -> LintResult:
+    """Run the selected rules (all, when ``codes`` is empty) over the
+    python files under ``targets``."""
+    root = (root or Path.cwd()).resolve()
+    files = iter_python_files(targets)
+    rules: List[Rule] = rules_for(list(codes or []))
+    if context_cache is not None:
+        ctx = AnalysisContext.load_or_build(context_cache, files, root)
+    else:
+        ctx = AnalysisContext.build(files, root)
+
+    raw: List[LintDiagnostic] = []
+    noqa_dropped: List[LintDiagnostic] = []
+    result = LintResult(checked_files=list(files), context=ctx)
+    for path in files:
+        loaded = _load_module(path, root)
+        if isinstance(loaded, LintDiagnostic):
+            raw.append(loaded)
+            continue
+        for a_rule in rules:
+            for diag in a_rule.check(loaded, ctx):
+                if is_suppressed_by_noqa(diag, loaded.source_lines):
+                    noqa_dropped.append(diag)
+                else:
+                    raw.append(diag)
+
+    surviving, baselined = (baseline or Baseline()).apply(raw)
+    result.findings = sorted(surviving, key=LintDiagnostic.sort_key)
+    result.suppressed_noqa = sorted(noqa_dropped, key=LintDiagnostic.sort_key)
+    result.suppressed_baseline = baselined
+    return result

@@ -1,0 +1,9 @@
+"""Bait: exact equality against float literals (REMO401)."""
+
+
+def converged(cost):
+    return cost == 0.5
+
+
+def not_started(cost):
+    return 0.0 != cost

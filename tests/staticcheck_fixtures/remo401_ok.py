@@ -1,0 +1,11 @@
+"""Clean: integer comparisons and isclose are fine."""
+
+import math
+
+
+def empty(count):
+    return count == 0
+
+
+def converged(cost):
+    return math.isclose(cost, 0.5) or cost < 0.25

@@ -1,0 +1,9 @@
+"""Bait: mutable default arguments (REMO402)."""
+
+
+def collect(readings=[]):
+    return readings
+
+
+def index(table={}, seen=set()):
+    return table, seen

@@ -1,0 +1,9 @@
+"""Clean: None defaults, containers built inside the body."""
+
+
+def collect(readings=None):
+    return list(readings or [])
+
+
+def index(table=None, label=""):
+    return table if table is not None else {}, label

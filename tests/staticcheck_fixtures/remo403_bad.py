@@ -1,0 +1,14 @@
+"""Bait: hand-rolled cost arithmetic (REMO403)."""
+
+
+def overhead(model, msgs):
+    return model.per_message * msgs
+
+
+def accumulate(model, total, values):
+    total += model.per_value * values
+    return total
+
+
+def negate(model):
+    return -model.per_message

@@ -1,0 +1,9 @@
+"""Clean: cost math through CostModel methods; bare reads fine."""
+
+
+def overhead(model, msgs):
+    return model.overhead_cost(msgs)
+
+
+def parameters(model):
+    return (model.per_message, model.per_value)

@@ -1,0 +1,12 @@
+"""Bait: blocking calls inside async def (REMO411)."""
+
+import time
+from time import sleep
+
+
+async def tick():
+    time.sleep(0.1)
+
+
+async def tock():
+    sleep(0.1)

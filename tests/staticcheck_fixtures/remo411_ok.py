@@ -1,0 +1,12 @@
+"""Clean: asyncio equivalents; blocking calls in sync code."""
+
+import asyncio
+import time
+
+
+async def tick():
+    await asyncio.sleep(0.1)
+
+
+def calibrate():
+    time.sleep(0.1)

@@ -1,0 +1,9 @@
+"""Bait: coroutine called but never awaited (REMO412)."""
+
+
+async def send_batch():
+    return None
+
+
+async def runner():
+    send_batch()

@@ -1,0 +1,9 @@
+"""Clean: the coroutine is awaited."""
+
+
+async def send_batch():
+    return None
+
+
+async def runner():
+    await send_batch()

@@ -1,0 +1,11 @@
+"""Bait: task handle dropped on the floor (REMO413)."""
+
+import asyncio
+
+
+async def work():
+    return None
+
+
+async def runner():
+    asyncio.create_task(work())

@@ -1,0 +1,12 @@
+"""Clean: the handle is retained (and awaited)."""
+
+import asyncio
+
+
+async def work():
+    return None
+
+
+async def runner():
+    task = asyncio.create_task(work())
+    await task

@@ -1,0 +1,6 @@
+"""Bait: transport recv awaited with no timeout (REMO414)."""
+
+
+async def pump(transport):
+    envelope = await transport.recv(0)
+    return envelope

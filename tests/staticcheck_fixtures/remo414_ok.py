@@ -1,0 +1,6 @@
+"""Clean: recv guarded by a timeout (kwarg or positional)."""
+
+
+async def pump(transport):
+    envelope = await transport.recv(0, timeout=1.0)
+    return envelope

@@ -1,0 +1,13 @@
+"""Bait: self attr read, awaited, then written (REMO421)."""
+
+import asyncio
+
+
+class Agent:
+    def __init__(self):
+        self.pending = set()
+
+    async def retire(self):
+        snapshot = [task for task in self.pending]
+        await asyncio.gather(*snapshot)
+        self.pending.clear()

@@ -1,0 +1,20 @@
+"""Clean: write precedes the await (or runs under a lock)."""
+
+import asyncio
+
+
+class Agent:
+    def __init__(self):
+        self.pending = set()
+        self.lock = asyncio.Lock()
+
+    async def retire(self):
+        snapshot = list(self.pending)
+        self.pending.clear()
+        await asyncio.gather(*snapshot)
+
+    async def locked_retire(self):
+        async with self.lock:
+            snapshot = list(self.pending)
+            await asyncio.gather(*snapshot)
+            self.pending.clear()

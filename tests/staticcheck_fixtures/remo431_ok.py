@@ -1,0 +1,9 @@
+"""Clean: declared metric names, by literal or constant."""
+
+from repro.obs import names
+
+
+def record(metrics, name, value):
+    metrics.incr("messages_sent")
+    metrics.observe(names.COLLECTION_LATENCY_S, value)
+    metrics.incr(name, value)  # dynamic: not statically checkable

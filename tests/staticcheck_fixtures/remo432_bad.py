@@ -1,0 +1,9 @@
+"""Bait: span names not in the manifest (REMO432)."""
+
+from repro.obs import trace
+
+
+def work():
+    with trace.span("not.a.span"):
+        pass
+    trace.event("also.not.a.span")

@@ -1,0 +1,9 @@
+"""Clean: declared span and event names."""
+
+from repro.obs import names, trace
+
+
+def work():
+    with trace.span(names.SPAN_AGENT_WAVE):
+        pass
+    trace.event(names.EVENT_PLANNER_ACCEPT)

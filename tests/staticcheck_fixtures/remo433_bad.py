@@ -1,0 +1,10 @@
+"""Bait: lanes not declared in the manifest (REMO433)."""
+
+from repro.obs import names, trace
+
+
+def work(node):
+    with trace.span(names.SPAN_AGENT_WAVE, lane="mystery-lane"):
+        pass
+    with trace.span(names.SPAN_AGENT_WAVE, lane=f"rogue-{node}"):
+        pass

@@ -1,0 +1,12 @@
+"""Clean: declared lanes, prefixes, and lane helpers."""
+
+from repro.obs import names, trace
+
+
+def work(node):
+    with trace.span(names.SPAN_AGENT_WAVE, lane=names.LANE_ENGINE):
+        pass
+    with trace.span(names.SPAN_AGENT_WAVE, lane=f"node-{node}"):
+        pass
+    with trace.span(names.SPAN_AGENT_WAVE, lane=names.node_lane(node)):
+        pass

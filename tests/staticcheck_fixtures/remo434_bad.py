@@ -1,0 +1,8 @@
+"""Bait: span handle used outside a with statement (REMO434)."""
+
+from repro.obs import names, trace
+
+
+def work():
+    handle = trace.span(names.SPAN_AGENT_WAVE)
+    return handle

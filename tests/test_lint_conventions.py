@@ -1,6 +1,8 @@
-"""The convention linter: each rule fires on bait, stays quiet on src/.
+"""The convention linter, now a deprecated shim over repro.staticcheck.
 
-The linter lives in ``tools/`` (not the package), so load it by path.
+Each legacy rule still fires on bait and stays quiet on src/; the C00x
+codes are mapped back from the framework's REMO40x rules.  The linter
+lives in ``tools/`` (not the package), so load it by path.
 """
 
 from __future__ import annotations
@@ -82,3 +84,41 @@ def test_cli_exit_codes(tmp_path, capsys):
     assert lint_conventions.main([str(dirty)]) == 1
     out = capsys.readouterr().out
     assert "C001" in out and "FAIL" in out
+
+
+def test_cli_missing_target_exits_2(capsys):
+    assert lint_conventions.main(["definitely/not/a/path"]) == 2
+    assert "ERROR" in capsys.readouterr().out
+
+
+def test_main_announces_deprecation(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    lint_conventions.main([str(clean)])
+    err = capsys.readouterr().err
+    assert "deprecated" in err and "repro lint" in err
+
+
+def test_shim_delegates_to_staticcheck_codes(tmp_path):
+    """Every legacy code maps to the framework rule that produced it."""
+    from repro.staticcheck import lint_paths
+
+    bait = tmp_path / "bait.py"
+    bait.write_text(
+        "def f(xs=[]):\n"
+        "    return xs == 0.5\n"
+        "def g(model, x):\n"
+        "    return model.per_message + model.per_value * x\n",
+        encoding="utf-8",
+    )
+    legacy = sorted(code for (_p, _l, _c, code, _m) in lint_conventions.lint_file(bait))
+    framework = sorted(
+        d.code
+        for d in lint_paths(
+            [bait], root=tmp_path, codes=["REMO401", "REMO402", "REMO403"]
+        ).findings
+    )
+    assert legacy == ["C001", "C002", "C003"]
+    assert framework == ["REMO401", "REMO402", "REMO403"]
+    mapped = [lint_conventions.LEGACY_CODES[code] for code in framework]
+    assert mapped == legacy

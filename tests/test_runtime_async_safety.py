@@ -1,0 +1,143 @@
+"""Regression tests for the async-safety fixes the static analysis
+framework surfaced (REMO414 recv timeouts, REMO421 retire ordering).
+
+The findings: agent/collector inbox loops awaited ``transport.recv``
+with no timeout (a dropped stop message would hang them forever on a
+real socket transport), and ``NodeAgent._retire_period_tasks`` read
+and cleared ``self._period_tasks`` across an ``await`` (a lost-update
+window).  These tests pin the fixed behaviour.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.node import Cluster, SimNode
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.runtime import (
+    InProcessTransport,
+    MonitoringRuntime,
+    RuntimeConfig,
+    StopEnvelope,
+)
+
+COST = CostModel(2.0, 1.0)
+
+
+def small_runtime(**config_kwargs):
+    nodes = [SimNode(i, capacity=100.0, attributes=frozenset({"a"})) for i in range(4)]
+    cluster = Cluster(nodes, central_capacity=400.0)
+    pairs = pairs_for(range(4), ["a"])
+    plan = ForestBuilder(COST).build(Partition.one_set(["a"]), pairs, cluster)
+    config = RuntimeConfig(period_seconds=0.02, seed=1, **config_kwargs)
+    return MonitoringRuntime(plan, cluster, config=config)
+
+
+class RecordingTransport(InProcessTransport):
+    """InProcessTransport that records the timeout of every recv."""
+
+    def __init__(self):
+        super().__init__()
+        self.recv_timeouts = []
+
+    async def recv(self, address, timeout=None):
+        self.recv_timeouts.append(timeout)
+        return await super().recv(address, timeout)
+
+
+class TestRecvTimeouts:
+    def test_run_loops_always_recv_with_timeout(self):
+        """REMO414 regression: no inbox await may lack a timeout guard."""
+        transport = RecordingTransport()
+        runtime = small_runtime(recv_timeout_seconds=0.5)
+        runtime.transport = transport
+        for agent in runtime.agents.values():
+            agent.transport = transport
+        runtime.collector.transport = transport
+        runtime.run(2)
+        assert transport.recv_timeouts, "run loops never touched the transport"
+        assert all(t == 0.5 for t in transport.recv_timeouts)
+
+    def test_agent_loop_survives_recv_timeouts(self):
+        """A timed-out recv (None envelope) re-checks the inbox instead
+        of crashing or treating None as a message."""
+        runtime = small_runtime(recv_timeout_seconds=0.01)
+        agent = next(iter(runtime.agents.values()))
+        transport = runtime.transport
+
+        async def scenario():
+            transport.register(agent.node_id)
+            task = asyncio.ensure_future(agent.run())
+            await asyncio.sleep(0.05)  # several recv timeouts elapse
+            assert not task.done()
+            await transport.send(agent.node_id, StopEnvelope())
+            await asyncio.wait_for(task, timeout=1.0)
+
+        asyncio.run(scenario())
+
+    def test_collector_loop_survives_recv_timeouts(self):
+        from repro.runtime import COLLECTOR_ADDRESS
+
+        runtime = small_runtime(recv_timeout_seconds=0.01)
+        transport = runtime.transport
+
+        async def scenario():
+            transport.register(COLLECTOR_ADDRESS)
+            task = asyncio.ensure_future(runtime.collector.run())
+            await asyncio.sleep(0.05)
+            assert not task.done()
+            await transport.send(COLLECTOR_ADDRESS, StopEnvelope())
+            await asyncio.wait_for(task, timeout=1.0)
+
+        asyncio.run(scenario())
+
+    def test_recv_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(recv_timeout_seconds=0.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(recv_timeout_seconds=-1.0)
+
+
+class TestRetirePeriodTasks:
+    def test_retire_awaits_pending_and_clears(self):
+        runtime = small_runtime()
+        agent = next(iter(runtime.agents.values()))
+        ran = []
+
+        async def period_work(tag):
+            await asyncio.sleep(0.01)
+            ran.append(tag)
+
+        async def scenario():
+            agent._period_tasks = {
+                asyncio.ensure_future(period_work("x")),
+                asyncio.ensure_future(period_work("y")),
+            }
+            await agent._retire_period_tasks()
+            assert sorted(ran) == ["x", "y"]
+            assert agent._period_tasks == set()
+
+        asyncio.run(scenario())
+
+    def test_retire_clears_before_awaiting(self):
+        """REMO421 regression: the set must be cleared *before* the
+        gather, so nothing added or discarded during the await can be
+        lost by a clear that runs after it."""
+        runtime = small_runtime()
+        agent = next(iter(runtime.agents.values()))
+        observed = []
+
+        async def snooping_task():
+            await asyncio.sleep(0)  # let _retire reach its await first
+            observed.append(set(agent._period_tasks))
+
+        async def scenario():
+            agent._period_tasks = {asyncio.ensure_future(snooping_task())}
+            await agent._retire_period_tasks()
+            # The task saw the set already emptied while it was awaited.
+            assert observed == [set()]
+
+        asyncio.run(scenario())

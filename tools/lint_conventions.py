@@ -1,25 +1,23 @@
 #!/usr/bin/env python3
-"""Repo-convention linter: AST checks ruff/mypy don't cover.
+"""DEPRECATED shim over :mod:`repro.staticcheck` (the C00x linter).
 
-Rules (codes are stable, like the runtime verifier's REMO codes):
+The convention rules moved into the package-level static analysis
+framework under stable REMO codes::
 
-- ``C001`` -- no ``==`` / ``!=`` against float literals.  Plan costs
-  are accumulated floats; exact comparison is how silent drift slips
-  in.  Use ``math.isclose`` (or an explicit tolerance); comparisons
-  against integer literals (``x == 0``) are fine.
-- ``C002`` -- no mutable default arguments (list/dict/set/bytearray
-  literals or constructors).
-- ``C003`` -- cost arithmetic only through :class:`CostModel` methods:
-  outside ``src/repro/core/cost.py``, the ``per_message`` /
-  ``per_value`` attributes must not appear inside arithmetic
-  expressions.  Hand-rolled ``C + a*x`` formulas are exactly how the
-  cached-vs-recomputed drift the verifier hunts (REMO203) gets born.
+    C000 (syntax error)          -> REMO400
+    C001 (float ==/!=)           -> REMO401
+    C002 (mutable default)       -> REMO402
+    C003 (raw cost arithmetic)   -> REMO403
 
-Usage::
+Prefer the framework CLI, which runs these plus the async-safety,
+interleaving, and obs-consistency rule families::
 
-    python tools/lint_conventions.py src/ [more paths...]
+    python -m repro lint src/ [more paths...]
 
-Exits 1 if any finding is reported.
+This script remains for muscle memory and old CI configs: it delegates
+to the framework's REMO40x rules, maps codes back to C00x, and keeps
+the historical output format and exit codes (0 clean, 1 findings,
+2 bad target).
 """
 
 from __future__ import annotations
@@ -29,105 +27,49 @@ import sys
 from pathlib import Path
 from typing import Iterator, List, Tuple
 
-#: The one module allowed to do raw per_message/per_value arithmetic.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+try:  # pragma: no cover - depends on the caller's sys.path
+    import repro.staticcheck  # noqa: F401
+except ImportError:  # script invoked without src/ on sys.path
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.staticcheck.context import AnalysisContext, ModuleUnderAnalysis
+from repro.staticcheck.registry import rules_for
+
+#: Kept for backward compatibility; the framework owns the real list
+#: (``repro.staticcheck.rules_cost.COST_MODEL_ALLOWLIST``).
 COST_MODEL_ALLOWLIST = ("src/repro/core/cost.py",)
 
-COST_ATTRS = {"per_message", "per_value"}
-
-MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+#: REMO -> legacy code mapping (append-only, like the codes themselves).
+LEGACY_CODES = {
+    "REMO400": "C000",
+    "REMO401": "C001",
+    "REMO402": "C002",
+    "REMO403": "C003",
+}
 
 Finding = Tuple[Path, int, int, str, str]
 
 
-def _is_float_literal(node: ast.expr) -> bool:
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
-        node = node.operand
-    return isinstance(node, ast.Constant) and isinstance(node.value, float)
-
-
-def _mutable_default(node: ast.expr) -> bool:
-    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in MUTABLE_CALLS and not node.args and not node.keywords
-    return False
-
-
-class ConventionVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path) -> None:
-        self.path = path
-        self.findings: List[Finding] = []
-        self.allow_cost_arith = str(path.as_posix()).endswith(COST_MODEL_ALLOWLIST)
-
-    def _report(self, node: ast.AST, code: str, message: str) -> None:
-        self.findings.append(
-            (self.path, node.lineno, node.col_offset + 1, code, message)
-        )
-
-    # -- C001 ----------------------------------------------------------
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            if _is_float_literal(left) or _is_float_literal(right):
-                self._report(
-                    node,
-                    "C001",
-                    "exact ==/!= against a float literal; use math.isclose "
-                    "or an explicit tolerance",
-                )
-                break
-        self.generic_visit(node)
-
-    # -- C002 ----------------------------------------------------------
-    def _check_defaults(self, node) -> None:
-        args = node.args
-        for default in [*args.defaults, *args.kw_defaults]:
-            if default is not None and _mutable_default(default):
-                self._report(
-                    default,
-                    "C002",
-                    f"mutable default argument in {node.name}(); default to "
-                    "None and build inside the body",
-                )
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    # -- C003 ----------------------------------------------------------
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        if not self.allow_cost_arith:
-            for sub in ast.walk(node):
-                if (
-                    isinstance(sub, ast.Attribute)
-                    and sub.attr in COST_ATTRS
-                    and isinstance(sub.ctx, ast.Load)
-                ):
-                    self._report(
-                        node,
-                        "C003",
-                        f"raw arithmetic over .{sub.attr}; use a CostModel "
-                        "method (message_cost/value_cost/overhead_cost/"
-                        "weighted_message_cost/values_within_budget)",
-                    )
-                    break
-        self.generic_visit(node)
-
-
 def lint_file(path: Path) -> List[Finding]:
+    """Run the migrated C00x rules over one file, in legacy tuple form."""
     try:
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [(path, exc.lineno or 0, exc.offset or 0, "C000", f"syntax error: {exc.msg}")]
-    visitor = ConventionVisitor(path)
-    visitor.visit(tree)
-    return visitor.findings
+    module = ModuleUnderAnalysis(
+        path=path, rel=path.as_posix(), tree=tree, source_lines=source.splitlines()
+    )
+    ctx = AnalysisContext()  # cost rules consult no project-wide tables
+    findings: List[Finding] = []
+    for a_rule in rules_for(sorted(code for code in LEGACY_CODES if code != "REMO400")):
+        for diag in a_rule.check(module, ctx):
+            findings.append(
+                (path, diag.line, diag.col, LEGACY_CODES[diag.code], diag.message)
+            )
+    findings.sort(key=lambda f: (f[1], f[2], f[3]))
+    return findings
 
 
 def iter_python_files(targets: List[str]) -> Iterator[Path]:
@@ -142,6 +84,11 @@ def iter_python_files(targets: List[str]) -> Iterator[Path]:
 
 
 def main(argv: List[str]) -> int:
+    print(
+        "lint_conventions: deprecated; use 'python -m repro lint' "
+        "(C00x rules now run as REMO40x)",
+        file=sys.stderr,
+    )
     targets = argv or ["src/"]
     findings: List[Finding] = []
     checked = 0
