@@ -22,6 +22,7 @@ Entry points:
 
 from repro.checks.adaptation import check_adaptation_step
 from repro.checks.capacity import check_budgets, check_tree_costs
+from repro.checks.deployment import check_shard_assignment
 from repro.checks.diagnostics import (
     CODES,
     CodeInfo,
@@ -58,6 +59,7 @@ __all__ = [
     "check_partition",
     "check_plan",
     "check_plan_for_cluster",
+    "check_shard_assignment",
     "check_tree",
     "check_tree_costs",
     "describe_codes",

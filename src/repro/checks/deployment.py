@@ -1,0 +1,100 @@
+"""Pre-launch verification of a multi-process shard assignment.
+
+``repro deploy`` splits a plan's participating nodes across worker
+processes before anything is spawned.  A bad split is much cheaper to
+refuse here than to debug as a half-deaf deployment: a node in no
+shard silently collects nothing, a node in two shards double-reports,
+and two processes told to bind the same port fight at startup.  The
+same append-only ``REMOxxx`` code registry used by the plan checks
+identifies each failure class (``REMO351``-``REMO354``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import NodeId
+from repro.checks.diagnostics import DiagnosticReport
+
+#: ``(host, port)`` -- kept structural so this module does not depend
+#: on :mod:`repro.net` (checks sit below the transport layer).
+HostPort = Tuple[str, int]
+
+
+def check_shard_assignment(
+    nodes: Iterable[NodeId],
+    shards: Sequence[Sequence[NodeId]],
+    endpoints: Optional[Sequence[HostPort]] = None,
+) -> DiagnosticReport:
+    """Verify that ``shards`` is a legal split of ``nodes``.
+
+    ``nodes`` is the full set of participating plan nodes; ``shards``
+    maps worker rank -> assigned nodes; ``endpoints`` (optional) lists
+    every listen address the deployment will bind -- workers first,
+    then the collector -- in any order.
+
+    Emits:
+
+    - ``REMO351`` (error): a node missing from every shard, or present
+      in more than one (including twice in the same shard);
+    - ``REMO352`` (error): a reserved (negative) address -- collector
+      or control inbox -- assigned to a shard;
+    - ``REMO353`` (error): two processes sharing one endpoint;
+    - ``REMO354`` (warning): a shard with no nodes.
+    """
+    report = DiagnosticReport()
+    expected = set(nodes)
+
+    owners: Dict[NodeId, List[int]] = {}
+    for rank, shard in enumerate(shards):
+        for node in shard:
+            owners.setdefault(node, []).append(rank)
+        if not shard:
+            report.add(
+                "REMO354",
+                f"worker {rank}",
+                "shard is empty: the worker process will host no agents",
+            )
+
+    for node in sorted(expected - set(owners)):
+        report.add(
+            "REMO351",
+            "shard plan",
+            f"node {node} participates in the plan but belongs to no shard",
+        )
+    for node, ranks in sorted(owners.items()):
+        if len(ranks) > 1:
+            report.add(
+                "REMO351",
+                "shard plan",
+                f"node {node} is assigned {len(ranks)} times "
+                f"(workers {sorted(set(ranks))})",
+            )
+        elif node not in expected and node >= 0:
+            report.add(
+                "REMO351",
+                f"worker {ranks[0]}",
+                f"node {node} is sharded but does not participate in the plan",
+            )
+        if node < 0:
+            report.add(
+                "REMO352",
+                f"worker {ranks[0]}",
+                f"address {node} is reserved for the collector/control plane "
+                "and cannot be hosted by a worker shard",
+            )
+
+    if endpoints is not None:
+        seen: Dict[HostPort, int] = {}
+        for index, endpoint in enumerate(endpoints):
+            key = (str(endpoint[0]), int(endpoint[1]))
+            if key in seen:
+                report.add(
+                    "REMO353",
+                    f"{key[0]}:{key[1]}",
+                    f"endpoint assigned to process {seen[key]} and again to "
+                    f"process {index}",
+                )
+            else:
+                seen[key] = index
+    return report

@@ -194,6 +194,35 @@ CODES: Dict[str, CodeInfo] = {
             "merge/split operations can never add or retire attribute types; "
             "universe changes must come from the task delta, not the search",
         ),
+        # -- REMO35x: deployment sharding ------------------------------
+        CodeInfo(
+            "REMO351",
+            "shard assignment does not cover the plan's nodes exactly",
+            Severity.ERROR,
+            "every participating node must belong to exactly one worker "
+            "shard; rebuild the shard plan from the plan's node set",
+        ),
+        CodeInfo(
+            "REMO352",
+            "reserved address assigned to a worker shard",
+            Severity.ERROR,
+            "the collector and per-worker control inboxes live at reserved "
+            "negative addresses; shards may only contain plan nodes",
+        ),
+        CodeInfo(
+            "REMO353",
+            "two deployment processes share one endpoint",
+            Severity.ERROR,
+            "each worker and the collector need a distinct host:port to "
+            "listen on; re-allocate ports",
+        ),
+        CodeInfo(
+            "REMO354",
+            "empty worker shard",
+            Severity.WARNING,
+            "a worker process with no nodes only burns a process slot; "
+            "lower --workers or rebalance the shards",
+        ),
     )
 }
 

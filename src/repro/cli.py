@@ -55,7 +55,6 @@ from repro.checks import (
     describe_codes,
     inject_fault,
 )
-from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
 from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
@@ -68,12 +67,17 @@ from repro.obs.export import (
     write_jsonl_spans,
     write_prometheus,
 )
+from repro.net.deploy import (
+    DeployError,
+    make_spec,
+    parse_chaos_kill,
+    run_deploy,
+)
 from repro.obs.metrics import MetricsRegistry, default_registry, use_registry
 from repro.runtime import AgentOutage, DropPolicy, MonitoringRuntime, RuntimeConfig
 from repro.runtime.metrics import RuntimeMetrics
 from repro.simulation import MonitoringSimulation, SimulationConfig
-from repro.workloads.presets import quickstart_workload
-from repro.workloads.tasks import TaskSampler
+from repro.workloads.presets import quickstart_workload, sampled_workload
 from repro.workloads.updates import TaskUpdateStream
 
 SCHEMES = {
@@ -134,20 +138,23 @@ def _emit_json(payload: Dict[str, Any]) -> None:
     print(json.dumps(payload, indent=2, sort_keys=False))
 
 
+def _workload_params(args) -> Dict[str, Any]:
+    """The :func:`sampled_workload` kwargs described by CLI args."""
+    return {
+        "nodes": args.nodes,
+        "capacity": args.capacity,
+        "central": args.central,
+        "pool": args.pool,
+        "attrs_per_node": args.attrs_per_node,
+        "tasks": args.tasks,
+        "cost_c": args.cost_c,
+        "cost_a": args.cost_a,
+        "seed": args.seed,
+    }
+
+
 def _setup(args):
-    cluster = make_uniform_cluster(
-        n_nodes=args.nodes,
-        capacity=args.capacity,
-        attrs_per_node=min(args.attrs_per_node, args.pool),
-        attribute_pool=default_attribute_pool(args.pool),
-        central_capacity=args.central if args.central is not None else 3.0 * args.capacity,
-        seed=args.seed,
-    )
-    cost = CostModel(per_message=args.cost_c, per_value=args.cost_a)
-    tasks = TaskSampler(cluster, seed=args.seed + 1).sample_many(
-        args.tasks, (2, 5), (max(5, args.nodes // 6), max(6, args.nodes // 2))
-    )
-    return cluster, cost, tasks
+    return sampled_workload(**_workload_params(args))
 
 
 def _plan_summary(plan, elapsed: Optional[float] = None) -> Dict[str, Any]:
@@ -462,6 +469,106 @@ def _run(args) -> int:
     return 0
 
 
+def _parse_chaos(spec: str):
+    """argparse type for ``--chaos-kill RANK:SECONDS``."""
+    try:
+        return parse_chaos_kill(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _deploy(args) -> int:
+    """Shard the plan across worker processes over real TCP."""
+    if args.preset == "quickstart":
+        workload: Dict[str, Any] = {"preset": "quickstart"}
+        label = "quickstart"
+    else:
+        workload = _workload_params(args)
+        label = f"{args.nodes} nodes, {args.tasks} tasks"
+    config = {
+        "period_seconds": args.period_seconds,
+        "drop_policy": args.drop_policy,
+        "heartbeat_every": args.heartbeat_every,
+        "failure_timeout": args.failure_timeout,
+        "seed": args.seed,
+    }
+    spec, plan, cluster, shard_report = make_spec(
+        workload=workload,
+        scheme=args.scheme,
+        workers=args.workers,
+        periods=args.periods,
+        config=config,
+        rundir=args.rundir,
+        host=args.host,
+    )
+    if shard_report.has_errors:
+        print("shard assignment invalid, refusing to launch:", file=sys.stderr)
+        print(shard_report.format(with_hints=True), file=sys.stderr)
+        return 1
+    check_summary: Optional[Dict[str, int]] = None
+    if not args.no_verify:
+        # Same launch gate as ``repro run``: never spawn processes for
+        # a plan the static verifier rejects.
+        check_report = check_plan_for_cluster(plan, cluster)
+        check_summary = {
+            "errors": len(check_report.errors),
+            "warnings": len(check_report.warnings),
+        }
+        if check_report.has_errors:
+            print("plan verification failed, refusing to launch:", file=sys.stderr)
+            print(check_report.format(with_hints=True), file=sys.stderr)
+            return 1
+    try:
+        outcome = run_deploy(
+            spec,
+            plan=plan,
+            chaos_kill=dict(args.chaos_kill),
+            metrics=RuntimeMetrics(registry=default_registry()),
+        )
+    except DeployError as exc:
+        print(f"repro deploy: {exc}", file=sys.stderr)
+        return 1
+    report = outcome.report
+    if args.json:
+        payload: Dict[str, Any] = {
+            "command": "deploy",
+            "scheme": args.scheme,
+            "workload": label,
+            "workers": spec.workers,
+            "restarts": outcome.restarts,
+            "worker_reports": outcome.worker_reports,
+            "rundir": spec.rundir,
+            "plan": _plan_summary(plan),
+            "drop_policy": args.drop_policy,
+        }
+        if check_summary is not None:
+            payload["plan_check"] = check_summary
+        payload.update(report.as_dict())
+        _emit_json(payload)
+        return 0
+    print(
+        format_table(
+            f"deployment ({label}, {spec.workers} workers)",
+            ["process", "endpoint", "nodes"],
+            [
+                *[
+                    [f"worker {rank}", str(spec.worker_endpoints[rank]), len(shard)]
+                    for rank, shard in enumerate(spec.shards)
+                ],
+                ["collector", str(spec.collector_endpoint), "-"],
+            ],
+        )
+    )
+    print()
+    print(
+        report.render(
+            f"{args.scheme} deployed run ({label}, {args.periods} periods, "
+            f"{spec.workers} workers, {outcome.restart_total()} restart(s))"
+        )
+    )
+    return 0
+
+
 def _metrics(args) -> int:
     """Validate and render a ``--metrics`` Prometheus snapshot file."""
     try:
@@ -651,6 +758,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the pre-launch plan invariant check",
     )
     run_p.set_defaults(func=_run)
+
+    deploy_p = sub.add_parser(
+        "deploy",
+        help="run the plan across worker processes over real TCP",
+    )
+    _add_common(deploy_p)
+    _add_json(deploy_p)
+    deploy_p.add_argument(
+        "--preset",
+        choices=["quickstart"],
+        default=None,
+        help="use a canonical workload instead of the sampled one",
+    )
+    deploy_p.add_argument(
+        "--workers", type=int, default=3, help="worker processes to shard nodes across"
+    )
+    deploy_p.add_argument("--periods", type=int, default=10, help="collection periods")
+    deploy_p.add_argument(
+        "--period-seconds",
+        type=float,
+        default=0.1,
+        help="wall-clock seconds per collection period",
+    )
+    deploy_p.add_argument(
+        "--drop-policy",
+        choices=[p.value for p in DropPolicy],
+        default=DropPolicy.TRIM.value,
+        help="behaviour when a payload exceeds the per-period budget",
+    )
+    deploy_p.add_argument(
+        "--heartbeat-every", type=int, default=1, help="heartbeat interval in periods"
+    )
+    deploy_p.add_argument(
+        "--failure-timeout",
+        type=int,
+        default=3,
+        help="periods without heartbeat before the collector flags a node",
+    )
+    deploy_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface every process listens on (single-host deployment)",
+    )
+    deploy_p.add_argument(
+        "--rundir",
+        metavar="PATH",
+        default=None,
+        help="directory for the spec/readiness/report files "
+        "(default: a fresh temp directory)",
+    )
+    deploy_p.add_argument(
+        "--chaos-kill",
+        type=_parse_chaos,
+        action="append",
+        default=[],
+        metavar="RANK:SECONDS",
+        help="SIGKILL worker RANK this many seconds into the run, once "
+        "(exercises the supervisor's restart path; repeatable)",
+    )
+    deploy_p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the pre-launch plan invariant check",
+    )
+    deploy_p.set_defaults(func=_deploy)
 
     metrics_p = sub.add_parser(
         "metrics", help="validate and render a --metrics snapshot file"

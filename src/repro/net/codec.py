@@ -1,0 +1,263 @@
+"""The wire codec: length-prefixed frames around serialized envelopes.
+
+Everything codec-ish lives in this one module so the wire format has a
+single owner.  A frame is::
+
+    offset  size  field
+    0       2     magic 0x524D ("RM")
+    2       1     protocol version (PROTOCOL_VERSION)
+    3       1     payload codec (0 = JSON, 1 = msgpack)
+    4       8     destination NodeId (signed big-endian)
+    12      4     payload length N (unsigned big-endian)
+    16      N     payload bytes
+
+The destination rides in the header because one process hosts many
+addresses (a worker hosts a shard of node agents plus its control
+inbox): the frame reader routes on the header without decoding the
+payload.  Length is bounded by :data:`MAX_FRAME_BYTES` so a corrupt or
+hostile peer cannot make the reader allocate unbounded memory.
+
+Payloads are a tagged dict per :class:`~repro.runtime.messages.Envelope`
+subclass, encoded as msgpack when the optional dependency is importable
+and JSON otherwise -- the codec byte says which, and a decoder missing
+msgpack rejects msgpack frames with :class:`CodecError` rather than
+guessing.  Version negotiation is deliberately minimal: the version
+byte must match exactly, and a mismatch is a :class:`FrameError` the
+connection handler treats as fatal for that connection (both ends of a
+deployment run the same build, so "negotiation" is refusal).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.attributes import NodeAttributePair, NodeId
+from repro.runtime.messages import (
+    Envelope,
+    HeartbeatEnvelope,
+    StopEnvelope,
+    TickEnvelope,
+    UpdateEnvelope,
+)
+from repro.simulation.messages import Reading
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the common case in this image
+    msgpack = None
+
+#: First two frame bytes; "RM" for REMO.
+MAGIC = 0x524D
+
+#: Bump on any change to the frame layout or payload schema.
+PROTOCOL_VERSION = 1
+
+#: Payload codec ids (the header's codec byte).
+CODEC_JSON = 0
+CODEC_MSGPACK = 1
+
+#: Refuse frames claiming a payload larger than this (8 MiB): a bad
+#: length prefix must fail fast, not trigger a giant allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: ``magic | version | codec | dest | length``.
+_HEADER = struct.Struct(">HBBqI")
+HEADER_BYTES = _HEADER.size
+
+
+class CodecError(ValueError):
+    """The payload bytes do not decode to a known envelope."""
+
+
+class FrameError(CodecError):
+    """The frame header is corrupt, foreign, or oversized.
+
+    A connection that produces one of these is unrecoverable -- stream
+    framing is lost -- so handlers drop the connection.
+    """
+
+
+def default_codec() -> int:
+    """The codec this build prefers (msgpack when importable)."""
+    return CODEC_MSGPACK if msgpack is not None else CODEC_JSON
+
+
+# ---------------------------------------------------------------------------
+# Envelope <-> plain dict
+# ---------------------------------------------------------------------------
+def _payload_items(payload: Dict[NodeAttributePair, Reading]) -> List[List[Any]]:
+    return [
+        [pair.node, pair.attribute, reading.value, reading.sampled_at]
+        for pair, reading in sorted(payload.items())
+    ]
+
+
+def envelope_to_obj(envelope: Envelope) -> Dict[str, Any]:
+    """Lower an envelope to a JSON/msgpack-safe tagged dict."""
+    if isinstance(envelope, TickEnvelope):
+        return {
+            "kind": "tick",
+            "period": envelope.period,
+            "sent_monotonic": envelope.sent_monotonic,
+        }
+    if isinstance(envelope, UpdateEnvelope):
+        return {
+            "kind": "update",
+            "sender": envelope.sender,
+            "tree": sorted(envelope.tree),
+            "period": envelope.period,
+            "payload": _payload_items(envelope.payload),
+        }
+    if isinstance(envelope, HeartbeatEnvelope):
+        return {"kind": "heartbeat", "sender": envelope.sender, "period": envelope.period}
+    if isinstance(envelope, StopEnvelope):
+        return {"kind": "stop"}
+    raise CodecError(f"cannot encode envelope type {type(envelope).__name__}")
+
+
+def _obj_tick(obj: Dict[str, Any]) -> Envelope:
+    return TickEnvelope(
+        period=int(obj["period"]), sent_monotonic=float(obj["sent_monotonic"])
+    )
+
+
+def _obj_update(obj: Dict[str, Any]) -> Envelope:
+    payload = {
+        NodeAttributePair(int(node), str(attr)): Reading(
+            value=float(value), sampled_at=float(sampled_at)
+        )
+        for node, attr, value, sampled_at in obj["payload"]
+    }
+    return UpdateEnvelope(
+        sender=int(obj["sender"]),
+        tree=frozenset(str(a) for a in obj["tree"]),
+        period=int(obj["period"]),
+        payload=payload,
+    )
+
+
+def _obj_heartbeat(obj: Dict[str, Any]) -> Envelope:
+    return HeartbeatEnvelope(sender=int(obj["sender"]), period=int(obj["period"]))
+
+
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], Envelope]] = {
+    "tick": _obj_tick,
+    "update": _obj_update,
+    "heartbeat": _obj_heartbeat,
+    "stop": lambda obj: StopEnvelope(),
+}
+
+
+def envelope_from_obj(obj: Dict[str, Any]) -> Envelope:
+    """Raise :class:`CodecError` unless ``obj`` is a valid tagged dict."""
+    if not isinstance(obj, dict):
+        raise CodecError(f"envelope payload must be a mapping, got {type(obj).__name__}")
+    kind = obj.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise CodecError(f"unknown envelope kind {kind!r}")
+    try:
+        return decoder(obj)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CodecError(f"malformed {kind!r} envelope: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Payload bytes
+# ---------------------------------------------------------------------------
+def encode_payload(envelope: Envelope, codec: Optional[int] = None) -> Tuple[int, bytes]:
+    """Serialize one envelope; returns ``(codec_id, payload_bytes)``."""
+    codec = default_codec() if codec is None else codec
+    obj = envelope_to_obj(envelope)
+    if codec == CODEC_JSON:
+        return CODEC_JSON, json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise CodecError("msgpack codec requested but msgpack is not installed")
+        return CODEC_MSGPACK, msgpack.packb(obj, use_bin_type=True)
+    raise CodecError(f"unknown codec id {codec}")
+
+
+def decode_payload(codec: int, payload: bytes) -> Envelope:
+    if codec == CODEC_JSON:
+        try:
+            obj = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"payload is not valid JSON: {exc}") from exc
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise CodecError("frame uses the msgpack codec but msgpack is not installed")
+        try:
+            obj = msgpack.unpackb(payload, raw=False)
+        except Exception as exc:
+            raise CodecError(f"payload is not valid msgpack: {exc}") from exc
+    else:
+        raise CodecError(f"unknown codec id {codec}")
+    return envelope_from_obj(obj)
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+def encode_frame(dest: NodeId, envelope: Envelope, codec: Optional[int] = None) -> bytes:
+    """One wire frame carrying ``envelope`` addressed to ``dest``."""
+    codec_id, payload = encode_payload(envelope, codec)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    header = _HEADER.pack(MAGIC, PROTOCOL_VERSION, codec_id, dest, len(payload))
+    return header + payload
+
+
+def decode_header(header: bytes) -> Tuple[int, NodeId, int]:
+    """Validate a 16-byte header; returns ``(codec, dest, length)``."""
+    magic, version, codec, dest, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic 0x{magic:04x} (expected 0x{MAGIC:04x})")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"protocol version {version} not supported (this build speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"declared payload of {length} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return codec, dest, length
+
+
+class FrameDecoder:
+    """Incremental frame parser over an untrusted byte stream.
+
+    Feed it whatever chunks the socket yields; it emits complete
+    ``(dest, envelope)`` pairs and buffers the rest.  Corruption
+    (:class:`FrameError` / :class:`CodecError`) propagates to the
+    caller, which should drop the connection -- once framing is lost
+    there is no way to resynchronize a length-prefixed stream.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Tuple[NodeId, Envelope]]:
+        self._buffer.extend(data)
+        frames: List[Tuple[NodeId, Envelope]] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return frames
+            codec, dest, length = decode_header(bytes(self._buffer[:HEADER_BYTES]))
+            end = HEADER_BYTES + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[HEADER_BYTES:end])
+            del self._buffer[:end]
+            frames.append((dest, decode_payload(codec, payload)))

@@ -1,0 +1,473 @@
+"""``repro deploy``: one plan, many processes, real sockets.
+
+The deployment model keeps every process *deterministically
+reconstructible* instead of shipping objects between processes: a
+:class:`DeploySpec` (a small JSON document) names the workload
+parameters, scheme, runtime config, shard assignment, and endpoint
+table, and every child process independently rebuilds the identical
+cluster, task list, plan, and ground-truth
+:class:`~repro.cluster.metrics.MetricRegistry` from it.  (Planning and
+sampling are fully seeded and hash-order independent, so N processes
+re-planning from one spec agree bit-for-bit -- and a worker that is
+killed and restarted mid-run rebuilds the same world and resyncs its
+registry replica off the next tick's period number.)
+
+Topology: the collector runs in its own process and drives the clock
+-- one :class:`~repro.runtime.messages.TickEnvelope` per worker per
+period, addressed to the worker's reserved *control address*
+(:func:`control_address`), which the worker fans out to its local node
+agents.  Update and heartbeat envelopes flow the other way, straight
+from agents to the collector (or to parent nodes, which may live in a
+different worker) through each process's
+:class:`~repro.net.tcp.TcpTransport`.
+
+The supervisor (:func:`run_deploy`) spawns children, waits for
+readiness files, restarts crashed workers with a bounded budget,
+optionally injects a chaos kill, and merges the children's metric
+dumps into one :class:`~repro.runtime.report.RuntimeReport` whose
+``as_dict`` output is shape-identical to ``repro run --json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.checks import check_shard_assignment
+from repro.checks.diagnostics import DiagnosticReport
+from repro.cluster.node import Cluster
+from repro.core.attributes import NodeId
+from repro.core.cost import CostModel
+from repro.core.plan import MonitoringPlan
+from repro.core.planner import RemoPlanner
+from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
+from repro.net.directory import Endpoint, PeerDirectory
+from repro.obs import names
+from repro.runtime.config import DropPolicy, RuntimeConfig
+from repro.runtime.messages import COLLECTOR_ADDRESS
+from repro.runtime.metrics import RuntimeMetrics
+from repro.runtime.report import RuntimePeriodSample, RuntimeReport
+from repro.workloads.presets import quickstart_workload, sampled_workload
+
+#: Worker control inboxes live at ``CONTROL_ADDRESS_BASE - rank`` --
+#: below every plan NodeId (>= 0) and distinct from the collector (-1).
+CONTROL_ADDRESS_BASE = -1000
+
+#: A worker that crashes more than this many times stays down.
+MAX_RESTARTS_PER_WORKER = 3
+
+PLANNERS = {
+    "remo": RemoPlanner,
+    "singleton": SingletonSetPlanner,
+    "one-set": OneSetPlanner,
+}
+
+
+def control_address(rank: int) -> NodeId:
+    """The reserved inbox address of worker ``rank``'s control loop."""
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    return CONTROL_ADDRESS_BASE - rank
+
+
+def shard_nodes(nodes: Sequence[NodeId], workers: int) -> List[List[NodeId]]:
+    """Split ``nodes`` round-robin into ``workers`` balanced shards.
+
+    Deterministic (input is sorted first) and balanced to within one
+    node; returns one possibly-empty list per worker rank.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    shards: List[List[NodeId]] = [[] for _ in range(workers)]
+    for index, node in enumerate(sorted(nodes)):
+        shards[index % workers].append(node)
+    return shards
+
+
+def participating_nodes(plan: MonitoringPlan) -> List[NodeId]:
+    """Every node that appears in any of the plan's trees, sorted."""
+    found = {node for result in plan.trees.values() for node in result.tree.nodes}
+    return sorted(found)
+
+
+def allocate_endpoints(count: int, host: str = "127.0.0.1") -> List[Endpoint]:
+    """Reserve ``count`` distinct free ports on ``host``.
+
+    Binds ephemeral sockets to learn free port numbers, then closes
+    them; all sockets are held open until every port is known so the
+    OS cannot hand the same port out twice within one call.
+    """
+    sockets: List[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [Endpoint(host, sock.getsockname()[1]) for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+# ---------------------------------------------------------------------------
+# The spec: everything a child process needs to rebuild its world
+# ---------------------------------------------------------------------------
+@dataclass
+class DeploySpec:
+    """The JSON-serializable contract between supervisor and children."""
+
+    workload: Dict[str, Any]
+    scheme: str
+    periods: int
+    shards: List[List[NodeId]]
+    worker_endpoints: List[Endpoint]
+    collector_endpoint: Endpoint
+    rundir: str
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def workers(self) -> int:
+        return len(self.shards)
+
+    # -- reconstruction -------------------------------------------------
+    def build_workload(self) -> Tuple[Cluster, CostModel, list]:
+        workload = dict(self.workload)
+        preset = workload.pop("preset", None)
+        if preset == "quickstart":
+            return quickstart_workload()
+        if preset is not None:
+            raise ValueError(f"unknown workload preset {preset!r}")
+        return sampled_workload(**workload)
+
+    def build_plan(self) -> Tuple[Cluster, CostModel, MonitoringPlan]:
+        cluster, cost, tasks = self.build_workload()
+        plan = PLANNERS[self.scheme](cost).plan(tasks, cluster)
+        return cluster, cost, plan
+
+    def build_config(self) -> RuntimeConfig:
+        config = dict(self.config)
+        if "drop_policy" in config:
+            config["drop_policy"] = DropPolicy(config["drop_policy"])
+        return RuntimeConfig(**config)
+
+    def build_directory(self) -> PeerDirectory:
+        """The full address table every process shares."""
+        directory = PeerDirectory()
+        for rank, shard in enumerate(self.shards):
+            endpoint = self.worker_endpoints[rank]
+            directory.assign(shard, endpoint)
+            directory.assign([control_address(rank)], endpoint)
+        directory.assign([COLLECTOR_ADDRESS], self.collector_endpoint)
+        return directory
+
+    # -- file-based coordination ---------------------------------------
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.rundir, "spec.json")
+
+    def ready_path(self, role: str) -> str:
+        """The readiness-marker file for ``collector`` / ``worker-N``."""
+        return os.path.join(self.rundir, f"ready-{role}")
+
+    def report_path(self, role: str) -> str:
+        return os.path.join(self.rundir, f"report-{role}.json")
+
+    @property
+    def go_path(self) -> str:
+        """Written by the supervisor once every process is ready."""
+        return os.path.join(self.rundir, "go")
+
+    # -- serialization -------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "periods": self.periods,
+            "shards": [list(shard) for shard in self.shards],
+            "worker_endpoints": [list(e.as_pair()) for e in self.worker_endpoints],
+            "collector_endpoint": list(self.collector_endpoint.as_pair()),
+            "rundir": self.rundir,
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeploySpec":
+        return cls(
+            workload=dict(data["workload"]),
+            scheme=str(data["scheme"]),
+            periods=int(data["periods"]),
+            shards=[[int(n) for n in shard] for shard in data["shards"]],
+            worker_endpoints=[
+                Endpoint(str(h), int(p)) for h, p in data["worker_endpoints"]
+            ],
+            collector_endpoint=Endpoint(
+                str(data["collector_endpoint"][0]), int(data["collector_endpoint"][1])
+            ),
+            rundir=str(data["rundir"]),
+            config=dict(data.get("config", {})),
+        )
+
+    def save(self) -> str:
+        write_json_atomic(self.spec_path, self.as_dict())
+        return self.spec_path
+
+    @classmethod
+    def load(cls, path: str) -> "DeploySpec":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def write_json_atomic(path: str, payload: Mapping[str, Any]) -> None:
+    """Write-then-rename so readers never observe a torn file."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    with os.fdopen(fd, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp_path, path)
+
+
+# ---------------------------------------------------------------------------
+# Spec construction + pre-launch validation
+# ---------------------------------------------------------------------------
+def make_spec(
+    workload: Mapping[str, Any],
+    scheme: str,
+    workers: int,
+    periods: int,
+    config: Mapping[str, Any],
+    rundir: Optional[str] = None,
+    host: str = "127.0.0.1",
+) -> Tuple[DeploySpec, MonitoringPlan, Cluster, DiagnosticReport]:
+    """Plan once, shard, allocate ports, and validate the assignment.
+
+    Returns the saved spec, the supervisor's plan and cluster (for the
+    pre-launch plan check and report headers), and the shard
+    :class:`DiagnosticReport` (callers gate on its errors).
+    """
+    if rundir is None:
+        rundir = tempfile.mkdtemp(prefix="repro-deploy-")
+    else:
+        os.makedirs(rundir, exist_ok=True)
+    spec = DeploySpec(
+        workload=dict(workload),
+        scheme=scheme,
+        periods=periods,
+        shards=[],
+        worker_endpoints=[],
+        collector_endpoint=Endpoint(host, 0),
+        rundir=rundir,
+        config=dict(config),
+    )
+    cluster, _cost, plan = spec.build_plan()
+    spec.shards = shard_nodes(participating_nodes(plan), workers)
+    endpoints = allocate_endpoints(workers + 1, host=host)
+    spec.worker_endpoints = endpoints[:workers]
+    spec.collector_endpoint = endpoints[workers]
+    shard_report = check_shard_assignment(
+        participating_nodes(plan),
+        spec.shards,
+        [e.as_pair() for e in endpoints],
+    )
+    if not shard_report.has_errors:
+        spec.save()
+    return spec, plan, cluster, shard_report
+
+
+# ---------------------------------------------------------------------------
+# The supervisor
+# ---------------------------------------------------------------------------
+@dataclass
+class DeployOutcome:
+    """What one supervised deployment produced."""
+
+    report: RuntimeReport
+    spec: DeploySpec
+    restarts: Dict[int, int]
+    worker_reports: int
+
+    def restart_total(self) -> int:
+        return sum(self.restarts.values())
+
+
+class DeployError(RuntimeError):
+    """The deployment could not complete (startup or collector failure)."""
+
+
+def _wait_for_files(paths: Sequence[str], timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(os.path.exists(path) for path in paths):
+            return
+        time.sleep(0.02)
+    missing = [path for path in paths if not os.path.exists(path)]
+    raise DeployError(f"timed out after {timeout:.0f}s waiting for {what}: {missing}")
+
+
+def run_deploy(
+    spec: DeploySpec,
+    plan: Optional[MonitoringPlan] = None,
+    chaos_kill: Optional[Mapping[int, float]] = None,
+    startup_timeout: float = 30.0,
+    metrics: Optional[RuntimeMetrics] = None,
+) -> DeployOutcome:
+    """Spawn, supervise, and harvest one multi-process deployment.
+
+    ``chaos_kill`` maps worker rank -> seconds after go at which the
+    supervisor SIGKILLs that worker once (it is then restarted through
+    the normal crash path -- the kill-and-restart acceptance test).
+
+    The merged report's metrics are the union of the collector's and
+    every worker's registries (counters added, histograms merged), so
+    ``DeployOutcome.report.as_dict()`` has the exact ``repro run
+    --json`` shape.
+    """
+    # Child entrypoints live in repro.net.worker; imported lazily to
+    # keep module import acyclic (worker imports deploy for the spec).
+    import multiprocessing
+
+    from repro.net.worker import collector_main, worker_main
+
+    if plan is None:
+        _cluster, _cost, plan = spec.build_plan()
+    merged = metrics if metrics is not None else RuntimeMetrics()
+    started = time.monotonic()
+    context = multiprocessing.get_context("spawn")
+    restarts: Dict[int, int] = {rank: 0 for rank in range(spec.workers)}
+    pending_kill = dict(chaos_kill or {})
+
+    def spawn_worker(rank: int):
+        process = context.Process(
+            target=worker_main, args=(spec.spec_path, rank), daemon=True
+        )
+        process.start()  # noqa: REMO412 -- multiprocessing.Process.start is sync
+        return process
+
+    collector = context.Process(
+        target=collector_main, args=(spec.spec_path,), daemon=True
+    )
+    collector.start()  # noqa: REMO412 -- multiprocessing.Process.start is sync
+    workers = {rank: spawn_worker(rank) for rank in range(spec.workers)}
+    go_at: Optional[float] = None
+    try:
+        _wait_for_files(
+            [spec.ready_path("collector")]
+            + [spec.ready_path(f"worker-{rank}") for rank in range(spec.workers)],
+            timeout=startup_timeout,
+            what="process readiness",
+        )
+        # Every listener is up: release the collector's clock.
+        write_json_atomic(spec.go_path, {"go": True})
+        go_at = time.monotonic()
+
+        while collector.is_alive():
+            now = time.monotonic()
+            for rank, kill_after in list(pending_kill.items()):
+                if now - go_at >= kill_after and workers[rank].is_alive():
+                    # Chaos: SIGKILL, no cleanup -- the restart path
+                    # below must bring the shard back on its own.
+                    workers[rank].kill()
+                    del pending_kill[rank]
+            for rank, process in list(workers.items()):
+                if process.is_alive():
+                    continue
+                if process.exitcode == 0:
+                    continue  # clean exit (stop received); nothing to revive
+                if restarts[rank] >= MAX_RESTARTS_PER_WORKER:
+                    continue
+                restarts[rank] += 1
+                merged.incr(names.DEPLOY_WORKER_RESTARTS, rank=rank)
+                workers[rank] = spawn_worker(rank)
+            time.sleep(0.02)
+
+        if collector.exitcode != 0:
+            raise DeployError(
+                f"collector process exited with code {collector.exitcode}"
+            )
+        # The collector has sent stop everywhere; give workers a
+        # moment to flush their report files, then insist.
+        for process in workers.values():
+            process.join(timeout=10.0)
+    finally:
+        for process in [collector, *workers.values()]:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+
+    # -- harvest -------------------------------------------------------
+    collector_report_path = spec.report_path("collector")
+    if not os.path.exists(collector_report_path):
+        raise DeployError("collector exited without writing its report")
+    with open(collector_report_path) as fh:
+        collector_dump = json.load(fh)
+    merged.registry.absorb(collector_dump["metrics"])
+    worker_reports = 0
+    for rank in range(spec.workers):
+        worker_report_path = spec.report_path(f"worker-{rank}")
+        if not os.path.exists(worker_report_path):
+            continue  # worker never reached a clean stop (restart storm)
+        with open(worker_report_path) as fh:
+            merged.registry.absorb(json.load(fh)["metrics"])
+        worker_reports += 1
+
+    from repro.runtime.collector import FailureEvent
+
+    report = RuntimeReport(
+        requested_pairs=len(plan.pairs),
+        n_periods=spec.periods,
+        samples=[
+            RuntimePeriodSample(
+                period=int(s["period"]),
+                mean_error=float(s["mean_error"]),
+                fresh_fraction=float(s["fresh_fraction"]),
+                received_fraction=float(s["received_fraction"]),
+            )
+            for s in collector_dump["samples"]
+        ],
+        failure_events=[
+            FailureEvent(int(e["node"]), int(e["period"]), str(e["kind"]))
+            for e in collector_dump["failure_events"]
+        ],
+        metrics=merged,
+        wall_seconds=time.monotonic() - started,
+    )
+    return DeployOutcome(
+        report=report,
+        spec=spec,
+        restarts=restarts,
+        worker_reports=worker_reports,
+    )
+
+
+def parse_chaos_kill(spec: str) -> Tuple[int, float]:
+    """Parse a ``RANK:SECONDS`` chaos-kill directive."""
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise ValueError(f"expected RANK:SECONDS, got {spec!r}")
+    rank, seconds = int(parts[0]), float(parts[1])
+    if rank < 0 or seconds < 0:
+        raise ValueError(f"RANK and SECONDS must be non-negative, got {spec!r}")
+    return rank, seconds
+
+
+__all__ = [
+    "CONTROL_ADDRESS_BASE",
+    "MAX_RESTARTS_PER_WORKER",
+    "DeployError",
+    "DeployOutcome",
+    "DeploySpec",
+    "allocate_endpoints",
+    "control_address",
+    "make_spec",
+    "parse_chaos_kill",
+    "participating_nodes",
+    "run_deploy",
+    "shard_nodes",
+    "write_json_atomic",
+]

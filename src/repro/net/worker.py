@@ -1,0 +1,260 @@
+"""Child-process entrypoints for ``repro deploy``.
+
+Two roles, both reconstructed from one
+:class:`~repro.net.deploy.DeploySpec`:
+
+- :func:`worker_main` (one per shard) hosts the shard's
+  :class:`~repro.runtime.agent.NodeAgent` tasks behind a
+  :class:`~repro.net.tcp.TcpTransport` listener, plus a *control loop*
+  on the worker's reserved address: each inbound tick advances the
+  local ground-truth registry replica to match the tick's period
+  (``advance-to-match`` -- what lets a freshly restarted worker resync
+  deterministically mid-run) and fans the tick out to the local
+  agents.
+- :func:`collector_main` runs the
+  :class:`~repro.runtime.collector.CollectorAgent` and drives the
+  clock: one tick per worker per period, a wall-clock period window, a
+  bounded settle, then period scoring -- the multi-process analogue of
+  :meth:`repro.runtime.engine.MonitoringRuntime.run_async`.
+
+On stop each process dumps its full metrics registry to a JSON report
+file the supervisor merges.  Entry functions are module-level so the
+``spawn`` multiprocessing context can import them by name.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from typing import Dict
+
+from repro.cluster.metrics import MetricRegistry
+from repro.core.attributes import NodeId
+from repro.net.deploy import DeploySpec, control_address, write_json_atomic
+from repro.net.tcp import TcpTransport
+from repro.runtime.agent import NodeAgent
+from repro.runtime.collector import CollectorAgent
+from repro.runtime.engine import build_roles
+from repro.runtime.messages import (
+    COLLECTOR_ADDRESS,
+    StopEnvelope,
+    TickEnvelope,
+)
+from repro.runtime.metrics import RuntimeMetrics
+
+
+def _ground_truth(spec: DeploySpec, plan) -> MetricRegistry:
+    """The shared ground-truth replica, constructed deterministically.
+
+    Pair order fixes the seeded RNG's consumption order, so every
+    process MUST build from ``sorted(plan.pairs)`` -- raw set
+    iteration varies with each process's hash randomization.
+    """
+    config = spec.build_config()
+    return MetricRegistry(sorted(plan.pairs), seed=config.seed)
+
+
+class WorkerRuntime:
+    """One shard of node agents plus the tick/stop control loop."""
+
+    def __init__(self, spec: DeploySpec, rank: int) -> None:
+        self.spec = spec
+        self.rank = rank
+        self.shard = list(spec.shards[rank])
+        self.config = spec.build_config()
+        cluster, cost, plan = spec.build_plan()
+        self.plan = plan
+        self.registry = _ground_truth(spec, plan)
+        self._advanced = 0
+        self.metrics = RuntimeMetrics()
+        endpoint = spec.worker_endpoints[rank]
+        self.transport = TcpTransport(
+            spec.build_directory(),
+            listen_host=endpoint.host,
+            listen_port=endpoint.port,
+            metrics=self.metrics,
+        )
+        # The engine's own role builder, over the identical re-planned
+        # forest: single-process runs and deploy workers can never
+        # disagree about tree ids, depths, or local demands.
+        roles = build_roles(plan)
+        self.agents: Dict[NodeId, NodeAgent] = {
+            node: NodeAgent(
+                node_id=node,
+                capacity=cluster.capacity(node),
+                roles=roles[node],
+                cost=cost,
+                registry=self.registry,
+                transport=self.transport,
+                metrics=self.metrics,
+                config=self.config,
+            )
+            for node in self.shard
+        }
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        ctrl = control_address(self.rank)
+        self.transport.register(ctrl)
+        for node in self.agents:
+            self.transport.register(node)
+        await self.transport.start()
+        tasks = [asyncio.ensure_future(agent.run()) for agent in self.agents.values()]
+        # Listener bound, agents listening: tell the supervisor.
+        write_json_atomic(
+            self.spec.ready_path(f"worker-{self.rank}"), {"rank": self.rank}
+        )
+        try:
+            while True:
+                envelope = await self.transport.recv(
+                    ctrl, timeout=self.config.recv_timeout_seconds
+                )
+                if envelope is None:
+                    continue
+                if isinstance(envelope, StopEnvelope):
+                    break
+                if isinstance(envelope, TickEnvelope):
+                    self._on_tick(envelope)
+            for node in self.agents:
+                self.transport.deliver_local(node, StopEnvelope())
+            if tasks:
+                await asyncio.wait(tasks, timeout=5.0)
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            write_json_atomic(
+                self.spec.report_path(f"worker-{self.rank}"),
+                {"rank": self.rank, "metrics": self.metrics.registry.dump()},
+            )
+            await self.transport.aclose()
+
+    def _on_tick(self, tick: TickEnvelope) -> None:
+        # Advance-to-match: the collector advanced its replica once for
+        # this tick; a steady worker advances once too, while a freshly
+        # restarted one fast-forwards from zero to the same point.
+        while self._advanced <= tick.period:
+            self.registry.advance_all()
+            self._advanced += 1
+        for node in self.agents:
+            self.transport.deliver_local(node, tick)
+
+
+class CollectorRuntime:
+    """The collector process: clock source, scorer, failure detector."""
+
+    def __init__(self, spec: DeploySpec) -> None:
+        self.spec = spec
+        self.config = spec.build_config()
+        cluster, cost, plan = spec.build_plan()
+        self.plan = plan
+        self.registry = _ground_truth(spec, plan)
+        self.metrics = RuntimeMetrics()
+        endpoint = spec.collector_endpoint
+        self.transport = TcpTransport(
+            spec.build_directory(),
+            listen_host=endpoint.host,
+            listen_port=endpoint.port,
+            metrics=self.metrics,
+        )
+        self.expected_nodes = sorted(
+            node for shard in spec.shards for node in shard
+        )
+        self.collector = CollectorAgent(
+            requested_pairs=sorted(plan.pairs),
+            expected_nodes=self.expected_nodes,
+            central_capacity=cluster.central_capacity,
+            cost=cost,
+            registry=self.registry,
+            transport=self.transport,
+            metrics=self.metrics,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        self.transport.register(COLLECTOR_ADDRESS)
+        await self.transport.start()
+        collector_task = asyncio.ensure_future(self.collector.run())
+        write_json_atomic(self.spec.ready_path("collector"), {"role": "collector"})
+        await self._await_go()
+        try:
+            for period in range(self.spec.periods):
+                self.registry.advance_all()
+                tick = TickEnvelope(period=period)
+                self.transport.deliver_local(COLLECTOR_ADDRESS, tick)
+                for rank in range(self.spec.workers):
+                    await self.transport.send(control_address(rank), tick)
+                await asyncio.sleep(self.config.period_seconds)
+                await self._settle()
+                self.collector.close_period(period)
+            for rank in range(self.spec.workers):
+                await self.transport.send(control_address(rank), StopEnvelope())
+            self.transport.deliver_local(COLLECTOR_ADDRESS, StopEnvelope())
+            await asyncio.wait([collector_task], timeout=5.0)
+        finally:
+            if not collector_task.done():
+                collector_task.cancel()
+            write_json_atomic(
+                self.spec.report_path("collector"),
+                {
+                    "samples": [
+                        {
+                            "period": s.period,
+                            "mean_error": s.mean_error,
+                            "fresh_fraction": s.fresh_fraction,
+                            "received_fraction": s.received_fraction,
+                        }
+                        for s in self.collector.samples
+                    ],
+                    "failure_events": [
+                        {"node": e.node, "period": e.period, "kind": e.kind}
+                        for e in self.collector.failure_events
+                    ],
+                    "metrics": self.metrics.registry.dump(),
+                },
+            )
+            await self.transport.aclose()
+
+    async def _await_go(self) -> None:
+        """Hold the clock until the supervisor says every listener is up.
+
+        Not strictly required for correctness -- outbound links retry
+        with backoff -- but it keeps period 0 from burning its window
+        on dial retries against workers that have not bound yet.
+        """
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(self.spec.go_path):
+                return
+            await asyncio.sleep(0.02)
+
+    async def _settle(self) -> None:
+        """Let straggler frames land before scoring, bounded in time.
+
+        The collector cannot see other processes' in-flight work the
+        way the single-process engine can, so this settles on the local
+        signal available -- its own transport going idle -- and bounds
+        the wait by one extra period.
+        """
+        deadline = time.monotonic() + self.config.period_seconds
+        while time.monotonic() < deadline:
+            if self.transport.idle():
+                return
+            await asyncio.sleep(0.005)
+
+
+# ---------------------------------------------------------------------------
+# Spawn targets (must be importable module-level callables)
+# ---------------------------------------------------------------------------
+def worker_main(spec_path: str, rank: int) -> None:
+    """Entrypoint of worker process ``rank``."""
+    spec = DeploySpec.load(spec_path)
+    asyncio.run(WorkerRuntime(spec, rank).run())
+
+
+def collector_main(spec_path: str) -> None:
+    """Entrypoint of the collector process."""
+    spec = DeploySpec.load(spec_path)
+    asyncio.run(CollectorRuntime(spec).run())

@@ -168,6 +168,47 @@ class Histogram:
             "max": self.max,
         }
 
+    # -- cross-process merge (``repro deploy`` report aggregation) -----
+    def dump(self) -> Dict[str, object]:
+        """JSON-safe full state, for merging in another process."""
+        if self._count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "values": [], "exact": True}
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "values": list(self._values),
+            "exact": not self._sketching,
+        }
+
+    def absorb(self, data: Mapping[str, object]) -> None:
+        """Fold a :meth:`dump` from another histogram into this one.
+
+        Count, sum, min and max merge exactly.  Quantiles stay exact
+        while the combined retained values fit under the sketch
+        threshold; beyond that the merge downsamples into the
+        reservoir, so quantiles degrade to estimates exactly as they
+        would have had every observation arrived here directly.
+        """
+        count = int(data["count"])  # type: ignore[arg-type]
+        if count == 0:
+            return
+        self._count += count
+        self._sum += float(data["sum"])  # type: ignore[arg-type]
+        self._min = min(self._min, float(data["min"]))  # type: ignore[arg-type]
+        self._max = max(self._max, float(data["max"]))  # type: ignore[arg-type]
+        incoming = [float(v) for v in data["values"]]  # type: ignore[union-attr]
+        both_exact = not self._sketching and bool(data.get("exact", True))
+        if both_exact and len(self._values) + len(incoming) <= self.sketch_threshold:
+            self._values.extend(incoming)
+            return
+        merged = self._values + incoming
+        if len(merged) > self.reservoir_size:
+            merged = self._rng.sample(merged, self.reservoir_size)
+        self._values = merged
+        self._sketching = True
+
 
 class MetricsRegistry:
     """Named counters, gauges, and histograms with label support."""
@@ -262,6 +303,56 @@ class MetricsRegistry:
                 name: hist.summary() for name, hist in self.histograms().items()
             },
         }
+
+    # -- cross-process merge (``repro deploy`` report aggregation) -----
+    def dump(self) -> Dict[str, object]:
+        """JSON-safe full-resolution state, labels preserved.
+
+        Unlike :meth:`as_dict` (a human/CI summary), this is lossless
+        enough to reconstruct totals and histogram quantile state in a
+        different process -- workers dump, the supervisor absorbs.
+        """
+        return {
+            "counters": [
+                [name, [list(item) for item in labels], value]
+                for (name, labels), value in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, [list(item) for item in labels], value]
+                for (name, labels), value in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [name, [list(item) for item in labels], hist.dump()]
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+        }
+
+    def absorb(self, data: Mapping[str, object]) -> None:
+        """Merge a :meth:`dump` into this registry.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge via :meth:`Histogram.absorb`.  Label sets are
+        preserved, so per-worker series stay distinguishable when they
+        carry distinguishing labels and aggregate when they do not.
+        """
+
+        def _key(name: object, labels: object) -> MetricKey:
+            return (
+                str(name),
+                tuple((str(k), str(v)) for k, v in labels),  # type: ignore[union-attr]
+            )
+
+        for name, labels, value in data.get("counters", []):  # type: ignore[union-attr]
+            key = _key(name, labels)
+            self._counters[key] = self._counters.get(key, 0.0) + float(value)
+        for name, labels, value in data.get("gauges", []):  # type: ignore[union-attr]
+            self._gauges[_key(name, labels)] = float(value)
+        for name, labels, hist_dump in data.get("histograms", []):  # type: ignore[union-attr]
+            key = _key(name, labels)
+            found = self._histograms.get(key)
+            if found is None:
+                found = self._histograms[key] = Histogram()
+            found.absorb(hist_dump)
 
     def clear(self) -> None:
         self._counters.clear()

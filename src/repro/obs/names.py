@@ -46,11 +46,28 @@ AGENT_DOWN_PERIODS = "agent_down_periods"
 FAILURE_DETECTIONS = "failure_detections"
 FAILURE_RECOVERIES = "failure_recoveries"
 
+# Transport-layer counters (every Transport implementation reports
+# through these, so in-process and TCP runs share one health row).
+TRANSPORT_ENVELOPES_SENT = "transport_envelopes_sent"
+TRANSPORT_ENVELOPES_DELIVERED = "transport_envelopes_delivered"
+
+# Deployment supervisor counters (``repro deploy``).
+DEPLOY_WORKER_RESTARTS = "deploy_worker_restarts"
+
+# Wire-level counters (repro.net only; zero on the in-process path).
+NET_FRAMES_SENT = "net_frames_sent"
+NET_FRAMES_RECEIVED = "net_frames_received"
+NET_FRAMES_DROPPED = "net_frames_dropped"
+NET_BYTES_SENT = "net_bytes_sent"
+NET_BYTES_RECEIVED = "net_bytes_received"
+NET_RECONNECTS = "net_reconnects"
+
 # Runtime histograms.
 COLLECTION_LATENCY_S = "collection_latency_s"
 STALENESS_PERIODS = "staleness_periods"
 PERIOD_COVERAGE = "period_coverage"
 PAYLOAD_VALUES = "payload_values"
+NET_DIAL_LATENCY_S = "net_dial_latency_s"
 
 # Planner search counters (PlanningStats reads the same names back).
 PLANNER_ITERATIONS_TOTAL = "planner_iterations_total"
@@ -85,10 +102,20 @@ METRICS = frozenset(
         AGENT_DOWN_PERIODS,
         FAILURE_DETECTIONS,
         FAILURE_RECOVERIES,
+        TRANSPORT_ENVELOPES_SENT,
+        TRANSPORT_ENVELOPES_DELIVERED,
+        DEPLOY_WORKER_RESTARTS,
+        NET_FRAMES_SENT,
+        NET_FRAMES_RECEIVED,
+        NET_FRAMES_DROPPED,
+        NET_BYTES_SENT,
+        NET_BYTES_RECEIVED,
+        NET_RECONNECTS,
         COLLECTION_LATENCY_S,
         STALENESS_PERIODS,
         PERIOD_COVERAGE,
         PAYLOAD_VALUES,
+        NET_DIAL_LATENCY_S,
         PLANNER_ITERATIONS_TOTAL,
         PLANNER_CANDIDATES_RANKED_TOTAL,
         PLANNER_CANDIDATES_EVALUATED_TOTAL,
@@ -155,6 +182,7 @@ LANE_ADAPTATION = "adaptation"
 LANE_SIMULATOR = "simulator"
 LANE_ENGINE = "engine"
 LANE_COLLECTOR = "collector"
+LANE_TRANSPORT = "transport"
 
 #: Prefixes of the per-instance lanes built by the helpers below.
 NODE_LANE_PREFIX = "node-"
@@ -167,6 +195,7 @@ LANES = frozenset(
         LANE_SIMULATOR,
         LANE_ENGINE,
         LANE_COLLECTOR,
+        LANE_TRANSPORT,
     }
 )
 

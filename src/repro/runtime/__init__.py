@@ -31,7 +31,12 @@ from repro.runtime.messages import (
 )
 from repro.runtime.metrics import Histogram, RuntimeMetrics
 from repro.runtime.report import RuntimePeriodSample, RuntimeReport
-from repro.runtime.transport import InProcessTransport, Transport
+from repro.runtime.transport import (
+    InProcessTransport,
+    MailboxTransport,
+    Transport,
+    UnknownAddressError,
+)
 
 __all__ = [
     "AgentOutage",
@@ -43,6 +48,7 @@ __all__ = [
     "HeartbeatEnvelope",
     "Histogram",
     "InProcessTransport",
+    "MailboxTransport",
     "MonitoringRuntime",
     "NodeAgent",
     "RuntimeConfig",
@@ -53,5 +59,6 @@ __all__ = [
     "TickEnvelope",
     "Transport",
     "TreeRole",
+    "UnknownAddressError",
     "UpdateEnvelope",
 ]

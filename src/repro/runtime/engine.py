@@ -45,6 +45,40 @@ from repro.runtime.report import RuntimeReport
 from repro.runtime.transport import InProcessTransport, Transport
 
 
+def build_roles(plan: MonitoringPlan) -> Dict[NodeId, List[TreeRole]]:
+    """One :class:`TreeRole` per (member node, tree) of the plan.
+
+    Trees get stable short ids (``t0``, ``t1``, ... in sorted
+    attribute-set order) so metric labels and trace spans can name a
+    tree without serializing its attribute set.  Module-level because
+    ``repro deploy`` workers need the identical role table without
+    constructing an engine: the derivation is deterministic, so every
+    process that holds the same plan agrees on every role.
+    """
+    roles: Dict[NodeId, List[TreeRole]] = {}
+    ordered_trees = sorted(plan.trees.items(), key=lambda kv: sorted(kv[0]))
+    for index, (attr_set, result) in enumerate(ordered_trees):
+        tree = result.tree
+        height = tree.height()
+        tree_id = f"t{index}"
+        for node in tree.nodes:
+            local_pairs = tuple(
+                NodeAttributePair(node, attr) for attr in sorted(tree.local_demand(node))
+            )
+            roles.setdefault(node, []).append(
+                TreeRole(
+                    attr_set=attr_set,
+                    parent=tree.parent(node),
+                    children=tuple(sorted(tree.children(node))),
+                    local_pairs=local_pairs,
+                    depth=tree.depth(node),
+                    height=height,
+                    tree_id=tree_id,
+                )
+            )
+    return roles
+
+
 class MonitoringRuntime:
     """Live execution of one monitoring plan."""
 
@@ -62,6 +96,10 @@ class MonitoringRuntime:
         self.config = config if config is not None else RuntimeConfig()
         self.transport = transport if transport is not None else InProcessTransport()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        # One registry for agent and transport counters: the transport
+        # health row (envelopes, frames, reconnects) lands in the same
+        # report whichever Transport implementation is plugged in.
+        self.transport.bind_metrics(self.metrics)
         self.registry = (
             registry
             if registry is not None
@@ -70,7 +108,7 @@ class MonitoringRuntime:
         for pair in plan.pairs:
             self.registry.ensure(pair)
 
-        roles = self._build_roles()
+        roles = build_roles(plan)
         self.agents: Dict[NodeId, NodeAgent] = {
             node: NodeAgent(
                 node_id=node,
@@ -94,37 +132,6 @@ class MonitoringRuntime:
             metrics=self.metrics,
             config=self.config,
         )
-
-    # ------------------------------------------------------------------
-    def _build_roles(self) -> Dict[NodeId, List[TreeRole]]:
-        """One :class:`TreeRole` per (member node, tree) of the plan.
-
-        Trees get stable short ids (``t0``, ``t1``, ... in sorted
-        attribute-set order) so metric labels and trace spans can name
-        a tree without serializing its attribute set.
-        """
-        roles: Dict[NodeId, List[TreeRole]] = {}
-        ordered_trees = sorted(self.plan.trees.items(), key=lambda kv: sorted(kv[0]))
-        for index, (attr_set, result) in enumerate(ordered_trees):
-            tree = result.tree
-            height = tree.height()
-            tree_id = f"t{index}"
-            for node in tree.nodes:
-                local_pairs = tuple(
-                    NodeAttributePair(node, attr) for attr in sorted(tree.local_demand(node))
-                )
-                roles.setdefault(node, []).append(
-                    TreeRole(
-                        attr_set=attr_set,
-                        parent=tree.parent(node),
-                        children=tuple(sorted(tree.children(node))),
-                        local_pairs=local_pairs,
-                        depth=tree.depth(node),
-                        height=height,
-                        tree_id=tree_id,
-                    )
-                )
-        return roles
 
     # ------------------------------------------------------------------
     def run(self, n_periods: int) -> RuntimeReport:
@@ -157,7 +164,7 @@ class MonitoringRuntime:
             for task in tasks:
                 if not task.done():
                     task.cancel()
-            self.transport.close()
+            await self.transport.aclose()
         report = RuntimeReport(
             requested_pairs=len(self.plan.pairs),
             n_periods=n_periods,
@@ -187,10 +194,6 @@ class MonitoringRuntime:
         deadline = time.monotonic() + self.config.period_seconds
         while time.monotonic() < deadline:
             busy = any(agent.busy() for agent in self.agents.values())
-            queued = any(
-                self.transport.pending(address) > 0
-                for address in self.transport.addresses()
-            )
-            if not busy and not queued:
+            if not busy and self.transport.idle():
                 return
             await asyncio.sleep(0)

@@ -2,10 +2,20 @@
 
 Agents never talk to each other directly; they address peers by
 :class:`~repro.core.attributes.NodeId` (the collector is ``-1``)
-through a :class:`Transport`.  This is the seam a socket transport
-plugs into later: :class:`InProcessTransport` backs each address with
-an :class:`asyncio.Queue`, a TCP transport would back it with a
-connection -- the agents are identical either way.
+through a :class:`Transport`.  This is the seam the socket transport
+(:class:`repro.net.TcpTransport`) plugs into: :class:`MailboxTransport`
+owns the per-address inbox queues both implementations share, and
+:class:`InProcessTransport` completes it with loopback delivery -- the
+agents are identical either way.
+
+Error contract (uniform across implementations):
+
+- :meth:`Transport.send` to an address the transport cannot resolve
+  returns ``False`` (the runtime's analogue of connection refused);
+- :meth:`Transport.recv` on an address that was never
+  :meth:`Transport.register`-ed raises :class:`UnknownAddressError` --
+  a typed error, because receiving on a foreign inbox is always a
+  wiring bug, never a runtime condition.
 """
 
 from __future__ import annotations
@@ -15,7 +25,20 @@ import asyncio
 from typing import Dict, List, Optional
 
 from repro.core.attributes import NodeId
+from repro.obs import names
 from repro.runtime.messages import Envelope
+from repro.runtime.metrics import RuntimeMetrics
+
+
+class UnknownAddressError(KeyError):
+    """``recv`` (or ``pending``) was asked about an unregistered inbox."""
+
+    def __init__(self, address: NodeId) -> None:
+        super().__init__(address)
+        self.address = address
+
+    def __str__(self) -> str:
+        return f"no inbox registered for address {self.address}"
 
 
 class Transport(abc.ABC):
@@ -40,31 +63,89 @@ class Transport(abc.ABC):
 
     @abc.abstractmethod
     async def recv(self, address: NodeId, timeout: Optional[float] = None) -> Optional[Envelope]:
-        """Next envelope for ``address``, or ``None`` on timeout."""
+        """Next envelope for ``address``, or ``None`` on timeout.
+
+        Raises :class:`UnknownAddressError` when ``address`` was never
+        registered on this transport.
+        """
 
     @abc.abstractmethod
     def pending(self, address: NodeId) -> int:
         """Number of queued envelopes at ``address``."""
 
+    def idle(self) -> bool:
+        """Whether no envelope is queued or in flight anywhere.
+
+        The engine's settle loop polls this; implementations with
+        off-inbox buffering (socket send queues, in-kernel frames)
+        override it to account for envelopes the inboxes cannot see.
+        """
+        return all(self.pending(address) == 0 for address in self.addresses())
+
+    def bind_metrics(self, metrics: RuntimeMetrics) -> None:
+        """Attach the run's metrics hub (no-op once bound).
+
+        Transports report ``transport_envelopes_sent`` /
+        ``transport_envelopes_delivered`` (and, for socket transports,
+        the wire-level ``net_*`` series) through this hub so the
+        in-process and TCP paths feed one registry.
+        """
+
     def close(self) -> None:
         """Release transport resources (no-op by default)."""
 
+    async def aclose(self) -> None:
+        """Async teardown; defaults to the sync :meth:`close`.
 
-class InProcessTransport(Transport):
-    """Loopback transport: one :class:`asyncio.Queue` per address.
+        Socket transports override this to flush send queues and await
+        stream shutdown, which cannot be done from sync code.
+        """
+        self.close()
 
-    Delivery is immediate (enqueue on send); ordering per
-    sender-receiver pair follows send order, which is what a TCP
-    stream would give.  ``envelopes_sent`` / ``envelopes_delivered``
-    are raw transport counters -- the metrics hub reads them for its
-    transport health row.
+
+class MailboxTransport(Transport):
+    """Shared inbox machinery: one :class:`asyncio.Queue` per address.
+
+    Subclasses decide how an envelope reaches a queue --
+    :class:`InProcessTransport` enqueues directly on send,
+    :class:`repro.net.TcpTransport` enqueues from its frame-reader
+    loop -- while registration, receive, and the envelope counters are
+    identical on every path.
     """
 
-    def __init__(self) -> None:
-        self._queues: Dict[NodeId, "asyncio.Queue[Envelope]"] = {}
-        self.envelopes_sent = 0
-        self.envelopes_delivered = 0
+    #: Metric label distinguishing implementations in the shared series.
+    transport_kind = "mailbox"
 
+    def __init__(self, metrics: Optional[RuntimeMetrics] = None) -> None:
+        self._queues: Dict[NodeId, "asyncio.Queue[Envelope]"] = {}
+        self._metrics: Optional[RuntimeMetrics] = metrics
+
+    # -- metrics -------------------------------------------------------
+    def bind_metrics(self, metrics: RuntimeMetrics) -> None:
+        if self._metrics is None:
+            self._metrics = metrics
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """The bound metrics hub (a private one until bound)."""
+        if self._metrics is None:
+            self._metrics = RuntimeMetrics()
+        return self._metrics
+
+    @property
+    def envelopes_sent(self) -> int:
+        """Total envelopes accepted for delivery (all series labels)."""
+        return int(self.metrics.counter(names.TRANSPORT_ENVELOPES_SENT))
+
+    @property
+    def envelopes_delivered(self) -> int:
+        """Total envelopes handed to a receiver via :meth:`recv`."""
+        return int(self.metrics.counter(names.TRANSPORT_ENVELOPES_DELIVERED))
+
+    def _count_sent(self) -> None:
+        self.metrics.incr(names.TRANSPORT_ENVELOPES_SENT, transport=self.transport_kind)
+
+    # -- inboxes -------------------------------------------------------
     def register(self, address: NodeId) -> None:
         if address not in self._queues:
             self._queues[address] = asyncio.Queue()
@@ -72,16 +153,18 @@ class InProcessTransport(Transport):
     def addresses(self) -> List[NodeId]:
         return sorted(self._queues)
 
-    async def send(self, to: NodeId, envelope: Envelope) -> bool:
-        queue = self._queues.get(to)
+    def deliver_local(self, address: NodeId, envelope: Envelope) -> bool:
+        """Enqueue ``envelope`` on a local inbox (no send accounting)."""
+        queue = self._queues.get(address)
         if queue is None:
             return False
-        self.envelopes_sent += 1
         queue.put_nowait(envelope)
         return True
 
     async def recv(self, address: NodeId, timeout: Optional[float] = None) -> Optional[Envelope]:
-        queue = self._queues[address]
+        queue = self._queues.get(address)
+        if queue is None:
+            raise UnknownAddressError(address)
         if timeout is None:
             envelope = await queue.get()
         else:
@@ -99,9 +182,31 @@ class InProcessTransport(Transport):
                         envelope = await queue.get()
                 except TimeoutError:
                     return None
-        self.envelopes_delivered += 1
+        self.metrics.incr(
+            names.TRANSPORT_ENVELOPES_DELIVERED, transport=self.transport_kind
+        )
         return envelope
 
     def pending(self, address: NodeId) -> int:
         queue = self._queues.get(address)
         return 0 if queue is None else queue.qsize()
+
+
+class InProcessTransport(MailboxTransport):
+    """Loopback transport: every address lives in this process.
+
+    Delivery is immediate (enqueue on send); ordering per
+    sender-receiver pair follows send order, which is what a TCP
+    stream would give.  ``transport_envelopes_sent`` /
+    ``transport_envelopes_delivered`` are recorded into the bound
+    metrics hub -- the same series the TCP transport reports, so the
+    report's transport health row is engine-agnostic.
+    """
+
+    transport_kind = "inproc"
+
+    async def send(self, to: NodeId, envelope: Envelope) -> bool:
+        if not self.deliver_local(to, envelope):
+            return False
+        self._count_sent()
+        return True

@@ -13,6 +13,7 @@ REMO411   blocking call inside ``async def``
 REMO412   coroutine called but never awaited
 REMO413   ``create_task``/``ensure_future`` handle dropped
 REMO414   transport ``recv`` awaited without a timeout guard
+REMO415   stream writer/server acquired but never closed
 REMO421   instance attr read-modify-written across an ``await``
 REMO431   metric name not declared in ``repro/obs/names.py``
 REMO432   span/event name not declared in the manifest

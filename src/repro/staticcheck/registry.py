@@ -94,7 +94,7 @@ def _ensure_rules_loaded() -> None:
     """Import the rule modules (registration happens at import time)."""
     import importlib
 
-    for mod in ("rules_async", "rules_cost", "rules_interleave", "rules_obs"):
+    for mod in ("rules_async", "rules_cost", "rules_interleave", "rules_net", "rules_obs"):
         importlib.import_module(f"repro.staticcheck.{mod}")
 
 

@@ -7,12 +7,13 @@ one definition, not three drifting copies.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cluster.node import Cluster
-from repro.cluster.topology import make_uniform_cluster
+from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
 from repro.core.cost import CostModel
 from repro.core.tasks import MonitoringTask
+from repro.workloads.tasks import TaskSampler
 
 
 def quickstart_workload() -> Tuple[Cluster, CostModel, List[MonitoringTask]]:
@@ -38,3 +39,36 @@ def quickstart_workload() -> Tuple[Cluster, CostModel, List[MonitoringTask]]:
         MonitoringTask("capacity-planning", pool[3:10], range(16, 56)),
     ]
     return cluster, cost, tasks
+
+
+def sampled_workload(
+    nodes: int = 64,
+    capacity: float = 400.0,
+    central: Optional[float] = None,
+    pool: int = 32,
+    attrs_per_node: int = 16,
+    tasks: int = 15,
+    cost_c: float = 20.0,
+    cost_a: float = 1.0,
+    seed: int = 1,
+) -> Tuple[Cluster, CostModel, List[MonitoringTask]]:
+    """The CLI's sampled workload: a uniform cluster plus random tasks.
+
+    ``repro plan/simulate/run`` and every ``repro deploy`` child
+    process construct their workload through this one function, so a
+    worker rebuilding its world from a deploy spec gets bit-identical
+    cluster, cost model, and task list (sampling is fully seeded).
+    """
+    cluster = make_uniform_cluster(
+        n_nodes=nodes,
+        capacity=capacity,
+        attrs_per_node=min(attrs_per_node, pool),
+        attribute_pool=default_attribute_pool(pool),
+        central_capacity=central if central is not None else 3.0 * capacity,
+        seed=seed,
+    )
+    cost = CostModel(per_message=cost_c, per_value=cost_a)
+    sampled = TaskSampler(cluster, seed=seed + 1).sample_many(
+        tasks, (2, 5), (max(5, nodes // 6), max(6, nodes // 2))
+    )
+    return cluster, cost, sampled

@@ -1,0 +1,173 @@
+"""Property and rejection tests for the wire codec (`repro.net.codec`)."""
+
+import json
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import NodeAttributePair
+from repro.net.codec import (
+    CODEC_JSON,
+    CODEC_MSGPACK,
+    HEADER_BYTES,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CodecError,
+    FrameDecoder,
+    FrameError,
+    decode_header,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    envelope_from_obj,
+    envelope_to_obj,
+)
+from repro.runtime.messages import (
+    HeartbeatEnvelope,
+    StopEnvelope,
+    TickEnvelope,
+    UpdateEnvelope,
+)
+from repro.simulation.messages import Reading
+
+_HEADER = struct.Struct(">HBBqI")
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+node_ids = st.integers(min_value=0, max_value=2**31)
+attr_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=8
+)
+periods = st.integers(min_value=0, max_value=2**31)
+
+ticks = st.builds(TickEnvelope, period=periods, sent_monotonic=finite)
+heartbeats = st.builds(HeartbeatEnvelope, sender=node_ids, period=periods)
+stops = st.just(StopEnvelope())
+updates = st.builds(
+    UpdateEnvelope,
+    sender=node_ids,
+    tree=st.frozensets(attr_names, min_size=1, max_size=4),
+    period=periods,
+    payload=st.dictionaries(
+        st.builds(NodeAttributePair, node=node_ids, attribute=attr_names),
+        st.builds(Reading, value=finite, sampled_at=finite),
+        max_size=6,
+    ),
+)
+envelopes = st.one_of(ticks, heartbeats, stops, updates)
+
+#: Destinations span the full signed-64-bit header field (control
+#: addresses are negative).
+dests = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    @given(envelope=envelopes)
+    def test_obj_round_trip(self, envelope):
+        assert envelope_from_obj(envelope_to_obj(envelope)) == envelope
+
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    @given(envelope=envelopes)
+    def test_payload_round_trip(self, envelope):
+        codec, payload = encode_payload(envelope, CODEC_JSON)
+        assert codec == CODEC_JSON
+        assert decode_payload(codec, payload) == envelope
+
+    @settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+    @given(envelope=envelopes, dest=dests)
+    def test_frame_round_trip(self, envelope, dest):
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(dest, envelope))
+        assert frames == [(dest, envelope)]
+        assert decoder.buffered == 0
+
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        batch=st.lists(st.tuples(dests, envelopes), min_size=1, max_size=5),
+        chunk=st.integers(min_value=1, max_value=64),
+    )
+    def test_arbitrary_chunking_preserves_frames(self, batch, chunk):
+        # However the socket slices the stream, the decoder emits the
+        # identical frame sequence.
+        stream = b"".join(encode_frame(dest, env) for dest, env in batch)
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[start : start + chunk]))
+        assert out == batch
+        assert decoder.buffered == 0
+
+
+class TestRejection:
+    def test_truncated_header_and_payload_stay_buffered(self):
+        tick = TickEnvelope(period=1)
+        frame = encode_frame(3, tick)
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[: HEADER_BYTES - 1]) == []
+        assert decoder.feed(frame[HEADER_BYTES - 1 : -1]) == []
+        assert decoder.buffered == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [(3, tick)]
+
+    def test_bad_magic_rejected(self):
+        header = _HEADER.pack(0xDEAD, PROTOCOL_VERSION, CODEC_JSON, 0, 0)
+        with pytest.raises(FrameError, match="magic"):
+            decode_header(header)
+
+    def test_version_mismatch_refused(self):
+        header = _HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, CODEC_JSON, 0, 0)
+        with pytest.raises(FrameError, match="version"):
+            decode_header(header)
+
+    def test_oversized_length_prefix_refused(self):
+        header = _HEADER.pack(MAGIC, PROTOCOL_VERSION, CODEC_JSON, 0, MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError, match="MAX_FRAME_BYTES"):
+            decode_header(header)
+
+    def test_garbage_stream_raises_through_decoder(self):
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(b"\x00" * 64)
+
+    def test_unknown_codec_id_rejected(self):
+        with pytest.raises(CodecError, match="codec"):
+            decode_payload(7, b"{}")
+
+    def test_unknown_envelope_kind_rejected(self):
+        payload = json.dumps({"kind": "warp"}).encode()
+        with pytest.raises(CodecError, match="kind"):
+            decode_payload(CODEC_JSON, payload)
+
+    def test_malformed_known_kind_rejected(self):
+        payload = json.dumps({"kind": "tick"}).encode()  # missing period
+        with pytest.raises(CodecError, match="malformed"):
+            decode_payload(CODEC_JSON, payload)
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(CodecError, match="mapping"):
+            envelope_from_obj([1, 2, 3])
+
+    def test_json_garbage_payload_rejected(self):
+        with pytest.raises(CodecError, match="JSON"):
+            decode_payload(CODEC_JSON, b"\xff\xfe")
+
+    def test_msgpack_frames_need_msgpack(self):
+        # Regardless of whether msgpack is installed, the codec id must
+        # resolve deliberately: missing-dependency decodes raise rather
+        # than guessing a format.
+        try:
+            import msgpack  # noqa: F401
+        except ImportError:
+            with pytest.raises(CodecError, match="msgpack"):
+                decode_payload(CODEC_MSGPACK, b"\x80")
+        else:
+            codec, payload = encode_payload(StopEnvelope(), CODEC_MSGPACK)
+            assert decode_payload(codec, payload) == StopEnvelope()
+
+    def test_unencodable_envelope_rejected(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(CodecError):
+            envelope_to_obj(Mystery())

@@ -1,0 +1,234 @@
+"""Tests for ``repro deploy``: sharding, specs, and real multi-process runs.
+
+The end-to-end tests spawn genuine worker processes over loopback TCP.
+This module stays import-safe for the ``spawn`` start method: children
+re-import it as a plain module, never as ``__main__`` with side
+effects.
+"""
+
+import json
+
+import pytest
+
+from repro.checks import check_shard_assignment
+from repro.cli import main
+from repro.cluster.metrics import MetricRegistry
+from repro.net.deploy import (
+    CONTROL_ADDRESS_BASE,
+    DeploySpec,
+    control_address,
+    make_spec,
+    parse_chaos_kill,
+    participating_nodes,
+    run_deploy,
+    shard_nodes,
+)
+from repro.runtime import MonitoringRuntime, RuntimeConfig
+
+#: Small-but-real workload shared by the e2e tests: enough nodes to
+#: give every worker a shard, small enough to finish in seconds.
+WORKLOAD = {"nodes": 16, "pool": 8, "attrs_per_node": 6, "tasks": 4, "seed": 3}
+CONFIG = {"period_seconds": 0.05, "seed": 9}
+
+#: Acceptance tolerance: deploy coverage within five percentage points
+#: of the single-process runtime on the identical plan.
+TOLERANCE = 0.05
+
+RUN_SCHEMA_KEYS = {
+    "requested_pairs",
+    "periods",
+    "coverage",
+    "mean_percentage_error",
+    "messages",
+    "cost_units_spent",
+    "values",
+    "failure_events",
+    "per_period",
+    "wall_seconds",
+    "metrics",
+}
+
+
+class TestShardNodes:
+    def test_covers_every_node_exactly_once(self):
+        nodes = list(range(17))
+        shards = shard_nodes(nodes, 4)
+        assert len(shards) == 4
+        flat = [n for shard in shards for n in shard]
+        assert sorted(flat) == nodes
+        assert len(flat) == len(set(flat))
+
+    def test_balanced_within_one(self):
+        shards = shard_nodes(range(10), 3)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_nodes_leaves_empty_shards(self):
+        shards = shard_nodes([1, 2], 4)
+        assert sorted(n for s in shards for n in s) == [1, 2]
+        assert len(shards) == 4
+
+    def test_deterministic_regardless_of_input_order(self):
+        assert shard_nodes([3, 1, 2], 2) == shard_nodes([2, 3, 1], 2)
+
+
+class TestShardAssignmentCheck:
+    def test_clean_split_passes(self):
+        report = check_shard_assignment([1, 2, 3, 4], [[1, 3], [2, 4]])
+        assert not report
+
+    def test_missing_node_is_remo351(self):
+        report = check_shard_assignment([1, 2, 3], [[1], [2]])
+        assert report.has_errors
+        assert "REMO351" in report.codes()
+
+    def test_duplicate_assignment_is_remo351(self):
+        report = check_shard_assignment([1, 2], [[1, 2], [2]])
+        assert report.has_errors
+        assert "REMO351" in report.codes()
+
+    def test_reserved_address_is_remo352(self):
+        report = check_shard_assignment([1], [[1, control_address(0)]])
+        assert "REMO352" in report.codes()
+
+    def test_endpoint_collision_is_remo353(self):
+        report = check_shard_assignment(
+            [1, 2],
+            [[1], [2]],
+            endpoints=[("127.0.0.1", 9000), ("127.0.0.1", 9000)],
+        )
+        assert report.has_errors
+        assert "REMO353" in report.codes()
+
+    def test_empty_shard_is_remo354_warning(self):
+        report = check_shard_assignment([1], [[1], []])
+        assert not report.has_errors
+        assert "REMO354" in report.codes()
+
+
+class TestDeploySpec:
+    def test_round_trip_through_json(self, tmp_path):
+        spec, plan, _cluster, report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=4, config=CONFIG,
+            rundir=str(tmp_path),
+        )
+        assert not report.has_errors
+        loaded = DeploySpec.load(spec.spec_path)
+        assert loaded.as_dict() == spec.as_dict()
+        assert loaded.workers == 2
+
+    def test_children_rebuild_the_identical_plan(self, tmp_path):
+        spec, plan, _cluster, _report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=4, config=CONFIG,
+            rundir=str(tmp_path),
+        )
+        loaded = DeploySpec.load(spec.spec_path)
+        _cluster2, _cost2, plan2 = loaded.build_plan()
+        assert plan2.pairs == plan.pairs
+        assert participating_nodes(plan2) == participating_nodes(plan)
+
+    def test_directory_routes_every_address(self, tmp_path):
+        spec, plan, _cluster, _report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=4, config=CONFIG,
+            rundir=str(tmp_path),
+        )
+        directory = spec.build_directory()
+        for node in participating_nodes(plan):
+            assert directory.endpoint_of(node) is not None
+        for rank in range(spec.workers):
+            assert directory.endpoint_of(control_address(rank)) == (
+                spec.worker_endpoints[rank]
+            )
+
+    def test_unknown_preset_rejected(self):
+        spec = DeploySpec(
+            workload={"preset": "warp"}, scheme="remo", periods=1,
+            shards=[], worker_endpoints=[],
+            collector_endpoint=None, rundir=".",
+        )
+        with pytest.raises(ValueError, match="preset"):
+            spec.build_workload()
+
+
+class TestParseChaosKill:
+    def test_parses_rank_and_seconds(self):
+        assert parse_chaos_kill("1:0.5") == (1, 0.5)
+
+    def test_rejects_malformed(self):
+        for bad in ("nonsense", "1", "x:1", "1:y", "-1:1"):
+            with pytest.raises(ValueError):
+                parse_chaos_kill(bad)
+
+
+class TestDeployEndToEnd:
+    def _single_process_coverage(self, plan, cluster):
+        report = MonitoringRuntime(
+            plan,
+            cluster,
+            registry=MetricRegistry(sorted(plan.pairs), seed=CONFIG["seed"]),
+            config=RuntimeConfig(**CONFIG),
+        ).run(6)
+        return report.mean_coverage
+
+    def test_two_worker_deploy_matches_single_process(self, tmp_path):
+        spec, plan, cluster, report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=6, config=CONFIG,
+            rundir=str(tmp_path),
+        )
+        assert not report.has_errors
+        outcome = run_deploy(spec, plan=plan)
+        assert outcome.restart_total() == 0
+        assert outcome.worker_reports == 2
+
+        merged = outcome.report.as_dict()
+        assert RUN_SCHEMA_KEYS <= set(merged)
+        assert merged["periods"] == 6
+        assert len(merged["per_period"]) == 6
+
+        baseline = self._single_process_coverage(plan, cluster)
+        assert outcome.report.mean_coverage == pytest.approx(
+            baseline, abs=TOLERANCE
+        )
+
+    def test_worker_kill_and_restart_completes(self, tmp_path):
+        spec, plan, _cluster, report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=8, config=CONFIG,
+            rundir=str(tmp_path),
+        )
+        assert not report.has_errors
+        outcome = run_deploy(spec, plan=plan, chaos_kill={1: 0.15})
+        assert outcome.restarts[1] >= 1
+        assert len(outcome.report.samples) == 8
+        # The run must still collect most of the plan despite the
+        # mid-run restart (coverage is cumulative per period).
+        assert outcome.report.final_coverage > 0.5
+
+
+class TestDeployCli:
+    def test_deploy_json_has_run_schema(self, tmp_path, capsys):
+        rc = main(
+            [
+                "deploy",
+                "--nodes", "12", "--tasks", "3", "--pool", "6",
+                "--scheme", "remo",
+                "--workers", "2", "--periods", "4", "--period-seconds", "0.05",
+                "--seed", "4", "--rundir", str(tmp_path), "--json",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "deploy"
+        assert payload["workers"] == 2
+        assert payload["restarts"] == {"0": 0, "1": 0}
+        assert RUN_SCHEMA_KEYS <= set(payload)
+        assert len(payload["per_period"]) == 4
+
+    def test_deploy_rejects_malformed_chaos_spec(self):
+        with pytest.raises(SystemExit):
+            main(["deploy", "--chaos-kill", "nonsense"])
+
+
+def test_control_addresses_are_reserved_negative():
+    assert CONTROL_ADDRESS_BASE < 0
+    assert control_address(0) == CONTROL_ADDRESS_BASE
+    assert control_address(3) < CONTROL_ADDRESS_BASE - 2

@@ -1,0 +1,253 @@
+"""Tests for :class:`repro.net.TcpTransport` on localhost sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.metrics import MetricRegistry
+from repro.core.attributes import pairs_for
+from repro.core.cost import CostModel
+from repro.core.forest import ForestBuilder
+from repro.core.partition import Partition
+from repro.net import PeerDirectory, TcpTransport
+from repro.net.deploy import allocate_endpoints
+from repro.obs import names
+from repro.runtime import MonitoringRuntime, RuntimeConfig
+from repro.runtime.messages import HeartbeatEnvelope, TickEnvelope
+from repro.runtime.transport import UnknownAddressError
+from repro.simulation import MonitoringSimulation, SimulationConfig
+
+COST = CostModel(2.0, 1.0)
+
+
+async def _started_pair():
+    """Two transports, A routing to B's listener for addresses 1 and 2."""
+    b = TcpTransport(PeerDirectory())
+    b.register(1)
+    b.register(2)
+    endpoint = await b.start()
+    a = TcpTransport(PeerDirectory({1: endpoint, 2: endpoint}))
+    return a, b
+
+
+async def _recv(transport, address, timeout=5.0):
+    envelope = await transport.recv(address, timeout=timeout)
+    assert envelope is not None, f"timed out waiting on address {address}"
+    return envelope
+
+
+class TestWireDelivery:
+    def test_cross_transport_send_and_pooling(self):
+        async def scenario():
+            a, b = await _started_pair()
+            try:
+                first = HeartbeatEnvelope(sender=9, period=0)
+                second = HeartbeatEnvelope(sender=9, period=1)
+                assert await a.send(1, first)
+                assert await a.send(2, second)
+                assert await _recv(b, 1) == first
+                assert await _recv(b, 2) == second
+                # Two addresses, one endpoint: the pool holds one link.
+                assert len(a._links) == 1
+            finally:
+                await a.aclose()
+                await b.aclose()
+
+        asyncio.run(scenario())
+
+    def test_unroutable_address_returns_false(self):
+        async def scenario():
+            a = TcpTransport(PeerDirectory())
+            try:
+                assert not await a.send(42, HeartbeatEnvelope(sender=0, period=0))
+            finally:
+                await a.aclose()
+
+        asyncio.run(scenario())
+
+    def test_recv_on_unregistered_address_raises(self):
+        async def scenario():
+            a = TcpTransport(PeerDirectory())
+            try:
+                with pytest.raises(UnknownAddressError):
+                    await a.recv(7, timeout=0.01)
+            finally:
+                await a.aclose()
+
+        asyncio.run(scenario())
+
+    def test_local_fast_path_skips_the_wire(self):
+        async def scenario():
+            a = TcpTransport(PeerDirectory())
+            a.register(5)
+            try:
+                envelope = TickEnvelope(period=0)
+                assert await a.send(5, envelope)
+                assert await _recv(a, 5) == envelope
+                assert a.metrics.registry.counter_total(names.NET_FRAMES_SENT) == 0.0
+            finally:
+                await a.aclose()
+
+        asyncio.run(scenario())
+
+    def test_force_wire_loops_through_the_socket(self):
+        async def scenario():
+            endpoint = allocate_endpoints(1)[0]
+            a = TcpTransport(
+                PeerDirectory(default=endpoint),
+                listen_host=endpoint.host,
+                listen_port=endpoint.port,
+                force_wire=True,
+            )
+            a.register(5)
+            try:
+                envelope = HeartbeatEnvelope(sender=5, period=0)
+                assert await a.send(5, envelope)
+                assert await _recv(a, 5) == envelope
+                registry = a.metrics.registry
+                assert registry.counter_total(names.NET_FRAMES_SENT) == 1.0
+                assert registry.counter_total(names.NET_FRAMES_RECEIVED) == 1.0
+            finally:
+                await a.aclose()
+
+        asyncio.run(scenario())
+
+    def test_unknown_inbound_address_counted_and_dropped(self):
+        async def scenario():
+            a, b = await _started_pair()
+            # A believes address 3 lives at B, but B never registered it.
+            a.directory.assign([3], b.endpoint)
+            try:
+                assert await a.send(3, HeartbeatEnvelope(sender=0, period=0))
+                registry = b.metrics.registry
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while asyncio.get_event_loop().time() < deadline:
+                    if registry.counter(
+                        names.NET_FRAMES_DROPPED, reason="unknown_address"
+                    ):
+                        break
+                    await asyncio.sleep(0.01)
+                assert registry.counter(
+                    names.NET_FRAMES_DROPPED, reason="unknown_address"
+                ) == 1.0
+            finally:
+                await a.aclose()
+                await b.aclose()
+
+        asyncio.run(scenario())
+
+
+class TestReconnect:
+    def test_sender_survives_peer_restart(self):
+        async def scenario():
+            endpoint = allocate_endpoints(1)[0]
+            b = TcpTransport(
+                PeerDirectory(), listen_host=endpoint.host, listen_port=endpoint.port
+            )
+            b.register(1)
+            await b.start()
+            a = TcpTransport(
+                PeerDirectory({1: endpoint}), dial_backoff_base=0.01
+            )
+            try:
+                first = HeartbeatEnvelope(sender=7, period=0)
+                assert await a.send(1, first)
+                assert await _recv(b, 1) == first
+
+                # Kill the peer outright, then bring a fresh one up on
+                # the same port: the link must redial and deliver.  The
+                # transport is at-most-once, so the frame in flight when
+                # the peer died may be lost (the kernel accepts a write
+                # before the RST lands) -- keep sending until one lands.
+                await b.aclose()
+                b = TcpTransport(
+                    PeerDirectory(),
+                    listen_host=endpoint.host,
+                    listen_port=endpoint.port,
+                )
+                b.register(1)
+                await b.start()
+                delivered = None
+                deadline = asyncio.get_event_loop().time() + 5.0
+                period = 1
+                while delivered is None:
+                    assert asyncio.get_event_loop().time() < deadline, (
+                        "link never redialed the restarted peer"
+                    )
+                    assert await a.send(1, HeartbeatEnvelope(sender=7, period=period))
+                    period += 1
+                    delivered = await b.recv(1, timeout=0.2)
+                assert delivered.sender == 7
+            finally:
+                await a.aclose()
+                await b.aclose()
+
+        asyncio.run(scenario())
+
+    def test_corrupt_stream_dropped_and_counted(self):
+        async def scenario():
+            a, b = await _started_pair()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *b.endpoint.as_pair()
+                )
+                writer.write(b"\x00" * 64)
+                await writer.drain()
+                registry = b.metrics.registry
+                deadline = asyncio.get_event_loop().time() + 5.0
+                while asyncio.get_event_loop().time() < deadline:
+                    if registry.counter(names.NET_FRAMES_DROPPED, reason="corrupt"):
+                        break
+                    await asyncio.sleep(0.01)
+                assert registry.counter(
+                    names.NET_FRAMES_DROPPED, reason="corrupt"
+                ) == 1.0
+                writer.close()
+            finally:
+                await a.aclose()
+                await b.aclose()
+
+        asyncio.run(scenario())
+
+
+class TestRuntimeParityOverTcp:
+    #: Same acceptance bar as the in-process parity suite.
+    TOLERANCE = 0.05
+
+    def test_runtime_over_tcp_matches_simulator(self, small_cluster):
+        pairs = pairs_for(range(6), ["a", "b"])
+        plan = ForestBuilder(COST).build(
+            Partition.singletons({"a", "b"}), pairs, small_cluster
+        )
+        seed, periods = 9, 8
+        sim_stats = MonitoringSimulation(
+            plan,
+            small_cluster,
+            registry=MetricRegistry(plan.pairs, seed=seed),
+            config=SimulationConfig(seed=seed),
+        ).run(periods)
+
+        endpoint = allocate_endpoints(1)[0]
+        transport = TcpTransport(
+            PeerDirectory(default=endpoint),
+            listen_host=endpoint.host,
+            listen_port=endpoint.port,
+            force_wire=True,
+        )
+        runtime_report = MonitoringRuntime(
+            plan,
+            small_cluster,
+            registry=MetricRegistry(plan.pairs, seed=seed),
+            config=RuntimeConfig(period_seconds=0.05, seed=seed),
+            transport=transport,
+        ).run(periods)
+
+        sim_coverage = sum(p.received_fraction for p in sim_stats.periods) / len(
+            sim_stats.periods
+        )
+        assert runtime_report.mean_coverage == pytest.approx(
+            sim_coverage, abs=self.TOLERANCE
+        )
+        # Every envelope made a real socket round trip.
+        frames = runtime_report.metrics.registry.counter_total(names.NET_FRAMES_SENT)
+        assert frames > 0

@@ -33,6 +33,7 @@ RULE_FIXTURES = {
     "REMO412": ("remo412_bad.py", "remo412_ok.py"),
     "REMO413": ("remo413_bad.py", "remo413_ok.py"),
     "REMO414": ("remo414_bad.py", "remo414_ok.py"),
+    "REMO415": ("remo415_bad.py", "remo415_ok.py"),
     "REMO421": ("remo421_bad.py", "remo421_ok.py"),
     "REMO431": ("remo431_bad.py", "remo431_ok.py"),
     "REMO432": ("remo432_bad.py", "remo432_ok.py"),
@@ -46,6 +47,7 @@ EXPECTED_BAD_COUNTS = {
     "REMO402": 3,
     "REMO403": 3,
     "REMO411": 2,
+    "REMO415": 2,
     "REMO431": 2,
     "REMO432": 2,
     "REMO433": 2,
