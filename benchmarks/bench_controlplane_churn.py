@@ -1,0 +1,213 @@
+"""Control-plane task-churn load bench: submit/delete ops/sec at p99.
+
+Boots a real :class:`~repro.serve.server.ControlPlaneServer` on an
+ephemeral port (its own asyncio loop in a background thread) and
+drives it over HTTP with the synchronous
+:class:`~repro.serve.client.ControlPlaneClient`: N task submissions
+spread across several tenants, one adaptation, N deletions, and a
+final adaptation.  Every operation's wall-clock latency is recorded
+individually, so the table reports throughput *and* tail latency --
+the number that matters for a control plane is the p99, not the mean.
+
+Results are persisted as ``BENCH_controlplane.json`` under
+``benchmarks/results/`` (override with ``REPRO_BENCH_RESULTS``), one
+row per op kind: ``{op, count, ops_per_sec, p50_ms, p99_ms}``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_controlplane_churn.py
+    PYTHONPATH=src python benchmarks/bench_controlplane_churn.py --ops 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from _common import emit, results_dir
+from repro.analysis.report import format_table
+from repro.serve import ControlPlane, ControlPlaneClient, ControlPlaneServer
+from repro.workloads.presets import quickstart_workload
+
+DEFAULT_OPS = 200
+DEFAULT_TENANTS = 4
+DEFAULT_COLLECTORS = 2
+#: Attributes / nodes per generated task (small: churn, not planning,
+#: is what this bench loads).
+TASK_ATTRS = 3
+TASK_NODES = 6
+
+
+class ServerThread:
+    """A control-plane server on its own event loop, in a thread."""
+
+    def __init__(self, controlplane: ControlPlane) -> None:
+        self._controlplane = controlplane
+        self._server: Optional[ControlPlaneServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = ControlPlaneServer(self._controlplane, port=0)
+        await self._server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self._server.stop()
+
+    def start(self) -> int:
+        """Start serving; returns the bound port."""
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("control-plane server failed to start")
+        assert self._server is not None
+        return self._server.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+def _make_tasks(count: int, cluster, seed: int = 7) -> List[Dict[str, Any]]:
+    """Deterministic task bodies over the cluster's observable pairs."""
+    rng = random.Random(seed)
+    nodes = sorted(node.node_id for node in cluster)
+    by_node = {node.node_id: sorted(node.attributes) for node in cluster}
+    tasks = []
+    for index in range(count):
+        chosen = rng.sample(nodes, min(TASK_NODES, len(nodes)))
+        pool = sorted({attr for node in chosen for attr in by_node[node]})
+        attrs = rng.sample(pool, min(TASK_ATTRS, len(pool)))
+        tasks.append({"task_id": f"task-{index}", "attributes": attrs, "nodes": chosen})
+    return tasks
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _row(op: str, latencies: List[float]) -> Dict[str, Any]:
+    ordered = sorted(latencies)
+    total = sum(ordered)
+    return {
+        "op": op,
+        "count": len(ordered),
+        "ops_per_sec": len(ordered) / total if total > 0 else 0.0,
+        "p50_ms": _percentile(ordered, 0.50) * 1000.0,
+        "p99_ms": _percentile(ordered, 0.99) * 1000.0,
+    }
+
+
+def measure(
+    ops: int, tenants: int = DEFAULT_TENANTS, collectors: int = DEFAULT_COLLECTORS
+) -> List[Dict[str, Any]]:
+    """Drive one churn cycle; one result row per op kind."""
+    cluster, cost, _tasks = quickstart_workload()
+    controlplane = ControlPlane(cluster, cost, collectors=collectors)
+    server = ServerThread(controlplane)
+    port = server.start()
+    bodies = _make_tasks(ops, cluster)
+    submit: List[float] = []
+    delete: List[float] = []
+    adapt: List[float] = []
+    try:
+        with ControlPlaneClient("127.0.0.1", port) as client:
+            for index, body in enumerate(bodies):
+                tenant = f"tenant-{index % tenants}"
+                started = time.perf_counter()
+                client.submit_task(
+                    tenant, body["task_id"], body["attributes"], body["nodes"]
+                )
+                submit.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            client.adapt()
+            adapt.append(time.perf_counter() - started)
+            for index, body in enumerate(bodies):
+                tenant = f"tenant-{index % tenants}"
+                started = time.perf_counter()
+                client.delete_task(tenant, body["task_id"])
+                delete.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            client.adapt()
+            adapt.append(time.perf_counter() - started)
+    finally:
+        server.stop()
+    return [_row("submit", submit), _row("delete", delete), _row("adapt", adapt)]
+
+
+def persist(rows: List[Dict[str, Any]], tenants: int, collectors: int) -> str:
+    payload = {
+        "bench": "controlplane_churn",
+        "tenants": tenants,
+        "collectors": collectors,
+        "rows": rows,
+    }
+    target = results_dir()
+    os.makedirs(target, exist_ok=True)
+    path = os.path.join(target, "BENCH_controlplane.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def report(rows: List[Dict[str, Any]], tenants: int, collectors: int) -> None:
+    emit(
+        "controlplane_churn",
+        format_table(
+            f"Control-plane churn ({tenants} tenants, {collectors} collector shards)",
+            ["op", "count", "ops/sec", "p50 ms", "p99 ms"],
+            [
+                [
+                    row["op"],
+                    row["count"],
+                    round(row["ops_per_sec"], 1),
+                    round(row["p50_ms"], 2),
+                    round(row["p99_ms"], 2),
+                ]
+                for row in rows
+            ],
+        ),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ops", type=int, default=DEFAULT_OPS, help="tasks submitted (and deleted)"
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=DEFAULT_TENANTS, help="tenants to spread across"
+    )
+    parser.add_argument(
+        "--collectors",
+        type=int,
+        default=DEFAULT_COLLECTORS,
+        help="collector shards behind the control plane",
+    )
+    args = parser.parse_args(argv)
+    rows = measure(args.ops, tenants=args.tenants, collectors=args.collectors)
+    report(rows, args.tenants, args.collectors)
+    path = persist(rows, args.tenants, args.collectors)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

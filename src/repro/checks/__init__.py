@@ -22,6 +22,7 @@ Entry points:
 
 from repro.checks.adaptation import check_adaptation_step
 from repro.checks.capacity import check_budgets, check_tree_costs
+from repro.checks.controlplane import check_collector_shards, check_tenant_namespaces
 from repro.checks.deployment import check_shard_assignment
 from repro.checks.diagnostics import (
     CODES,
@@ -56,10 +57,12 @@ __all__ = [
     "assert_tree_matches_recompute",
     "check_adaptation_step",
     "check_budgets",
+    "check_collector_shards",
     "check_partition",
     "check_plan",
     "check_plan_for_cluster",
     "check_shard_assignment",
+    "check_tenant_namespaces",
     "check_tree",
     "check_tree_costs",
     "describe_codes",

@@ -223,6 +223,42 @@ CODES: Dict[str, CodeInfo] = {
             "a worker process with no nodes only burns a process slot; "
             "lower --workers or rebalance the shards",
         ),
+        # -- REMO36x: control plane (collector shards, tenancy) --------
+        CodeInfo(
+            "REMO361",
+            "collector-shard assignment does not cover the partition exactly",
+            Severity.ERROR,
+            "every partition set must map to exactly one collector shard "
+            "in [0, shards); rebuild with ShardedPlan.build",
+        ),
+        CodeInfo(
+            "REMO362",
+            "collector shard exceeds the central capacity budget",
+            Severity.ERROR,
+            "the root messages landing on one collector shard exceed the "
+            "per-collector budget; add shards or rebalance the assignment",
+        ),
+        CodeInfo(
+            "REMO363",
+            "empty collector shard",
+            Severity.WARNING,
+            "a collector shard hosting no trees only burns an agent slot; "
+            "lower --collectors or switch the shard mode",
+        ),
+        CodeInfo(
+            "REMO364",
+            "malformed tenant or task identifier",
+            Severity.ERROR,
+            "tenant names and task ids must be non-empty and must not "
+            "contain the '/' namespace separator; reject at the API",
+        ),
+        CodeInfo(
+            "REMO365",
+            "tenant namespace with no tasks",
+            Severity.WARNING,
+            "an empty tenant namespace still occupies control-plane state; "
+            "drop the tenant or submit its tasks",
+        ),
     )
 }
 

@@ -12,7 +12,12 @@ Five subcommands over synthetic workloads, mirroring the examples:
   concurrent agent per node plus a collector -- with capacity
   budgets, heartbeats, and failure detection;
 - ``metrics``    render (and validate) a ``--metrics`` Prometheus
-  snapshot back into tables;
+  snapshot -- as a table, canonical Prometheus series lines (diffable
+  against a ``repro serve`` ``/metrics`` scrape), or JSONL;
+- ``serve``      run the multi-tenant control-plane HTTP service:
+  tenants submit/update/delete tasks over HTTP, trigger adaptation,
+  launch runs, and scrape ``/metrics``, over hash- or range-sharded
+  collector roots;
 - ``lint``       run the REMO4xx static source analysis
   (:mod:`repro.staticcheck`) over the given paths (exit 1 on
   findings, 2 on usage/IO errors).
@@ -36,7 +41,9 @@ Usage::
     python -m repro run --nodes 32 --tasks 8 --fail-node 3:2:6
     python -m repro run --nodes 120 --trace run.trace.json --metrics run.prom
     python -m repro metrics run.prom
-    python -m repro lint src/ tools/ benchmarks/
+    python -m repro metrics run.prom --format prometheus
+    python -m repro serve --preset quickstart --collectors 2 --port 8080
+    python -m repro lint src/ benchmarks/
     python -m repro lint --format github --rule REMO421 src/
 """
 
@@ -57,6 +64,7 @@ from repro.checks import (
 )
 from repro.core.adaptation import AdaptationStrategy, AdaptiveMonitoringService
 from repro.core.cost import CostModel
+from repro.core.plan import SHARD_MODES
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
 from repro.obs import names, trace
@@ -76,6 +84,7 @@ from repro.net.deploy import (
 from repro.obs.metrics import MetricsRegistry, default_registry, use_registry
 from repro.runtime import AgentOutage, DropPolicy, MonitoringRuntime, RuntimeConfig
 from repro.runtime.metrics import RuntimeMetrics
+from repro.serve import ControlPlane, run_serve
 from repro.simulation import MonitoringSimulation, SimulationConfig
 from repro.workloads.presets import quickstart_workload, sampled_workload
 from repro.workloads.updates import TaskUpdateStream
@@ -492,15 +501,20 @@ def _deploy(args) -> int:
         "failure_timeout": args.failure_timeout,
         "seed": args.seed,
     }
-    spec, plan, cluster, shard_report = make_spec(
-        workload=workload,
-        scheme=args.scheme,
-        workers=args.workers,
-        periods=args.periods,
-        config=config,
-        rundir=args.rundir,
-        host=args.host,
-    )
+    try:
+        spec, plan, cluster, shard_report = make_spec(
+            workload=workload,
+            scheme=args.scheme,
+            workers=args.workers,
+            periods=args.periods,
+            config=config,
+            rundir=args.rundir,
+            host=args.host,
+            collectors=args.collectors,
+        )
+    except DeployError as exc:
+        print(f"repro deploy: {exc}", file=sys.stderr)
+        return 1
     if shard_report.has_errors:
         print("shard assignment invalid, refusing to launch:", file=sys.stderr)
         print(shard_report.format(with_hints=True), file=sys.stderr)
@@ -535,6 +549,7 @@ def _deploy(args) -> int:
             "scheme": args.scheme,
             "workload": label,
             "workers": spec.workers,
+            "collectors": spec.collectors,
             "restarts": outcome.restarts,
             "worker_reports": outcome.worker_reports,
             "rundir": spec.rundir,
@@ -555,7 +570,11 @@ def _deploy(args) -> int:
                     [f"worker {rank}", str(spec.worker_endpoints[rank]), len(shard)]
                     for rank, shard in enumerate(spec.shards)
                 ],
-                ["collector", str(spec.collector_endpoint), "-"],
+                [
+                    f"collector x{spec.collectors}",
+                    str(spec.collector_endpoint),
+                    "-",
+                ],
             ],
         )
     )
@@ -570,7 +589,15 @@ def _deploy(args) -> int:
 
 
 def _metrics(args) -> int:
-    """Validate and render a ``--metrics`` Prometheus snapshot file."""
+    """Validate and render a ``--metrics`` Prometheus snapshot file.
+
+    ``--format prometheus`` re-emits the snapshot as canonical sorted
+    ``series value`` lines; two snapshots rendered this way (a
+    ``--metrics`` file and a ``repro serve`` ``/metrics`` scrape) diff
+    cleanly because HELP/TYPE chrome and series order are normalized
+    away.  ``--format jsonl`` emits one ``{"series", "value"}`` object
+    per line for log pipelines.
+    """
     try:
         with open(args.path) as fh:
             text = fh.read()
@@ -586,8 +613,61 @@ def _metrics(args) -> int:
     if args.json:
         _emit_json({"command": "metrics", "path": args.path, "samples": samples})
         return 0
+    if args.format == "prometheus":
+        for series, value in sorted(samples.items()):
+            print(f"{series} {value:g}")
+        return 0
+    if args.format == "jsonl":
+        for series, value in sorted(samples.items()):
+            print(json.dumps({"series": series, "value": value}, sort_keys=True))
+        return 0
     rows = [[series, round(value, 4)] for series, value in sorted(samples.items())]
     print(format_table(f"metrics snapshot ({args.path})", ["series", "value"], rows))
+    return 0
+
+
+def _serve(args) -> int:
+    """Run the control-plane HTTP service (blocks until stopped)."""
+    if args.preset == "quickstart":
+        cluster, cost, _tasks = quickstart_workload()
+        label = "quickstart"
+    else:
+        cluster, cost, _tasks = _setup(args)
+        label = f"{args.nodes} nodes"
+    config = RuntimeConfig(
+        period_seconds=args.period_seconds,
+        drop_policy=DropPolicy(args.drop_policy),
+        heartbeat_every=args.heartbeat_every,
+        failure_timeout=args.failure_timeout,
+        seed=args.seed,
+    )
+    # The workload's sampled tasks are ignored on purpose: the service
+    # starts empty and tenants populate it over HTTP.
+    try:
+        controlplane = ControlPlane(
+            cluster,
+            cost,
+            collectors=args.collectors,
+            shard_mode=args.shard_mode,
+            strategy=AdaptationStrategy(args.strategy),
+            config=config,
+            metrics=default_registry(),
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"control plane over {label}: {args.collectors} collector shard(s), "
+        f"{args.shard_mode} sharding",
+        flush=True,
+    )
+    run_serve(
+        controlplane,
+        host=args.host,
+        port=args.port,
+        announce=args.announce,
+        max_seconds=args.max_seconds,
+    )
     return 0
 
 
@@ -774,6 +854,13 @@ def build_parser() -> argparse.ArgumentParser:
     deploy_p.add_argument(
         "--workers", type=int, default=3, help="worker processes to shard nodes across"
     )
+    deploy_p.add_argument(
+        "--collectors",
+        type=int,
+        default=1,
+        help="collector shards co-hosted in the collector process "
+        "(hash-sharded collection trees)",
+    )
     deploy_p.add_argument("--periods", type=int, default=10, help="collection periods")
     deploy_p.add_argument(
         "--period-seconds",
@@ -828,8 +915,86 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="validate and render a --metrics snapshot file"
     )
     metrics_p.add_argument("path", help="Prometheus text-format snapshot to render")
+    metrics_p.add_argument(
+        "--format",
+        choices=["table", "prometheus", "jsonl"],
+        default="table",
+        help="output format: a table, canonical sorted 'series value' "
+        "lines (diffable against a /metrics scrape), or one JSON "
+        "object per line",
+    )
     _add_json(metrics_p)
     metrics_p.set_defaults(func=_metrics)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant control-plane HTTP service",
+    )
+    _add_common(serve_p)
+    serve_p.add_argument(
+        "--preset",
+        choices=["quickstart"],
+        default=None,
+        help="use the canonical cluster instead of the sampled one "
+        "(workload tasks are ignored either way: tenants submit "
+        "tasks over HTTP)",
+    )
+    serve_p.add_argument(
+        "--collectors",
+        type=int,
+        default=1,
+        help="collector shards to split the collection trees across",
+    )
+    serve_p.add_argument(
+        "--shard-mode",
+        choices=list(SHARD_MODES),
+        default="hash",
+        help="how partition sets map to collector shards",
+    )
+    serve_p.add_argument(
+        "--strategy",
+        choices=[s.value for s in AdaptationStrategy],
+        default="adaptive",
+        help="adaptation strategy for POST /adapt",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve_p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 binds an ephemeral port)"
+    )
+    serve_p.add_argument(
+        "--announce",
+        metavar="PATH",
+        default=None,
+        help="write the bound {host, port} to this JSON file once listening",
+    )
+    serve_p.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="stop after this many seconds (CI smoke jobs); default: serve forever",
+    )
+    serve_p.add_argument(
+        "--period-seconds",
+        type=float,
+        default=0.05,
+        help="wall-clock seconds per collection period for POST /run",
+    )
+    serve_p.add_argument(
+        "--drop-policy",
+        choices=[p.value for p in DropPolicy],
+        default=DropPolicy.TRIM.value,
+        help="behaviour when a payload exceeds the per-period budget",
+    )
+    serve_p.add_argument(
+        "--heartbeat-every", type=int, default=1, help="heartbeat interval in periods"
+    )
+    serve_p.add_argument(
+        "--failure-timeout",
+        type=int,
+        default=3,
+        help="periods without heartbeat before a collector flags a node",
+    )
+    serve_p.set_defaults(func=_serve)
 
     lint_p = sub.add_parser(
         "lint", help="run the REMO4xx static source analysis"

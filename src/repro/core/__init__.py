@@ -11,9 +11,14 @@ algorithms.
 
 from repro.core.attributes import NodeAttributePair
 from repro.core.cost import AggregationKind, AggregationSpec, CostModel
-from repro.core.tasks import MonitoringTask, TaskManager, TaskSetDelta
+from repro.core.tasks import (
+    MonitoringTask,
+    MultiTenantTaskManager,
+    TaskManager,
+    TaskSetDelta,
+)
 from repro.core.partition import Partition
-from repro.core.plan import MonitoringPlan
+from repro.core.plan import MonitoringPlan, ShardedPlan, shard_partition_sets
 from repro.core.allocation import AllocationPolicy
 from repro.core.forest import ForestBuilder
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
@@ -30,10 +35,13 @@ __all__ = [
     "CostModel",
     "MonitoringPlan",
     "MonitoringTask",
+    "MultiTenantTaskManager",
     "NodeAttributePair",
     "OneSetPlanner",
     "Partition",
     "RemoPlanner",
+    "ShardedPlan",
+    "shard_partition_sets",
     "SingletonSetPlanner",
     "TaskManager",
     "TaskSetDelta",

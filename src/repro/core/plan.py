@@ -11,7 +11,8 @@ per unit time (the adaptation machinery's ``C_cur``).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+import zlib
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
 
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.cost import CostModel
@@ -188,3 +189,138 @@ class MonitoringPlan:
         if not collected <= self.pairs:
             extra = collected - self.pairs
             raise AssertionError(f"plan collects pairs never requested: {sorted(extra)[:5]}")
+
+
+# ----------------------------------------------------------------------
+# Collector sharding
+# ----------------------------------------------------------------------
+
+#: Which collector shard each partition set reports to.
+ShardAssignment = Dict[AttributeSet, int]
+
+#: Shard modes accepted by :func:`shard_partition_sets`.
+SHARD_MODES = ("hash", "range")
+
+
+def _set_key(attr_set: AttributeSet) -> str:
+    """Canonical string key for a partition set (stable across processes)."""
+    return ",".join(str(attr) for attr in sorted(attr_set))
+
+
+def shard_partition_sets(
+    sets: Iterable[AttributeSet],
+    shards: int,
+    mode: str = "hash",
+) -> ShardAssignment:
+    """Assign each partition set to one of ``shards`` collector roots.
+
+    ``hash`` buckets by CRC-32 of the canonical attribute list -- stable
+    across interpreter runs and processes (never the builtin ``hash``,
+    which is salted per process).  ``range`` sorts sets by that same key
+    and cuts the order into near-equal contiguous blocks, which keeps
+    lexicographically adjacent attribute sets on the same collector.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    if mode not in SHARD_MODES:
+        raise ValueError(f"unknown shard mode {mode!r}; expected one of {SHARD_MODES}")
+    ordered = sorted(sets, key=_set_key)
+    assignment: ShardAssignment = {}
+    if mode == "hash":
+        for attr_set in ordered:
+            digest = zlib.crc32(_set_key(attr_set).encode("utf-8"))
+            assignment[attr_set] = digest % shards
+    else:
+        total = len(ordered)
+        for index, attr_set in enumerate(ordered):
+            assignment[attr_set] = (index * shards) // total if total else 0
+    return assignment
+
+
+class ShardedPlan:
+    """A :class:`MonitoringPlan` whose trees are split across collector roots.
+
+    Each partition set (and therefore each collection tree) reports to
+    exactly one of ``shards`` collector shards; a shard hosts the trees
+    assigned to it and scores only the pairs those trees were asked to
+    collect.  Shard 0 additionally owns any requested pair whose
+    attribute appears in no partition set (uncoverable pairs), so the
+    shards' pair sets always partition ``plan.pairs`` exactly.
+    """
+
+    def __init__(
+        self,
+        plan: MonitoringPlan,
+        assignment: Mapping[AttributeSet, int],
+        shards: int,
+    ) -> None:
+        self.plan = plan
+        self.assignment: ShardAssignment = dict(assignment)
+        self.shards = shards
+        self._attr_shard: Dict[str, int] = {}
+        for attr_set, shard in self.assignment.items():
+            for attr in attr_set:
+                self._attr_shard[str(attr)] = shard
+
+    @classmethod
+    def build(cls, plan: MonitoringPlan, shards: int, mode: str = "hash") -> "ShardedPlan":
+        return cls(plan, shard_partition_sets(plan.partition.sets, shards, mode), shards)
+
+    def shard_of(self, attr_set: AttributeSet) -> int:
+        return self.assignment[attr_set]
+
+    def sets_for(self, shard: int) -> List[AttributeSet]:
+        """Partition sets hosted by ``shard``, in canonical order."""
+        return sorted(
+            (s for s, owner in self.assignment.items() if owner == shard),
+            key=_set_key,
+        )
+
+    def pairs_for(self, shard: int) -> Set[NodeAttributePair]:
+        """Requested pairs scored by ``shard`` (uncoverable pairs -> shard 0)."""
+        result: Set[NodeAttributePair] = set()
+        for pair in self.plan.pairs:
+            owner = self._attr_shard.get(str(pair.attribute), 0)
+            if owner == shard:
+                result.add(pair)
+        return result
+
+    def nodes_for(self, shard: int) -> List[NodeId]:
+        """Nodes participating in any tree hosted by ``shard``, sorted."""
+        nodes: Set[NodeId] = set()
+        for attr_set in self.sets_for(shard):
+            nodes.update(self.plan.trees[attr_set].tree.nodes)
+        return sorted(nodes)
+
+    def collector_of_sets(self) -> Dict[AttributeSet, int]:
+        """Alias of the raw assignment, as a fresh dict."""
+        return dict(self.assignment)
+
+    def subplan(self, shard: int) -> MonitoringPlan:
+        """The shard's own forest as a standalone :class:`MonitoringPlan`."""
+        sets = self.sets_for(shard)
+        trees = {s: self.plan.trees[s] for s in sets}
+        return MonitoringPlan(Partition(sets), trees, self.pairs_for(shard), self.plan.cost)
+
+    def central_usage_by_shard(self) -> Dict[int, float]:
+        """Collector capacity consumed at each shard root."""
+        usage: Dict[int, float] = {shard: 0.0 for shard in range(self.shards)}
+        for attr_set, shard in self.assignment.items():
+            usage[shard] += self.plan.trees[attr_set].tree.central_used()
+        return usage
+
+    def summary(self) -> Dict[str, object]:
+        """Status-API-friendly description of the shard layout."""
+        return {
+            "shards": self.shards,
+            "sets_per_shard": {
+                str(shard): len(self.sets_for(shard)) for shard in range(self.shards)
+            },
+            "pairs_per_shard": {
+                str(shard): len(self.pairs_for(shard)) for shard in range(self.shards)
+            },
+            "central_usage": {
+                str(shard): usage
+                for shard, usage in self.central_usage_by_shard().items()
+            },
+        }

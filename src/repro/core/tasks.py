@@ -252,3 +252,140 @@ class TaskManager:
                 else:
                     removed.add(pair)
         return TaskSetDelta(frozenset(added), frozenset(removed))
+
+
+#: Separates the tenant name from the task id in a qualified task id.
+TENANT_SEPARATOR = "/"
+
+
+class InvalidTenantError(ValueError):
+    """Raised for empty tenant/task names or names containing the separator."""
+
+
+def validate_tenant_name(tenant: str) -> str:
+    """Reject tenant names that cannot round-trip through qualified ids."""
+    if not tenant:
+        raise InvalidTenantError("tenant name must be a non-empty string")
+    if TENANT_SEPARATOR in tenant:
+        raise InvalidTenantError(
+            f"tenant name {tenant!r} must not contain {TENANT_SEPARATOR!r}"
+        )
+    return tenant
+
+
+def qualified_task_id(tenant: str, task_id: str) -> str:
+    """The globally unique id for a tenant's task: ``tenant/task_id``."""
+    return f"{tenant}{TENANT_SEPARATOR}{task_id}"
+
+
+class MultiTenantTaskManager:
+    """Per-tenant task namespaces with global pair-level de-duplication.
+
+    Each tenant owns an isolated :class:`TaskManager`, so task ids only
+    need to be unique *within* a tenant and dedup semantics (refcounts,
+    duplicate-id errors) are scoped per tenant.  Across tenants the
+    manager counts how many tenants require each node-attribute pair and
+    reports global :class:`TaskSetDelta`\\ s on the 0->1 / 1->0
+    transitions -- the planner plans the union of all tenants' pairs,
+    collecting each pair once no matter how many tenants want it.
+    """
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, TaskManager] = {}
+        self._tenant_count: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def tenants(self) -> List[str]:
+        """All tenant names with a registered namespace, sorted."""
+        return sorted(self._tenants)
+
+    def has_tenant(self, tenant: str) -> bool:
+        return tenant in self._tenants
+
+    def tasks(self, tenant: str) -> List[MonitoringTask]:
+        """The tenant's registered tasks (empty for unknown tenants)."""
+        manager = self._tenants.get(tenant)
+        return manager.tasks if manager is not None else []
+
+    def get(self, tenant: str, task_id: str) -> MonitoringTask:
+        manager = self._tenants.get(tenant)
+        if manager is None:
+            raise UnknownTaskError(qualified_task_id(tenant, task_id))
+        try:
+            return manager.get(task_id)
+        except UnknownTaskError:
+            raise UnknownTaskError(qualified_task_id(tenant, task_id)) from None
+
+    def task_count(self) -> int:
+        return sum(len(manager) for manager in self._tenants.values())
+
+    def pairs(self) -> Set[NodeAttributePair]:
+        """The union of all tenants' pairs, de-duplicated (planner input)."""
+        return set(self._tenant_count)
+
+    def pair_count(self) -> int:
+        return len(self._tenant_count)
+
+    def tenant_multiplicity(self, pair: NodeAttributePair) -> int:
+        """How many tenants currently require ``pair``."""
+        return self._tenant_count.get(pair, 0)
+
+    def tenant_pairs(self, tenant: str) -> Set[NodeAttributePair]:
+        manager = self._tenants.get(tenant)
+        return manager.pairs() if manager is not None else set()
+
+    # ------------------------------------------------------------------
+    # Mutation side
+    # ------------------------------------------------------------------
+    def _namespace(self, tenant: str) -> TaskManager:
+        validate_tenant_name(tenant)
+        if tenant not in self._tenants:
+            self._tenants[tenant] = TaskManager()
+        return self._tenants[tenant]
+
+    def _globalize(self, tenant: str, delta: TaskSetDelta) -> TaskSetDelta:
+        """Translate a tenant-local delta into the cross-tenant delta."""
+        added: Set[NodeAttributePair] = set()
+        removed: Set[NodeAttributePair] = set()
+        for pair in delta.added:
+            if self._tenant_count[pair] == 0:
+                added.add(pair)
+            self._tenant_count[pair] += 1
+        for pair in delta.removed:
+            self._tenant_count[pair] -= 1
+            if self._tenant_count[pair] == 0:
+                del self._tenant_count[pair]
+                removed.add(pair)
+        return TaskSetDelta(frozenset(added), frozenset(removed))
+
+    def add_task(self, tenant: str, task: MonitoringTask) -> TaskSetDelta:
+        """Register ``task`` under ``tenant``; return the *global* delta."""
+        if TENANT_SEPARATOR in task.task_id:
+            raise InvalidTenantError(
+                f"task id {task.task_id!r} must not contain {TENANT_SEPARATOR!r}"
+            )
+        return self._globalize(tenant, self._namespace(tenant).add_task(task))
+
+    def remove_task(self, tenant: str, task_id: str) -> TaskSetDelta:
+        manager = self._tenants.get(tenant)
+        if manager is None:
+            raise UnknownTaskError(qualified_task_id(tenant, task_id))
+        return self._globalize(tenant, manager.remove_task(task_id))
+
+    def modify_task(self, tenant: str, task: MonitoringTask) -> TaskSetDelta:
+        manager = self._tenants.get(tenant)
+        if manager is None:
+            raise UnknownTaskError(qualified_task_id(tenant, task.task_id))
+        return self._globalize(tenant, manager.modify_task(task))
+
+    def drop_tenant(self, tenant: str) -> TaskSetDelta:
+        """Remove every task of ``tenant`` and the namespace itself."""
+        manager = self._tenants.get(tenant)
+        if manager is None:
+            return TaskSetDelta(frozenset(), frozenset())
+        ops = [("remove", task) for task in manager.tasks]
+        delta = self._globalize(tenant, manager.apply(ops))
+        del self._tenants[tenant]
+        return delta

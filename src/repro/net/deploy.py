@@ -43,13 +43,13 @@ from repro.checks.diagnostics import DiagnosticReport
 from repro.cluster.node import Cluster
 from repro.core.attributes import NodeId
 from repro.core.cost import CostModel
-from repro.core.plan import MonitoringPlan
+from repro.core.plan import MonitoringPlan, ShardedPlan
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
 from repro.net.directory import Endpoint, PeerDirectory
 from repro.obs import names
 from repro.runtime.config import DropPolicy, RuntimeConfig
-from repro.runtime.messages import COLLECTOR_ADDRESS
+from repro.runtime.messages import MAX_COLLECTOR_SHARDS, collector_shard_address
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.report import RuntimePeriodSample, RuntimeReport
 from repro.workloads.presets import quickstart_workload, sampled_workload
@@ -129,6 +129,9 @@ class DeploySpec:
     collector_endpoint: Endpoint
     rundir: str
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Collector shards co-hosted in the collector process; every shard
+    #: address resolves to the collector endpoint (hash-sharded trees).
+    collectors: int = 1
 
     @property
     def workers(self) -> int:
@@ -155,6 +158,17 @@ class DeploySpec:
             config["drop_policy"] = DropPolicy(config["drop_policy"])
         return RuntimeConfig(**config)
 
+    def build_sharded(self, plan: MonitoringPlan) -> Optional[ShardedPlan]:
+        """The collector-shard layout, or ``None`` when unsharded.
+
+        Hash mode keys on canonical attribute-set strings, so every
+        process that replans from this spec derives the identical
+        set -> shard assignment without shipping it in the spec.
+        """
+        if self.collectors <= 1:
+            return None
+        return ShardedPlan.build(plan, self.collectors, "hash")
+
     def build_directory(self) -> PeerDirectory:
         """The full address table every process shares."""
         directory = PeerDirectory()
@@ -162,7 +176,10 @@ class DeploySpec:
             endpoint = self.worker_endpoints[rank]
             directory.assign(shard, endpoint)
             directory.assign([control_address(rank)], endpoint)
-        directory.assign([COLLECTOR_ADDRESS], self.collector_endpoint)
+        directory.assign(
+            [collector_shard_address(shard) for shard in range(self.collectors)],
+            self.collector_endpoint,
+        )
         return directory
 
     # -- file-based coordination ---------------------------------------
@@ -193,6 +210,7 @@ class DeploySpec:
             "collector_endpoint": list(self.collector_endpoint.as_pair()),
             "rundir": self.rundir,
             "config": self.config,
+            "collectors": self.collectors,
         }
 
     @classmethod
@@ -210,6 +228,7 @@ class DeploySpec:
             ),
             rundir=str(data["rundir"]),
             config=dict(data.get("config", {})),
+            collectors=int(data.get("collectors", 1)),
         )
 
     def save(self) -> str:
@@ -242,6 +261,7 @@ def make_spec(
     config: Mapping[str, Any],
     rundir: Optional[str] = None,
     host: str = "127.0.0.1",
+    collectors: int = 1,
 ) -> Tuple[DeploySpec, MonitoringPlan, Cluster, DiagnosticReport]:
     """Plan once, shard, allocate ports, and validate the assignment.
 
@@ -249,6 +269,10 @@ def make_spec(
     pre-launch plan check and report headers), and the shard
     :class:`DiagnosticReport` (callers gate on its errors).
     """
+    if not 1 <= collectors <= MAX_COLLECTOR_SHARDS:
+        raise DeployError(
+            f"collectors must be in [1, {MAX_COLLECTOR_SHARDS}], got {collectors}"
+        )
     if rundir is None:
         rundir = tempfile.mkdtemp(prefix="repro-deploy-")
     else:
@@ -262,6 +286,7 @@ def make_spec(
         collector_endpoint=Endpoint(host, 0),
         rundir=rundir,
         config=dict(config),
+        collectors=collectors,
     )
     cluster, _cost, plan = spec.build_plan()
     spec.shards = shard_nodes(participating_nodes(plan), workers)

@@ -11,10 +11,12 @@ Two roles, both reconstructed from one
   (``advance-to-match`` -- what lets a freshly restarted worker resync
   deterministically mid-run) and fans the tick out to the local
   agents.
-- :func:`collector_main` runs the
-  :class:`~repro.runtime.collector.CollectorAgent` and drives the
+- :func:`collector_main` hosts one
+  :class:`~repro.runtime.collector.CollectorAgent` per collector shard
+  (``spec.collectors``, each on its reserved address) and drives the
   clock: one tick per worker per period, a wall-clock period window, a
-  bounded settle, then period scoring -- the multi-process analogue of
+  bounded settle, then per-shard period scoring merged into
+  cluster-wide samples -- the multi-process analogue of
   :meth:`repro.runtime.engine.MonitoringRuntime.run_async`.
 
 On stop each process dumps its full metrics registry to a JSON report
@@ -35,11 +37,11 @@ from repro.net.deploy import DeploySpec, control_address, write_json_atomic
 from repro.net.tcp import TcpTransport
 from repro.runtime.agent import NodeAgent
 from repro.runtime.collector import CollectorAgent
-from repro.runtime.engine import build_roles
+from repro.runtime.engine import build_roles, collector_addresses, merge_period_samples
 from repro.runtime.messages import (
-    COLLECTOR_ADDRESS,
     StopEnvelope,
     TickEnvelope,
+    collector_shard_address,
 )
 from repro.runtime.metrics import RuntimeMetrics
 
@@ -77,8 +79,14 @@ class WorkerRuntime:
         )
         # The engine's own role builder, over the identical re-planned
         # forest: single-process runs and deploy workers can never
-        # disagree about tree ids, depths, or local demands.
-        roles = build_roles(plan)
+        # disagree about tree ids, depths, or local demands.  With
+        # sharded collectors, each tree's root reports to its shard's
+        # address (all shards resolve to the collector endpoint).
+        sharded = spec.build_sharded(plan)
+        roles = build_roles(
+            plan,
+            collector_of=collector_addresses(sharded) if sharded is not None else None,
+        )
         self.agents: Dict[NodeId, NodeAgent] = {
             node: NodeAgent(
                 node_id=node,
@@ -161,41 +169,76 @@ class CollectorRuntime:
         self.expected_nodes = sorted(
             node for shard in spec.shards for node in shard
         )
-        self.collector = CollectorAgent(
-            requested_pairs=sorted(plan.pairs),
-            expected_nodes=self.expected_nodes,
-            central_capacity=cluster.central_capacity,
-            cost=cost,
-            registry=self.registry,
-            transport=self.transport,
-            metrics=self.metrics,
-            config=self.config,
-        )
+        # One CollectorAgent per collector shard, co-hosted in this
+        # process on distinct reserved addresses.  Each scores only its
+        # shard's pairs and expects heartbeats only from nodes with a
+        # role in its shard's trees (other nodes never dial it).
+        sharded = spec.build_sharded(plan)
+        if sharded is None:
+            shard_specs = [
+                (collector_shard_address(0), sorted(plan.pairs), self.expected_nodes)
+            ]
+        else:
+            expected = set(self.expected_nodes)
+            shard_specs = [
+                (
+                    collector_shard_address(shard),
+                    sorted(sharded.pairs_for(shard)),
+                    [n for n in sharded.nodes_for(shard) if n in expected],
+                )
+                for shard in range(sharded.shards)
+            ]
+        self.collectors = {
+            address: CollectorAgent(
+                requested_pairs=pairs,
+                expected_nodes=nodes,
+                central_capacity=cluster.central_capacity,
+                cost=cost,
+                registry=self.registry,
+                transport=self.transport,
+                metrics=self.metrics,
+                config=self.config,
+                address=address,
+            )
+            for address, pairs, nodes in shard_specs
+        }
+        self._shard_weights = {
+            address: len(pairs) for address, pairs, _nodes in shard_specs
+        }
+        #: Shard-0 agent, for callers written against one collector.
+        self.collector = self.collectors[collector_shard_address(0)]
 
     # ------------------------------------------------------------------
     async def run(self) -> None:
-        self.transport.register(COLLECTOR_ADDRESS)
+        for address in self.collectors:
+            self.transport.register(address)
         await self.transport.start()
-        collector_task = asyncio.ensure_future(self.collector.run())
+        collector_tasks = [
+            asyncio.ensure_future(agent.run()) for agent in self.collectors.values()
+        ]
         write_json_atomic(self.spec.ready_path("collector"), {"role": "collector"})
         await self._await_go()
         try:
             for period in range(self.spec.periods):
                 self.registry.advance_all()
                 tick = TickEnvelope(period=period)
-                self.transport.deliver_local(COLLECTOR_ADDRESS, tick)
+                for address in self.collectors:
+                    self.transport.deliver_local(address, tick)
                 for rank in range(self.spec.workers):
                     await self.transport.send(control_address(rank), tick)
                 await asyncio.sleep(self.config.period_seconds)
                 await self._settle()
-                self.collector.close_period(period)
+                for agent in self.collectors.values():
+                    agent.close_period(period)
             for rank in range(self.spec.workers):
                 await self.transport.send(control_address(rank), StopEnvelope())
-            self.transport.deliver_local(COLLECTOR_ADDRESS, StopEnvelope())
-            await asyncio.wait([collector_task], timeout=5.0)
+            for address in self.collectors:
+                self.transport.deliver_local(address, StopEnvelope())
+            await asyncio.wait(collector_tasks, timeout=5.0)
         finally:
-            if not collector_task.done():
-                collector_task.cancel()
+            for task in collector_tasks:
+                if not task.done():
+                    task.cancel()
             write_json_atomic(
                 self.spec.report_path("collector"),
                 {
@@ -206,16 +249,46 @@ class CollectorRuntime:
                             "fresh_fraction": s.fresh_fraction,
                             "received_fraction": s.received_fraction,
                         }
-                        for s in self.collector.samples
+                        for s in self._merged_samples()
                     ],
                     "failure_events": [
                         {"node": e.node, "period": e.period, "kind": e.kind}
-                        for e in self.collector.failure_events
+                        for e in self._merged_failure_events()
                     ],
                     "metrics": self.metrics.registry.dump(),
                 },
             )
             await self.transport.aclose()
+
+    def _merged_samples(self):
+        """Cluster-wide period scores: pair-count-weighted shard merge."""
+        agents = [self.collectors[a] for a in sorted(self.collectors)]
+        if len(agents) == 1:
+            return list(agents[0].samples)
+        count = min(len(agent.samples) for agent in agents)
+        return [
+            merge_period_samples(
+                agents[0].samples[index].period,
+                [
+                    (self._shard_weights[agent.address], agent.samples[index])
+                    for agent in agents
+                ],
+            )
+            for index in range(count)
+        ]
+
+    def _merged_failure_events(self):
+        """Failure transitions across shards, de-duplicated and ordered."""
+        seen = set()
+        events = []
+        for address in sorted(self.collectors):
+            for event in self.collectors[address].failure_events:
+                key = (event.node, event.period, event.kind)
+                if key not in seen:
+                    seen.add(key)
+                    events.append(event)
+        events.sort(key=lambda e: (e.period, e.node, e.kind))
+        return events
 
     async def _await_go(self) -> None:
         """Hold the clock until the supervisor says every listener is up.

@@ -79,6 +79,22 @@ ADAPTATION_OPS_APPLIED_TOTAL = "adaptation_ops_applied_total"
 ADAPTATION_OPS_THROTTLED_TOTAL = "adaptation_ops_throttled_total"
 ADAPTATION_MESSAGES_TOTAL = "adaptation_messages_total"
 
+# Control-plane service counters/histograms (``repro serve``).
+SERVE_REQUESTS_TOTAL = "serve_requests_total"
+SERVE_ERRORS_TOTAL = "serve_errors_total"
+SERVE_CONNECTIONS_TOTAL = "serve_connections_total"
+SERVE_REQUEST_SECONDS = "serve_request_seconds"
+CONTROLPLANE_TASK_OPS_TOTAL = "controlplane_task_ops_total"
+CONTROLPLANE_ADAPTATIONS_TOTAL = "controlplane_adaptations_total"
+CONTROLPLANE_RUNS_TOTAL = "controlplane_runs_total"
+CONTROLPLANE_REPLAN_SECONDS = "controlplane_replan_seconds"
+
+# Control-plane gauges (current state, not monotonic).
+CONTROLPLANE_TENANTS = "controlplane_tenants"
+CONTROLPLANE_TASKS = "controlplane_tasks"
+CONTROLPLANE_PAIRS = "controlplane_pairs"
+CONTROLPLANE_COLLECTOR_SHARDS = "controlplane_collector_shards"
+
 # Simulator mirrors (deltas of CollectionStats, ``sim_`` prefixed).
 SIM_MESSAGES_SENT = "sim_messages_sent"
 SIM_MESSAGES_DELIVERED = "sim_messages_delivered"
@@ -122,6 +138,18 @@ METRICS = frozenset(
         ADAPTATION_OPS_APPLIED_TOTAL,
         ADAPTATION_OPS_THROTTLED_TOTAL,
         ADAPTATION_MESSAGES_TOTAL,
+        SERVE_REQUESTS_TOTAL,
+        SERVE_ERRORS_TOTAL,
+        SERVE_CONNECTIONS_TOTAL,
+        SERVE_REQUEST_SECONDS,
+        CONTROLPLANE_TASK_OPS_TOTAL,
+        CONTROLPLANE_ADAPTATIONS_TOTAL,
+        CONTROLPLANE_RUNS_TOTAL,
+        CONTROLPLANE_REPLAN_SECONDS,
+        CONTROLPLANE_TENANTS,
+        CONTROLPLANE_TASKS,
+        CONTROLPLANE_PAIRS,
+        CONTROLPLANE_COLLECTOR_SHARDS,
         SIM_MESSAGES_SENT,
         SIM_MESSAGES_DELIVERED,
         SIM_MESSAGES_DROPPED_CAPACITY,
@@ -154,6 +182,10 @@ SPAN_AGENT_WAVE = "agent.wave"
 SPAN_AGENT_CHILD_WAIT = "agent.child_wait"
 SPAN_COLLECTOR_CLOSE_PERIOD = "collector.close_period"
 
+SPAN_SERVE_REQUEST = "serve.request"
+SPAN_CONTROLPLANE_ADAPT = "controlplane.adapt"
+SPAN_CONTROLPLANE_RUN = "controlplane.run"
+
 SPANS = frozenset(
     {
         SPAN_PLANNER_PLAN,
@@ -171,6 +203,9 @@ SPANS = frozenset(
         SPAN_AGENT_WAVE,
         SPAN_AGENT_CHILD_WAIT,
         SPAN_COLLECTOR_CLOSE_PERIOD,
+        SPAN_SERVE_REQUEST,
+        SPAN_CONTROLPLANE_ADAPT,
+        SPAN_CONTROLPLANE_RUN,
     }
 )
 
@@ -183,6 +218,8 @@ LANE_SIMULATOR = "simulator"
 LANE_ENGINE = "engine"
 LANE_COLLECTOR = "collector"
 LANE_TRANSPORT = "transport"
+LANE_SERVE = "serve"
+LANE_CONTROLPLANE = "controlplane"
 
 #: Prefixes of the per-instance lanes built by the helpers below.
 NODE_LANE_PREFIX = "node-"
@@ -196,6 +233,8 @@ LANES = frozenset(
         LANE_ENGINE,
         LANE_COLLECTOR,
         LANE_TRANSPORT,
+        LANE_SERVE,
+        LANE_CONTROLPLANE,
     }
 )
 

@@ -20,14 +20,16 @@ and histograms and renders through :mod:`repro.analysis`.
 from repro.runtime.agent import NodeAgent, TreeRole
 from repro.runtime.collector import CollectorAgent, FailureEvent
 from repro.runtime.config import AgentOutage, DropPolicy, RuntimeConfig
-from repro.runtime.engine import MonitoringRuntime
+from repro.runtime.engine import MonitoringRuntime, build_roles, merge_period_samples
 from repro.runtime.messages import (
     COLLECTOR_ADDRESS,
+    MAX_COLLECTOR_SHARDS,
     Envelope,
     HeartbeatEnvelope,
     StopEnvelope,
     TickEnvelope,
     UpdateEnvelope,
+    collector_shard_address,
 )
 from repro.runtime.metrics import Histogram, RuntimeMetrics
 from repro.runtime.report import RuntimePeriodSample, RuntimeReport
@@ -41,7 +43,11 @@ from repro.runtime.transport import (
 __all__ = [
     "AgentOutage",
     "COLLECTOR_ADDRESS",
+    "MAX_COLLECTOR_SHARDS",
     "CollectorAgent",
+    "build_roles",
+    "collector_shard_address",
+    "merge_period_samples",
     "DropPolicy",
     "Envelope",
     "FailureEvent",

@@ -63,11 +63,13 @@ class TreeRole:
     #: Stable short id (``t0``, ``t1``, ...) labeling this tree's
     #: metric series and trace spans; assigned by the engine.
     tree_id: str = ""
+    #: Address of the collector shard this tree reports to.
+    collector: NodeId = COLLECTOR_ADDRESS
 
     @property
     def receiver(self) -> NodeId:
-        """Where this node's batch goes: parent, or the collector."""
-        return self.parent if self.parent is not None else COLLECTOR_ADDRESS
+        """Where this node's batch goes: parent, or the tree's collector."""
+        return self.parent if self.parent is not None else self.collector
 
 
 class NodeAgent:
@@ -189,10 +191,17 @@ class NodeAgent:
         self._period_tasks.add(task)
 
     async def _send_heartbeat(self, period: int) -> None:
-        await self.transport.send(
-            COLLECTOR_ADDRESS, HeartbeatEnvelope(sender=self.node_id, period=period)
-        )
-        self.metrics.incr(names.HEARTBEATS_SENT, node=self.node_id)
+        # With sharded collectors, each shard runs its own failure
+        # detector over the nodes in its trees -- beacon every shard
+        # this node reports to (the single-collector case sends one).
+        collectors = sorted({role.collector for role in self.roles}) or [
+            COLLECTOR_ADDRESS
+        ]
+        for collector in collectors:
+            await self.transport.send(
+                collector, HeartbeatEnvelope(sender=self.node_id, period=period)
+            )
+            self.metrics.incr(names.HEARTBEATS_SENT, node=self.node_id)
 
     async def _send_update(self, role: TreeRole, period: int) -> None:
         with trace.span(

@@ -64,7 +64,9 @@ class CollectorAgent:
         transport: Transport,
         metrics: RuntimeMetrics,
         config: RuntimeConfig,
+        address: NodeId = COLLECTOR_ADDRESS,
     ) -> None:
+        self.address = address
         self.requested_pairs = tuple(requested_pairs)
         self.expected_nodes = tuple(sorted(expected_nodes))
         self.central_capacity = central_capacity
@@ -87,7 +89,7 @@ class CollectorAgent:
         """Inbox loop for ticks, updates, and heartbeats."""
         while True:
             envelope = await self.transport.recv(
-                COLLECTOR_ADDRESS, timeout=self.config.recv_timeout_seconds
+                self.address, timeout=self.config.recv_timeout_seconds
             )
             if envelope is None:
                 continue  # recv timed out; re-check the inbox

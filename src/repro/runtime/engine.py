@@ -24,28 +24,33 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.metrics import MetricRegistry
 from repro.cluster.node import Cluster
 from repro.core.attributes import NodeAttributePair, NodeId
-from repro.core.plan import MonitoringPlan
+from repro.core.partition import AttributeSet
+from repro.core.plan import MonitoringPlan, ShardedPlan
 from repro.obs import names, trace
 from repro.runtime.agent import NodeAgent, TreeRole
-from repro.runtime.collector import CollectorAgent
+from repro.runtime.collector import CollectorAgent, FailureEvent
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.messages import (
     COLLECTOR_ADDRESS,
     Envelope,
     StopEnvelope,
     TickEnvelope,
+    collector_shard_address,
 )
 from repro.runtime.metrics import RuntimeMetrics
-from repro.runtime.report import RuntimeReport
+from repro.runtime.report import RuntimePeriodSample, RuntimeReport
 from repro.runtime.transport import InProcessTransport, Transport
 
 
-def build_roles(plan: MonitoringPlan) -> Dict[NodeId, List[TreeRole]]:
+def build_roles(
+    plan: MonitoringPlan,
+    collector_of: Optional[Mapping[AttributeSet, NodeId]] = None,
+) -> Dict[NodeId, List[TreeRole]]:
     """One :class:`TreeRole` per (member node, tree) of the plan.
 
     Trees get stable short ids (``t0``, ``t1``, ... in sorted
@@ -54,6 +59,10 @@ def build_roles(plan: MonitoringPlan) -> Dict[NodeId, List[TreeRole]]:
     ``repro deploy`` workers need the identical role table without
     constructing an engine: the derivation is deterministic, so every
     process that holds the same plan agrees on every role.
+
+    ``collector_of`` maps each partition set to the transport address
+    of the collector shard its tree reports to (defaulting every tree
+    to the single central :data:`COLLECTOR_ADDRESS`).
     """
     roles: Dict[NodeId, List[TreeRole]] = {}
     ordered_trees = sorted(plan.trees.items(), key=lambda kv: sorted(kv[0]))
@@ -61,6 +70,11 @@ def build_roles(plan: MonitoringPlan) -> Dict[NodeId, List[TreeRole]]:
         tree = result.tree
         height = tree.height()
         tree_id = f"t{index}"
+        collector = (
+            collector_of.get(attr_set, COLLECTOR_ADDRESS)
+            if collector_of is not None
+            else COLLECTOR_ADDRESS
+        )
         for node in tree.nodes:
             local_pairs = tuple(
                 NodeAttributePair(node, attr) for attr in sorted(tree.local_demand(node))
@@ -74,9 +88,38 @@ def build_roles(plan: MonitoringPlan) -> Dict[NodeId, List[TreeRole]]:
                     depth=tree.depth(node),
                     height=height,
                     tree_id=tree_id,
+                    collector=collector,
                 )
             )
     return roles
+
+
+def collector_addresses(sharded: ShardedPlan) -> Dict[AttributeSet, NodeId]:
+    """Partition-set -> collector-shard transport address for a sharded plan."""
+    return {
+        attr_set: collector_shard_address(shard)
+        for attr_set, shard in sharded.assignment.items()
+    }
+
+
+def merge_period_samples(
+    period: int, weighted: Sequence[Tuple[int, RuntimePeriodSample]]
+) -> RuntimePeriodSample:
+    """Fold per-shard period scores into one cluster-wide sample.
+
+    Each shard scores only its own requested pairs, so the merged
+    fractions are the pair-count-weighted averages -- identical to what
+    a single collector scoring the full pair set would report.
+    """
+    total = sum(weight for weight, _ in weighted)
+    if total == 0:
+        return RuntimePeriodSample(period, 0.0, 1.0, 1.0)
+    return RuntimePeriodSample(
+        period=period,
+        mean_error=sum(w * s.mean_error for w, s in weighted) / total,
+        fresh_fraction=sum(w * s.fresh_fraction for w, s in weighted) / total,
+        received_fraction=sum(w * s.received_fraction for w, s in weighted) / total,
+    )
 
 
 class MonitoringRuntime:
@@ -90,8 +133,12 @@ class MonitoringRuntime:
         config: Optional[RuntimeConfig] = None,
         transport: Optional[Transport] = None,
         metrics: Optional[RuntimeMetrics] = None,
+        sharded: Optional[ShardedPlan] = None,
     ) -> None:
+        if sharded is not None and sharded.plan is not plan:
+            raise ValueError("sharded.plan must be the runtime's plan")
         self.plan = plan
+        self.sharded = sharded
         self.cluster = cluster
         self.config = config if config is not None else RuntimeConfig()
         self.transport = transport if transport is not None else InProcessTransport()
@@ -108,7 +155,8 @@ class MonitoringRuntime:
         for pair in plan.pairs:
             self.registry.ensure(pair)
 
-        roles = build_roles(plan)
+        collector_of = collector_addresses(sharded) if sharded is not None else None
+        roles = build_roles(plan, collector_of)
         self.agents: Dict[NodeId, NodeAgent] = {
             node: NodeAgent(
                 node_id=node,
@@ -122,16 +170,39 @@ class MonitoringRuntime:
             )
             for node, node_roles in sorted(roles.items())
         }
-        self.collector = CollectorAgent(
-            requested_pairs=sorted(plan.pairs),
-            expected_nodes=list(self.agents),
-            central_capacity=cluster.central_capacity,
-            cost=plan.cost,
-            registry=self.registry,
-            transport=self.transport,
-            metrics=self.metrics,
-            config=self.config,
-        )
+        #: One collector agent per shard, keyed by transport address
+        #: (a single agent at COLLECTOR_ADDRESS when unsharded).
+        self.collectors: Dict[NodeId, CollectorAgent] = {}
+        #: Pair-count weight per shard address, for score merging.
+        self._shard_weights: Dict[NodeId, int] = {}
+        if sharded is None:
+            shard_specs = [(COLLECTOR_ADDRESS, sorted(plan.pairs), list(self.agents))]
+        else:
+            shard_specs = [
+                (
+                    collector_shard_address(shard),
+                    sorted(sharded.pairs_for(shard)),
+                    [n for n in sharded.nodes_for(shard) if n in self.agents],
+                )
+                for shard in range(sharded.shards)
+            ]
+        for address, requested, expected in shard_specs:
+            self.collectors[address] = CollectorAgent(
+                requested_pairs=requested,
+                expected_nodes=expected,
+                central_capacity=cluster.central_capacity,
+                cost=plan.cost,
+                registry=self.registry,
+                transport=self.transport,
+                metrics=self.metrics,
+                config=self.config,
+                address=address,
+            )
+            self._shard_weights[address] = len(requested)
+        #: The shard-0 agent; the single collector when unsharded.
+        self.collector = self.collectors[COLLECTOR_ADDRESS]
+        #: Cluster-wide per-period scores (merged across shards).
+        self.samples: List[RuntimePeriodSample] = []
 
     # ------------------------------------------------------------------
     def run(self, n_periods: int) -> RuntimeReport:
@@ -143,11 +214,15 @@ class MonitoringRuntime:
         if n_periods <= 0:
             raise ValueError(f"n_periods must be > 0, got {n_periods}")
         started = time.monotonic()
-        self.transport.register(COLLECTOR_ADDRESS)
+        for address in self.collectors:
+            self.transport.register(address)
         for node in self.agents:
             self.transport.register(node)
         tasks = [asyncio.ensure_future(agent.run()) for agent in self.agents.values()]
-        tasks.append(asyncio.ensure_future(self.collector.run()))
+        tasks.extend(
+            asyncio.ensure_future(collector.run())
+            for collector in self.collectors.values()
+        )
         try:
             for period in range(n_periods):
                 with trace.span(names.SPAN_RUNTIME_PERIOD, lane=names.LANE_ENGINE, period=period):
@@ -157,7 +232,7 @@ class MonitoringRuntime:
                     await asyncio.sleep(self.config.period_seconds)
                     with trace.span(names.SPAN_RUNTIME_SETTLE, lane=names.LANE_ENGINE, period=period):
                         await self._settle()
-                    self.collector.close_period(period)
+                    self._close_period(period)
             await self._broadcast(StopEnvelope())
             await asyncio.wait(tasks, timeout=5.0)
         finally:
@@ -168,18 +243,51 @@ class MonitoringRuntime:
         report = RuntimeReport(
             requested_pairs=len(self.plan.pairs),
             n_periods=n_periods,
-            samples=list(self.collector.samples),
-            failure_events=list(self.collector.failure_events),
+            samples=list(self.samples),
+            failure_events=self._merged_failure_events(),
             metrics=self.metrics,
             wall_seconds=time.monotonic() - started,
         )
         return report
 
     # ------------------------------------------------------------------
+    def _close_period(self, period: int) -> RuntimePeriodSample:
+        """Score the period on every shard and record the merged sample."""
+        weighted = [
+            (self._shard_weights[address], collector.close_period(period))
+            for address, collector in self.collectors.items()
+        ]
+        if len(weighted) == 1:
+            merged = weighted[0][1]
+        else:
+            merged = merge_period_samples(period, weighted)
+        self.samples.append(merged)
+        return merged
+
+    def _merged_failure_events(self) -> List[FailureEvent]:
+        """Failure events across shards, de-duplicated.
+
+        Every shard runs its own detector over the nodes in its trees,
+        so a node in several shards' trees is flagged once per shard --
+        collapse identical transitions, ordered by (period, node).
+        """
+        seen = set()
+        events: List[FailureEvent] = []
+        for collector in self.collectors.values():
+            for event in collector.failure_events:
+                key = (event.node, event.period, event.kind)
+                if key not in seen:
+                    seen.add(key)
+                    events.append(event)
+        events.sort(key=lambda e: (e.period, e.node, e.kind))
+        return events
+
+    # ------------------------------------------------------------------
     async def _broadcast(self, envelope: "Envelope") -> None:
         for node in self.agents:
             await self.transport.send(node, envelope)
-        await self.transport.send(COLLECTOR_ADDRESS, envelope)
+        for address in self.collectors:
+            await self.transport.send(address, envelope)
 
     async def _settle(self) -> None:
         """Let in-flight work finish before the period is scored.

@@ -7,8 +7,8 @@ The numbering extends the existing registry:
 
 - ``REMO1xx``-``REMO3xx`` -- *runtime* plan-invariant diagnostics,
   raised by :mod:`repro.checks` after a plan exists;
-- ``REMO40x`` -- source conventions (cost-model discipline, the old
-  ``tools/lint_conventions.py`` C00x rules);
+- ``REMO40x`` -- source conventions (cost-model discipline; the
+  retired conventions linter's C00x rules, migrated);
 - ``REMO41x`` -- async-safety (blocking calls in coroutines, dropped
   task handles, timeout-less transport awaits);
 - ``REMO42x`` -- interleaving hazards (shared agent state

@@ -1,7 +1,7 @@
 """REMO40x: source conventions and cost-model discipline.
 
-These are the old ``tools/lint_conventions.py`` C001-C003 rules,
-migrated into the framework under stable REMO codes (C001 -> REMO401,
+These are the retired conventions linter's C001-C003 rules, migrated
+into the framework under stable REMO codes (C001 -> REMO401,
 C002 -> REMO402, C003 -> REMO403) and generalized: REMO403 now also
 catches augmented assignments and unary negations over the raw cost
 attributes -- the exact shapes the incremental delta paths in

@@ -1,8 +1,7 @@
 """The lint driver: discover files, build context, run rules, suppress.
 
 :func:`lint_paths` is the one entry point everything else goes
-through -- the ``repro lint`` CLI, the deprecated
-``tools/lint_conventions.py`` shim, CI, and the test suite.  Pipeline:
+through -- the ``repro lint`` CLI, CI, and the test suite.  Pipeline:
 
 1. discover ``.py`` files under the targets (:func:`iter_python_files`);
 2. build the project-wide :class:`AnalysisContext` (or reuse a hash-

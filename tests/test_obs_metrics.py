@@ -180,3 +180,113 @@ class TestHistogramSketch:
         a, b = fill(), fill()
         assert a.quantile(0.5) == b.quantile(0.5)
         assert a.quantile(0.95) == b.quantile(0.95)
+
+
+class TestDumpAbsorb:
+    """Cross-process merge edge cases (`repro deploy` / `repro serve`)."""
+
+    def test_empty_registry_dump_and_absorb_roundtrip(self):
+        empty = MetricsRegistry()
+        dump = empty.dump()
+        assert dump == {"counters": [], "gauges": [], "histograms": []}
+        target = MetricsRegistry()
+        target.absorb(dump)
+        assert target.counters() == {}
+        assert target.gauges() == {}
+        assert target.histograms() == {}
+
+    def test_absorb_empty_dump_leaves_target_untouched(self):
+        target = MetricsRegistry()
+        target.incr("ops", 3.0, op="add")
+        target.set_gauge("depth", 2.0)
+        target.observe("lat", 1.5)
+        target.absorb(MetricsRegistry().dump())
+        assert target.counters() == {'ops{op="add"}': 3.0}
+        assert target.gauges() == {"depth": 2.0}
+        assert target.histograms()["lat"].count == 1
+
+    def test_absorb_empty_histogram_dump_is_a_noop(self):
+        h = Histogram()
+        h.observe(5.0)
+        h.absorb(Histogram().dump())
+        assert h.count == 1
+        assert h.min == 5.0 and h.max == 5.0
+        assert h.is_exact
+
+    def test_absorb_into_nonempty_merges_by_label_set(self):
+        # Matching label sets aggregate; distinct label sets stay
+        # distinguishable as their own series.
+        target = MetricsRegistry()
+        target.incr("msgs", 2.0, node=1)
+        target.incr("msgs", 5.0, node=2)
+        target.set_gauge("period", 3.0, node=1)
+        source = MetricsRegistry()
+        source.incr("msgs", 10.0, node=1)
+        source.incr("msgs", 1.0, node=3)
+        source.set_gauge("period", 7.0, node=1)
+        source.set_gauge("period", 4.0, node=3)
+        target.absorb(source.dump())
+        assert target.counters() == {
+            'msgs{node="1"}': 12.0,
+            'msgs{node="2"}': 5.0,
+            'msgs{node="3"}': 1.0,
+        }
+        # Gauges: incoming value wins on collision, new series appear.
+        assert target.gauges() == {
+            'period{node="1"}': 7.0,
+            'period{node="3"}': 4.0,
+        }
+
+    def test_histogram_merge_stays_exact_under_threshold(self):
+        a = Histogram(sketch_threshold=100, reservoir_size=50)
+        b = Histogram(sketch_threshold=100, reservoir_size=50)
+        for i in range(40):
+            a.observe(float(i))
+        for i in range(40, 100):
+            b.observe(float(i))
+        a.absorb(b.dump())
+        # 40 + 60 = 100 retained values: exactly at the threshold, so
+        # the merge keeps every observation and quantiles stay exact.
+        assert a.is_exact
+        assert a.count == 100
+        assert a.quantile(0.5) == pytest.approx(49.5)
+
+    def test_histogram_merge_crosses_threshold_into_reservoir(self):
+        a = Histogram(sketch_threshold=100, reservoir_size=50)
+        b = Histogram(sketch_threshold=100, reservoir_size=50)
+        for i in range(60):
+            a.observe(float(i))
+        for i in range(60):
+            b.observe(float(i + 60))
+        assert a.is_exact and b.is_exact
+        a.absorb(b.dump())
+        # 60 + 60 = 120 > threshold: the merge downsamples into the
+        # reservoir.  Moments stay exact; quantiles become estimates.
+        assert not a.is_exact
+        assert a.count == 120
+        assert len(a._values) == 50
+        assert a.sum == sum(range(120))
+        assert a.min == 0.0 and a.max == 119.0
+
+    def test_absorbing_a_sketched_dump_forces_sketching(self):
+        a = Histogram(sketch_threshold=100, reservoir_size=50)
+        a.observe(1.0)
+        b = Histogram(sketch_threshold=100, reservoir_size=50)
+        for i in range(200):
+            b.observe(float(i))
+        assert not b.is_exact
+        a.absorb(b.dump())
+        # One exact value + a sketched dump can never be exact again,
+        # even though the retained values fit under the threshold.
+        assert not a.is_exact
+        assert a.count == 201
+
+    def test_registry_absorb_creates_missing_histogram_series(self):
+        source = MetricsRegistry()
+        for i in range(10):
+            source.observe("lat", float(i), lane="serve")
+        target = MetricsRegistry()
+        target.absorb(source.dump())
+        merged = target.histograms()['lat{lane="serve"}']
+        assert merged.count == 10
+        assert merged.quantile(0.5) == pytest.approx(4.5)

@@ -1,0 +1,227 @@
+"""End-to-end tests for the control-plane service (`repro serve`).
+
+A real :class:`ControlPlaneServer` runs on an ephemeral port in a
+background thread; every interaction goes over HTTP through the
+synchronous :class:`ControlPlaneClient`, exactly as an operator's
+script would.
+"""
+
+import asyncio
+import importlib
+import json
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.attributes import NodeAttributePair
+from repro.obs.export import check_prometheus_text, parse_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime import RuntimeConfig
+from repro.serve import (
+    ControlPlane,
+    ControlPlaneClient,
+    ControlPlaneClientError,
+    ControlPlaneServer,
+)
+from repro.workloads.presets import quickstart_workload
+
+FAST = RuntimeConfig(period_seconds=0.02, seed=3)
+
+
+class ServerThread:
+    """A control-plane server on its own event loop, in a thread."""
+
+    def __init__(self, controlplane):
+        self._controlplane = controlplane
+        self._server = None
+        self._loop = None
+        self._stop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._server = ControlPlaneServer(self._controlplane, port=0)
+        await self._server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self._server.stop()
+
+    def start(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("control-plane server failed to start")
+        return self._server.port
+
+    def stop(self):
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture()
+def controlplane():
+    cluster, cost, _tasks = quickstart_workload()
+    return ControlPlane(
+        cluster, cost, collectors=2, config=FAST, metrics=MetricsRegistry()
+    )
+
+
+@pytest.fixture()
+def client(controlplane):
+    server = ServerThread(controlplane)
+    port = server.start()
+    with ControlPlaneClient("127.0.0.1", port) as cli:
+        yield cli
+    server.stop()
+
+
+class TestTwoTenantEndToEnd:
+    """The acceptance scenario: two tenants, overlapping tasks, two
+    collector shards, online adaptation, reconciled metrics."""
+
+    def test_full_lifecycle(self, controlplane, client):
+        assert client.health()["ok"] is True
+        # Overlapping submissions: both tenants want attr00/attr01 on
+        # nodes 0-5; beta additionally wants attr02.
+        client.submit_task("acme", "cpu", ["attr00", "attr01"], [0, 1, 2, 3, 4, 5])
+        client.submit_task("beta", "cpu", ["attr00", "attr01"], [0, 1, 2, 3, 4, 5])
+        client.submit_task("beta", "mem", ["attr02"], [0, 1, 2, 3])
+
+        # Per-tenant dedup: the planner-side pair set is the union, so
+        # the overlapping pairs are counted once with multiplicity 2.
+        status = client.status()
+        assert status["tenants"] == ["acme", "beta"]
+        assert status["tasks"] == 3
+        assert status["pairs"] == 6 * 2 + 4  # union, not 6*2 + 6*2 + 4
+        assert status["pending_ops"] == 3
+        overlap = NodeAttributePair(0, "attr00")
+        assert controlplane.tenants.tenant_multiplicity(overlap) == 2
+
+        # First adaptation builds the plan and shards the collectors.
+        record = client.adapt()
+        assert record["coverage"] == pytest.approx(1.0)
+        assert record["shards"]["shards"] == 2
+        plan = client.plan()
+        assert plan["coverage"] == pytest.approx(1.0)
+        assert plan["shards"]["shards"] == 2
+
+        report = client.run(4)
+        assert report["coverage"]["final"] == pytest.approx(1.0)
+        assert report["collectors"] == 2
+        assert report["periods"] == 4
+        assert len(report["per_period"]) == 4
+
+        # Online adaptation: beta retires a task, acme grows one; the
+        # shared pairs survive because acme still needs them.
+        client.delete_task("beta", "cpu")
+        client.submit_task("acme", "disk", ["attr03"], [0, 1])
+        record2 = client.adapt()
+        assert record2["sequence"] == 1
+        assert record2["ops"] == 2
+        assert controlplane.tenants.tenant_multiplicity(overlap) == 1
+        report2 = client.run(4)
+        assert report2["coverage"]["final"] == pytest.approx(1.0)
+        assert report2["run"] == 1
+
+        # /metrics reconciles with the run reports: both are views of
+        # the same registry, so the scrape equals the latest report's
+        # cumulative counter (run 2's snapshot includes run 1).
+        prom = client.metrics_text()
+        assert check_prometheus_text(prom) == []
+        samples = parse_prometheus_text(prom)
+        sent = sum(
+            value
+            for series, value in samples.items()
+            if series == "messages_sent" or series.startswith("messages_sent{")
+        )
+        assert sent == report2["messages"]["sent"]
+        assert sent > report["messages"]["sent"] > 0
+        runs = sum(
+            value
+            for series, value in samples.items()
+            if series.startswith("controlplane_runs_total")
+        )
+        assert runs == 2.0
+        adapts = sum(
+            value
+            for series, value in samples.items()
+            if series.startswith("controlplane_adaptations_total")
+        )
+        assert adapts == 2.0
+
+        # The report archive and its NDJSON stream agree.
+        archived = client.reports()
+        assert [r["run"] for r in archived] == [0, 1]
+        streamed = client.reports_stream()
+        assert streamed == sorted(
+            (json.loads(json.dumps(r, sort_keys=True)) for r in archived),
+            key=lambda r: r["run"],
+        )
+
+
+class TestErrorMapping:
+    def test_duplicate_task_is_409(self, client):
+        client.submit_task("acme", "cpu", ["attr00"], [0, 1])
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.submit_task("acme", "cpu", ["attr00"], [0, 1])
+        assert err.value.status == 409
+
+    def test_unknown_task_is_404(self, client):
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.get_task("ghost", "nothing")
+        assert err.value.status == 404
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.delete_task("ghost", "nothing")
+        assert err.value.status == 404
+
+    def test_bad_task_id_is_400(self, client):
+        # A separator in the tenant segment never reaches the handler
+        # (the router 404s the malformed path); a separator in the
+        # JSON-carried task id is the namespace-integrity 400.
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.submit_task("acme", "bad/task", ["attr00"], [0])
+        assert err.value.status == 400
+
+    def test_adapt_without_changes_is_409(self, client):
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.adapt()
+        assert err.value.status == 409
+
+    def test_run_without_plan_is_409(self, client):
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.run(2)
+        assert err.value.status == 409
+
+    def test_bad_periods_is_400(self, client):
+        client.submit_task("acme", "cpu", ["attr00"], [0, 1])
+        client.adapt()
+        with pytest.raises(ControlPlaneClientError) as err:
+            client.run(0)
+        assert err.value.status == 400
+
+
+class TestBenchSmoke:
+    def test_churn_bench_emits_results(self, tmp_path, monkeypatch):
+        bench_dir = str(Path(__file__).resolve().parent.parent / "benchmarks")
+        monkeypatch.syspath_prepend(bench_dir)
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        bench = importlib.import_module("bench_controlplane_churn")
+        rc = bench.main(["--ops", "12", "--tenants", "2", "--collectors", "2"])
+        assert rc == 0
+        payload = json.loads((tmp_path / "BENCH_controlplane.json").read_text())
+        assert payload["bench"] == "controlplane_churn"
+        assert payload["collectors"] == 2
+        ops = {row["op"] for row in payload["rows"]}
+        assert {"submit", "delete"} <= ops
+        for row in payload["rows"]:
+            assert row["ops_per_sec"] > 0
+            assert row["p99_ms"] >= row["p50_ms"] >= 0
+        # Leave no stale module behind for other tests.
+        sys.modules.pop("bench_controlplane_churn", None)

@@ -1,0 +1,236 @@
+"""Collector sharding, multi-tenant namespaces, and the REMO36x checks."""
+
+import pytest
+
+from repro.checks.controlplane import check_collector_shards, check_tenant_namespaces
+from repro.core.attributes import NodeAttributePair
+from repro.core.plan import SHARD_MODES, ShardedPlan, shard_partition_sets
+from repro.core.planner import RemoPlanner
+from repro.core.tasks import (
+    DuplicateTaskError,
+    InvalidTenantError,
+    MonitoringTask,
+    MultiTenantTaskManager,
+    UnknownTaskError,
+    qualified_task_id,
+)
+from repro.workloads.presets import quickstart_workload
+
+
+@pytest.fixture(scope="module")
+def quickstart_plan():
+    cluster, cost, tasks = quickstart_workload()
+    plan = RemoPlanner(cost).plan(tasks, cluster)
+    return cluster, cost, plan
+
+
+class TestShardPartitionSets:
+    def test_every_set_assigned_in_range(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        for mode in SHARD_MODES:
+            assignment = shard_partition_sets(plan.partition.sets, 3, mode)
+            assert set(assignment) == set(plan.partition.sets)
+            assert all(0 <= shard < 3 for shard in assignment.values())
+
+    def test_hash_mode_is_deterministic(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        first = shard_partition_sets(plan.partition.sets, 4, "hash")
+        second = shard_partition_sets(plan.partition.sets, 4, "hash")
+        assert first == second
+
+    def test_range_mode_covers_all_shards_when_possible(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        sets = list(plan.partition.sets)
+        shards = min(2, len(sets))
+        assignment = shard_partition_sets(sets, shards, "range")
+        assert set(assignment.values()) == set(range(shards))
+
+    def test_single_shard_collapses_to_zero(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        assignment = shard_partition_sets(plan.partition.sets, 1, "hash")
+        assert set(assignment.values()) == {0}
+
+    def test_rejects_bad_inputs(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        with pytest.raises(ValueError):
+            shard_partition_sets(plan.partition.sets, 0, "hash")
+        with pytest.raises(ValueError):
+            shard_partition_sets(plan.partition.sets, 2, "round-robin")
+
+
+class TestShardedPlan:
+    def test_pairs_partition_exactly(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 3)
+        union = set()
+        total = 0
+        for shard in range(3):
+            pairs = sharded.pairs_for(shard)
+            total += len(pairs)
+            union.update(pairs)
+        assert union == set(plan.pairs)
+        assert total == len(plan.pairs)  # disjoint: no pair counted twice
+
+    def test_subplan_is_a_valid_fragment(self, quickstart_plan):
+        cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 2)
+        for shard in range(2):
+            sub = sharded.subplan(shard)
+            assert set(sub.pairs) == set(sharded.pairs_for(shard))
+            assert set(sub.trees) == set(sharded.sets_for(shard))
+            sub.validate(
+                {n.node_id: n.capacity for n in cluster}, cluster.central_capacity
+            )
+
+    def test_central_usage_splits_across_shards(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 2)
+        by_shard = sharded.central_usage_by_shard()
+        assert sum(by_shard.values()) == pytest.approx(plan.central_usage())
+
+    def test_summary_shape(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        summary = ShardedPlan.build(plan, 2, "range").summary()
+        assert summary["shards"] == 2
+        assert set(summary["sets_per_shard"]) == {"0", "1"}
+        assert set(summary["pairs_per_shard"]) == {"0", "1"}
+        assert sum(summary["central_usage"].values()) == pytest.approx(
+            plan.central_usage()
+        )
+
+    def test_build_rejects_foreign_plan_pairing(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 2)
+        assert sharded.plan is plan
+
+
+class TestMultiTenantTaskManager:
+    def _task(self, task_id="t", attrs=("a",), nodes=(1,)):
+        return MonitoringTask(task_id, list(attrs), list(nodes))
+
+    def test_duplicate_ids_scoped_per_tenant(self):
+        manager = MultiTenantTaskManager()
+        manager.add_task("alpha", self._task())
+        # The same id under another tenant is fine...
+        manager.add_task("beta", self._task())
+        # ...but a duplicate within one tenant is rejected.
+        with pytest.raises(DuplicateTaskError):
+            manager.add_task("alpha", self._task())
+
+    def test_global_delta_fires_on_first_and_last_tenant(self):
+        manager = MultiTenantTaskManager()
+        pair = NodeAttributePair(1, "a")
+        first = manager.add_task("alpha", self._task())
+        assert pair in first.added
+        second = manager.add_task("beta", self._task())
+        assert second.added == frozenset()  # already required by alpha
+        assert manager.tenant_multiplicity(pair) == 2
+        gone = manager.remove_task("alpha", "t")
+        assert gone.removed == frozenset()  # beta still wants it
+        last = manager.remove_task("beta", "t")
+        assert pair in last.removed
+        assert manager.pair_count() == 0
+
+    def test_pairs_union_and_counts(self):
+        manager = MultiTenantTaskManager()
+        manager.add_task("alpha", self._task("t1", ("a",), (1,)))
+        manager.add_task("beta", self._task("t2", ("b",), (2,)))
+        assert manager.pairs() == {
+            NodeAttributePair(1, "a"),
+            NodeAttributePair(2, "b"),
+        }
+        assert manager.task_count() == 2
+        assert manager.tenants() == ["alpha", "beta"]
+
+    def test_rejects_separator_in_names(self):
+        manager = MultiTenantTaskManager()
+        with pytest.raises(InvalidTenantError):
+            manager.add_task("bad/tenant", self._task())
+        with pytest.raises(InvalidTenantError):
+            manager.add_task("alpha", self._task("bad/task"))
+        with pytest.raises(InvalidTenantError):
+            manager.add_task("", self._task())
+
+    def test_unknown_lookups_raise_with_qualified_id(self):
+        manager = MultiTenantTaskManager()
+        with pytest.raises(UnknownTaskError):
+            manager.get("ghost", "t")
+        manager.add_task("alpha", self._task())
+        with pytest.raises(UnknownTaskError):
+            manager.remove_task("alpha", "missing")
+
+    def test_drop_tenant_releases_pairs(self):
+        manager = MultiTenantTaskManager()
+        manager.add_task("alpha", self._task("t1", ("a",), (1,)))
+        manager.add_task("alpha", self._task("t2", ("b",), (2,)))
+        delta = manager.drop_tenant("alpha")
+        assert delta.removed == {
+            NodeAttributePair(1, "a"),
+            NodeAttributePair(2, "b"),
+        }
+        assert not manager.has_tenant("alpha")
+        # Dropping a tenant that never existed is a no-op.
+        assert manager.drop_tenant("ghost").removed == frozenset()
+
+    def test_qualified_task_id(self):
+        assert qualified_task_id("alpha", "t1") == "alpha/t1"
+
+
+class TestCollectorShardChecks:
+    def test_clean_layout_passes(self, quickstart_plan):
+        cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 2)
+        report = check_collector_shards(
+            plan, sharded.assignment, 2, central_capacity=cluster.central_capacity
+        )
+        assert not report.has_errors
+
+    def test_missing_set_is_remo361(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 2)
+        broken = dict(sharded.assignment)
+        broken.pop(next(iter(broken)))
+        report = check_collector_shards(plan, broken, 2)
+        assert any(d.code == "REMO361" for d in report.errors)
+
+    def test_out_of_range_shard_is_remo361(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        sharded = ShardedPlan.build(plan, 2)
+        broken = dict(sharded.assignment)
+        broken[next(iter(broken))] = 7
+        report = check_collector_shards(plan, broken, 2)
+        assert any(d.code == "REMO361" for d in report.errors)
+
+    def test_overloaded_shard_is_remo362(self, quickstart_plan):
+        _cluster, _cost, plan = quickstart_plan
+        # Everything on shard 0 with a tiny central budget must trip
+        # the per-shard capacity check.
+        assignment = {attr_set: 0 for attr_set in plan.trees}
+        report = check_collector_shards(plan, assignment, 2, central_capacity=1.0)
+        assert any(d.code == "REMO362" for d in report.errors)
+        # ...and the deliberately empty shard 1 warns.
+        assert any(d.code == "REMO363" for d in report.warnings)
+
+
+class TestTenantNamespaceChecks:
+    def test_clean_namespaces_pass(self):
+        report = check_tenant_namespaces(
+            {"alpha": [MonitoringTask("t", ["a"], [1])]}
+        )
+        assert not report.has_errors
+        assert not report.warnings
+
+    def test_separator_and_empty_names_are_remo364(self):
+        report = check_tenant_namespaces(
+            {
+                "bad/tenant": [MonitoringTask("t", ["a"], [1])],
+                "": [MonitoringTask("t", ["a"], [1])],
+                "gamma": [MonitoringTask("x/y", ["a"], [1])],
+            }
+        )
+        codes = [d.code for d in report.errors]
+        assert codes.count("REMO364") >= 3
+
+    def test_empty_tenant_is_remo365(self):
+        report = check_tenant_namespaces({"alpha": []})
+        assert any(d.code == "REMO365" for d in report.warnings)
