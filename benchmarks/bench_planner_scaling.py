@@ -29,10 +29,17 @@ from repro.analysis.report import format_table
 from repro.cluster.topology import default_attribute_pool, make_uniform_cluster
 from repro.core.cost import CostModel
 from repro.core.planner import RemoPlanner
+from repro.obs import names
+from repro.obs.metrics import default_registry
 from repro.workloads.tasks import TaskSampler
 
 COST = CostModel(per_message=20.0, per_value=1.0)
-DEFAULT_SIZES = (50, 100, 200)
+DEFAULT_SIZES = (50, 100, 200, 500, 1000)
+
+#: Planner phases whose wall time the obs registry histograms record.
+#: ``adjustment`` runs inside ``tree_construction``, so its seconds are
+#: a subset of (not additive with) the construction phase.
+_PHASES = ("partition", "tree_construction", "adjustment")
 
 
 def _workload(n_nodes: int, n_tasks: int, seed: int = 1):
@@ -51,10 +58,21 @@ def _workload(n_nodes: int, n_tasks: int, seed: int = 1):
     return cluster, tasks
 
 
+def _phase_seconds_snapshot() -> Dict[str, float]:
+    registry = default_registry()
+    return {
+        phase: registry.histogram(names.PLANNER_PHASE_SECONDS, phase=phase).sum
+        for phase in _PHASES
+    }
+
+
 def measure(n_nodes: int, n_tasks: int, parallelism: int = 1) -> Dict:
     cluster, tasks = _workload(n_nodes, n_tasks)
     planner = RemoPlanner(COST, parallelism=parallelism)
+    before = _phase_seconds_snapshot()
     plan, stats = planner.plan_with_stats(tasks, cluster)
+    after = _phase_seconds_snapshot()
+    memo_total = stats.memo_hits + stats.memo_misses
     return {
         "nodes": n_nodes,
         "tasks": n_tasks,
@@ -64,9 +82,18 @@ def measure(n_nodes: int, n_tasks: int, parallelism: int = 1) -> Dict:
         "candidates_evaluated": stats.candidates_evaluated,
         "accepted_ops": list(stats.accepted_ops),
         "coverage": plan.coverage(),
+        # Committed alongside the timings so a perf change that silently
+        # alters the default plan shows up as a fingerprint diff.
+        "fingerprint": plan.fingerprint(),
         "collected_pairs": plan.collected_pair_count(),
         "trees": plan.tree_count(),
         "traffic_per_period": plan.total_message_cost(),
+        "phase_seconds": {p: after[p] - before[p] for p in _PHASES},
+        "memo": {
+            "hits": stats.memo_hits,
+            "misses": stats.memo_misses,
+            "hit_rate": stats.memo_hits / memo_total if memo_total else 0.0,
+        },
     }
 
 
@@ -94,11 +121,14 @@ def report(rows: List[Dict]) -> None:
         "planner_scaling",
         format_table(
             "Planner scaling (CLI-default regime, tasks = nodes)",
-            ["nodes", "seconds", "evaluated", "accepted", "coverage"],
+            ["nodes", "seconds", "tree_s", "adjust_s", "memo_rate", "evaluated", "accepted", "coverage"],
             [
                 [
                     row["nodes"],
                     round(row["elapsed_seconds"], 2),
+                    round(row["phase_seconds"]["tree_construction"], 2),
+                    round(row["phase_seconds"]["adjustment"], 2),
+                    round(row["memo"]["hit_rate"], 3),
                     row["candidates_evaluated"],
                     len(row["accepted_ops"]),
                     round(row["coverage"], 4),

@@ -83,7 +83,7 @@ def _stale_cost(plan: MonitoringPlan) -> str:
         if not tree.nodes:
             continue
         node = min(tree.nodes)
-        tree._send[node] += 37.0
+        tree._send_a[tree._slot[node]] += 37.0
         return (
             f"desynced cached send cost at node {node} in tree "
             f"{sorted(attr_set)}"

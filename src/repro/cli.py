@@ -193,6 +193,8 @@ def _planning_stats_payload(stats) -> Dict[str, Any]:
         "candidates_evaluated": stats.candidates_evaluated,
         "accepted_ops": list(stats.accepted_ops),
         "elapsed_seconds": stats.elapsed_seconds,
+        "memo_hits": stats.memo_hits,
+        "memo_misses": stats.memo_misses,
     }
 
 
@@ -200,7 +202,12 @@ def _plan(args) -> int:
     cluster, cost, tasks = _setup(args)
     pstats = None
     if args.scheme == "remo":
-        planner = RemoPlanner(cost, parallelism=getattr(args, "parallelism", 1))
+        planner = RemoPlanner(
+            cost,
+            parallelism=getattr(args, "parallelism", 1),
+            beam_width=getattr(args, "beam_width", None),
+            candidate_budget=None if getattr(args, "exhaustive", False) else 8,
+        )
         plan, pstats = planner.plan_with_stats(tasks, cluster)
         elapsed = pstats.elapsed_seconds
     else:
@@ -230,6 +237,8 @@ def _plan(args) -> int:
         }
         if pstats is not None:
             payload["planning"] = _planning_stats_payload(pstats)
+            payload["planning"]["beam_width"] = getattr(args, "beam_width", None)
+            payload["planning"]["exhaustive"] = bool(getattr(args, "exhaustive", False))
         _emit_json(payload)
         return 0
     metric_rows = [
@@ -744,6 +753,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for candidate evaluation (remo scheme only; "
         "results are identical to a serial run)",
+    )
+    plan_p.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        help="cap ranked candidates evaluated per search iteration (remo "
+        "scheme only; default evaluates the full candidate budget and "
+        "keeps plans bit-identical across releases)",
+    )
+    plan_p.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="evaluate the entire merge/split neighborhood each iteration "
+        "instead of the ranked top-8 (remo scheme only; slow, ablation "
+        "baseline)",
     )
     plan_p.set_defaults(func=_plan)
 

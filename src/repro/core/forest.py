@@ -8,6 +8,7 @@ whose collected-pair count is the objective the local search compares.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.cluster.node import Cluster
@@ -21,12 +22,95 @@ from repro.core.allocation import (
 from repro.core.cost import AggregationMap, CostModel
 from repro.core.partition import AttributeSet, Partition
 from repro.core.plan import MonitoringPlan
+from repro.obs import names
+from repro.obs.metrics import default_registry
 from repro.trees.base import GreedyTreeBuilder, TreeBuildRequest, TreeBuildResult
 from repro.trees.adaptive import AdaptiveTreeBuilder
 
 #: Optional per-pair value weights (frequency extension): expected
 #: values per base collection period, in ``(0, 1]``.
 PairWeights = Mapping[NodeAttributePair, float]
+
+#: A tree-construction cache key: every input the greedy builder reads
+#: (see :meth:`TreeMemo.key`), as plain hashable tuples -- full inputs,
+#: not a digest, so hash collisions cannot alias distinct builds.
+MemoKey = Tuple[object, ...]
+
+
+class TreeMemo:
+    """LRU cache of tree-construction results across candidate plans.
+
+    Most partitions recur across merge iterations of the planner's
+    local search: a candidate differs from the incumbent in one or two
+    sets, but sequential allocation re-builds every set downstream of
+    the change because its capacity ledger shifts.  Whenever a set's
+    *effective inputs* -- demands, remaining capacities of the demand
+    nodes, central remaining, message weights -- are unchanged, the
+    greedy build is a pure function of them, so the cached
+    :class:`TreeBuildResult` is byte-identical to a cold rebuild and
+    can be shared (candidate evaluation never mutates trees; the same
+    sharing contract ``keep=`` already relies on).
+
+    One memo serves one ``plan()`` call -- within that scope the
+    demands and message weights for a given attribute set are pure
+    functions of the set (they derive from the fixed pair set and pair
+    weights), so the key only needs the inputs that actually vary
+    between builds: the set itself, the demand nodes' remaining
+    capacity slices, and the central slice.  A memo must therefore
+    never be shared across workloads or builder configurations.
+    Hit/miss counts land on the ``planner_memo_*`` registry counters
+    that :class:`~repro.core.planner.PlanningStats` reads back.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be > 0, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[MemoKey, TreeBuildResult]" = OrderedDict()
+        # Sorted demand-node lists per attribute set, computed once:
+        # keying must stay far cheaper than the builds it short-cuts.
+        self._key_nodes: Dict[AttributeSet, List[NodeId]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(
+        self,
+        attr_set: AttributeSet,
+        demands: Dict[NodeId, Dict[AttributeId, float]],
+        ledger: CapacityLedger,
+    ) -> MemoKey:
+        """Fingerprint of one tree build's varying inputs.
+
+        Only demand nodes can join the tree, so their remaining
+        capacity slices (plus the central slice) are the only ledger
+        state the build can observe.
+        """
+        nodes = self._key_nodes.get(attr_set)
+        if nodes is None:
+            nodes = self._key_nodes[attr_set] = sorted(demands)
+        return (
+            attr_set,
+            tuple(ledger.remaining(n) for n in nodes),
+            ledger.central_remaining,
+        )
+
+    def get(self, key: MemoKey) -> Optional[TreeBuildResult]:
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: MemoKey, result: TreeBuildResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
 
 
 class ForestBuilder:
@@ -71,6 +155,7 @@ class ForestBuilder:
         pair_weights: Optional[PairWeights] = None,
         msg_weights: Optional[Mapping[NodeId, float]] = None,
         keep: Optional[Mapping[AttributeSet, TreeBuildResult]] = None,
+        memo: Optional[TreeMemo] = None,
     ) -> MonitoringPlan:
         """Build a plan for ``partition`` over the de-duplicated ``pairs``.
 
@@ -78,6 +163,11 @@ class ForestBuilder:
         be retained verbatim (the DIRECT-APPLY adaptation path); their
         usage is charged to the capacity ledger before any new tree is
         built.  Only supported under sequential allocation policies.
+
+        ``memo`` optionally caches tree-construction results across
+        calls (see :class:`TreeMemo`); only consulted under sequential
+        allocation, where the ledger state a build observes is captured
+        by the memo key.
         """
         pair_set = frozenset(pairs)
         universe = {p.attribute for p in pair_set}
@@ -104,7 +194,7 @@ class ForestBuilder:
 
         if self.allocation.is_sequential:
             results = self._build_sequential(
-                partition, cluster, demands, set_volumes, msg_weights, keep
+                partition, cluster, demands, set_volumes, msg_weights, keep, memo
             )
         else:
             results = self._build_predivided(
@@ -156,11 +246,13 @@ class ForestBuilder:
         set_volumes: Dict[AttributeSet, int],
         msg_weights: Optional[Mapping[NodeId, float]],
         keep: Dict[AttributeSet, TreeBuildResult],
+        memo: Optional[TreeMemo] = None,
     ) -> Dict[AttributeSet, TreeBuildResult]:
         ledger = CapacityLedger(
             {node.node_id: node.capacity for node in cluster},
             cluster.central_capacity,
         )
+        registry = default_registry()
         results: Dict[AttributeSet, TreeBuildResult] = {}
         for attr_set, kept in keep.items():
             tree = kept.tree
@@ -171,15 +263,27 @@ class ForestBuilder:
         for attr_set in build_order(self.allocation, partition, set_volumes):
             if attr_set in results:
                 continue
-            request = TreeBuildRequest(
-                attributes=attr_set,
-                demands=demands[attr_set],
-                capacities=ledger.view(),
-                central_capacity=ledger.central_remaining,
-                aggregation=self.aggregation,
-                msg_weights=msg_weights,
-            )
-            result = self.tree_builder.build(request)
+            result = None
+            memo_key: Optional[MemoKey] = None
+            if memo is not None:
+                memo_key = memo.key(attr_set, demands[attr_set], ledger)
+                result = memo.get(memo_key)
+                if result is not None:
+                    registry.incr(names.PLANNER_MEMO_HITS_TOTAL)
+                else:
+                    registry.incr(names.PLANNER_MEMO_MISSES_TOTAL)
+            if result is None:
+                request = TreeBuildRequest(
+                    attributes=attr_set,
+                    demands=demands[attr_set],
+                    capacities=ledger.view(),
+                    central_capacity=ledger.central_remaining,
+                    aggregation=self.aggregation,
+                    msg_weights=msg_weights,
+                )
+                result = self.tree_builder.build(request)
+                if memo is not None and memo_key is not None:
+                    memo.put(memo_key, result)
             tree = result.tree
             ledger.charge(
                 {node: tree.used(node) for node in tree.nodes}, tree.central_used()

@@ -11,6 +11,7 @@ per unit time (the adaptation machinery's ``C_cur``).
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
 
@@ -160,6 +161,34 @@ class MonitoringPlan:
     def adaptation_cost_from(self, previous: "MonitoringPlan") -> int:
         """Number of edge changes relative to ``previous`` (``M_adapt``)."""
         return self.edge_multiset_diff(previous.edge_multiset(), self.edge_multiset())
+
+    def fingerprint(self) -> str:
+        """Canonical content digest for bit-identity comparisons.
+
+        Two plans fingerprint equal iff they have the same partition,
+        the same tree structures (edges in canonical order), the same
+        per-node local demands, and bitwise-equal send costs (floats
+        rendered via ``repr``, which round-trips exactly).  Used by the
+        seed-identity tests to assert that default planner settings
+        reproduce PR-4 plans byte for byte.
+        """
+        digest = hashlib.sha256()
+        for attr_set in sorted(self.trees, key=_set_key):
+            digest.update(b"set:")
+            digest.update(_set_key(attr_set).encode("utf-8"))
+            tree = self.trees[attr_set].tree
+            for node in sorted(tree.nodes):
+                parent = tree.parent(node)
+                demand = ",".join(
+                    f"{attr}={weight!r}"
+                    for attr, weight in sorted(tree.local_demand(node).items())
+                )
+                record = (
+                    f"|{node}>{-1 if parent is None else parent}"
+                    f";{tree.send_cost(node)!r};{demand}"
+                )
+                digest.update(record.encode("utf-8"))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Validation

@@ -22,6 +22,7 @@ paper's rationale for ranking by usage reduction in the first place).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -45,7 +46,7 @@ from repro.obs.trace import Span
 from repro.core.attributes import AttributeId, NodeAttributePair, NodeId
 from repro.core.allocation import AllocationPolicy
 from repro.core.cost import AggregationMap, CostModel
-from repro.core.forest import ForestBuilder, PairWeights
+from repro.core.forest import ForestBuilder, PairWeights, TreeMemo
 from repro.core.gain import GainContext, rank_candidates
 from repro.core.partition import AttributeSet, MergeOp, Partition, PartitionOp
 from repro.core.plan import MonitoringPlan, ShardedPlan
@@ -79,6 +80,8 @@ class PlanningStats:
         ("iterations", names.PLANNER_ITERATIONS_TOTAL),
         ("candidates_ranked", names.PLANNER_CANDIDATES_RANKED_TOTAL),
         ("candidates_evaluated", names.PLANNER_CANDIDATES_EVALUATED_TOTAL),
+        ("memo_hits", names.PLANNER_MEMO_HITS_TOTAL),
+        ("memo_misses", names.PLANNER_MEMO_MISSES_TOTAL),
     )
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
@@ -122,6 +125,20 @@ class PlanningStats:
     def candidates_evaluated(self) -> int:
         return self._delta(names.PLANNER_CANDIDATES_EVALUATED_TOTAL)
 
+    @property
+    def memo_hits(self) -> int:
+        """Tree builds answered from the construction memo.
+
+        Process-pool workers keep their own memos and do not ship
+        counters back, so under ``parallelism > 1`` this reflects only
+        the serial portions of the search (seeds, full rebuilds).
+        """
+        return self._delta(names.PLANNER_MEMO_HITS_TOTAL)
+
+    @property
+    def memo_misses(self) -> int:
+        return self._delta(names.PLANNER_MEMO_MISSES_TOTAL)
+
 
 def objective(plan: MonitoringPlan) -> Tuple[int, float]:
     """Lexicographic objective: collected pairs up, message volume down."""
@@ -144,6 +161,10 @@ class _EvalContext:
     pair_weights: Optional[PairWeights]
     msg_weights: Optional[Mapping[NodeId, float]]
     debug_checks: bool
+    #: Per-plan-call tree-construction cache (``None`` disables).  The
+    #: memo is created empty before the worker pool forks, so each
+    #: worker warms its own copy independently.
+    memo: Optional[TreeMemo] = None
 
 
 def _context_build(
@@ -158,6 +179,7 @@ def _context_build(
         pair_weights=ctx.pair_weights,
         msg_weights=ctx.msg_weights,
         keep=keep,
+        memo=ctx.memo,
     )
     if ctx.debug_checks:
         # Every candidate the search evaluates flows through this
@@ -312,6 +334,24 @@ class RemoPlanner:
         ``1`` (the default) evaluates inline.  Workers are forked, so
         the knob silently degrades to serial where fork is
         unavailable.
+    beam_width:
+        Cap on ranked candidates that survive into full evaluation per
+        iteration, applied after ``candidate_budget``.  ``None`` (the
+        default) keeps the exact PR-4 search and bit-identical plans;
+        small beams trade plan quality (bounded in practice, see the
+        beam tests' objective-ratio envelope) for large-workload
+        speed.
+    early_termination:
+        Stop the local search once an accepted step improves message
+        cost by less than this *fraction* of the incumbent's cost
+        without improving coverage.  ``None`` (the default) runs to a
+        local optimum, preserving bit-identity.
+    memo_size:
+        Entries in the per-``plan()``-call tree-construction memo
+        (:class:`~repro.core.forest.TreeMemo`).  ``0`` disables
+        memoization.  Memo hits return results bit-identical to a cold
+        rebuild (the build is a pure function of the memo key), so
+        this knob affects speed only.
     """
 
     def __init__(
@@ -326,6 +366,9 @@ class RemoPlanner:
         forbidden_pairs: Optional[Set[FrozenSet[AttributeId]]] = None,
         plan_cost_fn: Optional[Callable[[MonitoringPlan], float]] = None,
         parallelism: int = 1,
+        beam_width: Optional[int] = None,
+        early_termination: Optional[float] = None,
+        memo_size: int = 128,
     ) -> None:
         if candidate_budget is not None and candidate_budget <= 0:
             raise ValueError(f"candidate_budget must be > 0 or None, got {candidate_budget}")
@@ -333,6 +376,14 @@ class RemoPlanner:
             raise ValueError(f"max_iterations must be > 0, got {max_iterations}")
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        if beam_width is not None and beam_width <= 0:
+            raise ValueError(f"beam_width must be > 0 or None, got {beam_width}")
+        if early_termination is not None and not 0.0 < early_termination < 1.0:
+            raise ValueError(
+                f"early_termination must be in (0, 1) or None, got {early_termination}"
+            )
+        if memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {memo_size}")
         self.cost = cost_model
         self.forest = ForestBuilder(
             cost_model,
@@ -344,6 +395,9 @@ class RemoPlanner:
         self.max_iterations = max_iterations
         self.first_improvement = first_improvement
         self.parallelism = parallelism
+        self.beam_width = beam_width
+        self.early_termination = early_termination
+        self.memo_size = memo_size
         self.forbidden_pairs = set(forbidden_pairs or set())
         #: Top-ranked candidates granted a full forest rebuild when the
         #: cheap incremental evaluation finds no improvement.
@@ -446,6 +500,7 @@ class RemoPlanner:
                 pair_weights=pair_weights,
                 msg_weights=msg_weights,
                 debug_checks=debug_checks,
+                memo=TreeMemo(self.memo_size) if self.memo_size > 0 else None,
             )
 
             def build(
@@ -490,6 +545,18 @@ class RemoPlanner:
                     )
                     if accepted is None:
                         break
+                    if self.early_termination is not None and (
+                        accepted.collected_pair_count()
+                        == incumbent.collected_pair_count()
+                    ):
+                        # A cost-only step this small signals a
+                        # flattening search; keep the improvement but
+                        # stop looking for more.
+                        prev_cost = incumbent.total_message_cost()
+                        saved = prev_cost - accepted.total_message_cost()
+                        if saved < self.early_termination * max(prev_cost, _COST_EPS):
+                            incumbent = accepted
+                            break
                     incumbent = accepted
                 if stats.accepted_ops:
                     # Candidate evaluation carries unaffected trees over, which
@@ -605,6 +672,11 @@ class RemoPlanner:
         with trace.span(
             names.SPAN_PARTITION_MERGE_ITERATION, lane=names.LANE_PLANNER, iteration=stats.iterations
         ) as iteration_span:
+            # Partition-augmentation phase: neighborhood enumeration
+            # plus gain ranking, timed separately from the (dominant)
+            # tree-construction phase so the scaling bench can report
+            # where wall time goes.
+            phase_started = time.perf_counter()
             partition = incumbent.partition
             gain_ctx = GainContext.from_plan(incumbent, self.cost)
             ops: List[PartitionOp] = list(
@@ -612,6 +684,13 @@ class RemoPlanner:
             )
             ops.extend(partition.split_ops())
             ranked = rank_candidates(ops, gain_ctx, budget=self.candidate_budget)
+            if self.beam_width is not None:
+                ranked = ranked[: self.beam_width]
+            default_registry().observe(
+                names.PLANNER_PHASE_SECONDS,
+                time.perf_counter() - phase_started,
+                phase="partition",
+            )
             stats.bump(names.PLANNER_CANDIDATES_RANKED_TOTAL, len(ops))
             iteration_span.set(neighborhood=len(ops), candidates=len(ranked))
 

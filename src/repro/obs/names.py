@@ -73,6 +73,13 @@ NET_DIAL_LATENCY_S = "net_dial_latency_s"
 PLANNER_ITERATIONS_TOTAL = "planner_iterations_total"
 PLANNER_CANDIDATES_RANKED_TOTAL = "planner_candidates_ranked_total"
 PLANNER_CANDIDATES_EVALUATED_TOTAL = "planner_candidates_evaluated_total"
+PLANNER_MEMO_HITS_TOTAL = "planner_memo_hits_total"
+PLANNER_MEMO_MISSES_TOTAL = "planner_memo_misses_total"
+
+# Planner phase histogram: wall seconds per phase (labels:
+# phase=partition|tree_construction|adjustment).  The adjustment phase
+# runs inside tree construction, so its time is a subset, not additive.
+PLANNER_PHASE_SECONDS = "planner_phase_seconds"
 
 # Adaptive-service counters.
 ADAPTATION_OPS_APPLIED_TOTAL = "adaptation_ops_applied_total"
@@ -135,6 +142,9 @@ METRICS = frozenset(
         PLANNER_ITERATIONS_TOTAL,
         PLANNER_CANDIDATES_RANKED_TOTAL,
         PLANNER_CANDIDATES_EVALUATED_TOTAL,
+        PLANNER_MEMO_HITS_TOTAL,
+        PLANNER_MEMO_MISSES_TOTAL,
+        PLANNER_PHASE_SECONDS,
         ADAPTATION_OPS_APPLIED_TOTAL,
         ADAPTATION_OPS_THROTTLED_TOTAL,
         ADAPTATION_MESSAGES_TOTAL,

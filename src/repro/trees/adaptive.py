@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro.core.attributes import NodeId
 from repro.core.cost import CostModel
+from repro.trees import model as _tree_model
 from repro.trees.adjust import TreeAdjuster
 from repro.trees.base import GreedyTreeBuilder, TreeBuildRequest
 from repro.trees.model import MonitoringTree
@@ -102,6 +103,50 @@ class AdaptiveTreeBuilder(GreedyTreeBuilder):
         relay_toll = self.cost.value_cost(2.0 * payload * tree.depth(parent))
         slots = min(64.0, max(0.0, (tree.available(parent) - relay_toll) / self._pp_per_child))
         return (-int(slots), tree.depth(parent), -tree.available(parent), parent)
+
+    def _ordered_parents(self, tree: MonitoringTree, entry_cost: float = 0.0) -> List[NodeId]:
+        # Blend ranking over the bulk headroom kernel: one gather of
+        # (node, depth, available) triples replaces per-candidate
+        # available()/depth() calls inside the sort key.  The key tuple
+        # is exactly parent_preference's, so the order is unchanged.
+        if self.construction == "star":
+            return super()._ordered_parents(tree, entry_cost)
+        payload = getattr(self, "_inserting_payload", 1.0)
+        if payload != self._pp_payload:
+            self._pp_payload = payload
+            self._pp_per_child = self.cost.weighted_message_cost(1.0, 2.0 * payload)
+        per_child = self._pp_per_child
+        value_cost = self.cost.value_cost
+        arrays = tree.viable_parent_arrays(entry_cost)
+        if arrays is not None:
+            # Whole-key vectorization: CostModel methods broadcast over
+            # ndarrays with the same elementwise IEEE operations as the
+            # scalar path, int() truncation equals int64 astype for the
+            # non-negative slot counts, and depths round-trip float64
+            # exactly -- so the sorted order matches the scalar path
+            # bit for bit.
+            np = _tree_model._np
+            nodes, depths, avail = arrays
+            relay_toll = value_cost(2.0 * payload * depths)
+            slots = np.minimum(64.0, np.maximum(0.0, (avail - relay_toll) / per_child))
+            keyed = list(
+                zip(
+                    (-slots.astype(np.int64)).tolist(),
+                    depths.astype(np.int64).tolist(),
+                    (-avail).tolist(),
+                    nodes,
+                )
+            )
+        else:
+            keyed = []
+            for parent, depth, avail in tree.viable_parent_stats(entry_cost):
+                relay_toll = value_cost(2.0 * payload * depth)
+                slots = min(64.0, max(0.0, (avail - relay_toll) / per_child))
+                keyed.append((-int(slots), depth, -avail, parent))
+        keyed.sort()
+        if self.max_parent_candidates is not None:
+            keyed = keyed[: self.max_parent_candidates]
+        return [entry[3] for entry in keyed]
 
     def _max_retry_rounds(self) -> int:
         return self.max_adjust_rounds_per_node

@@ -23,9 +23,12 @@ flags on :class:`TreeAdjuster`:
 
 from __future__ import annotations
 
+import time
 from typing import List, Sequence
 
 from repro.core.attributes import NodeId
+from repro.obs import names
+from repro.obs.metrics import default_registry
 from repro.trees.model import MonitoringTree
 
 
@@ -61,21 +64,56 @@ class TreeAdjuster:
         ``failed_cost`` is the send cost the failed node would have
         incurred (``u_df``), used to decide Theorem 1 applicability.
         Returns ``True`` if the tree was restructured.
+
+        Failed full-tree sweeps are memoized against the tree's
+        mutation epoch: a failed probe never mutates, and the Theorem-1
+        gate only *shrinks* candidate pools as ``failed_cost``
+        decreases, so once a sweep over every member has failed at cost
+        ``F``, any sweep at the same epoch with the same flags and cost
+        ``<= F`` must fail too and is skipped outright.  Any committed
+        mutation bumps the epoch and invalidates the memo.
         """
-        ordered = sorted(set(congested) & set(tree.nodes), key=tree.depth)
-        for dc in ordered:
+        parent_tab = tree._parent
+        cong = {n for n in congested if n in parent_tab}
+        memo = tree._relieve_memo
+        same_config = (
+            memo is not None
+            and memo[0] == tree.mutation_epoch
+            and memo[1] == self.branch_based
+            and memo[2] == self.subtree_only
+        )
+        if same_config and memo is not None and failed_cost <= memo[3]:
+            return False
+        started = time.perf_counter()
+        relieved = False
+        for dc in sorted(cong, key=tree._depth.__getitem__):
             if self._relieve_node(tree, dc, failed_cost):
-                return True
-        return False
+                relieved = True
+                break
+        if not relieved and len(cong) == len(parent_tab):
+            prev = memo[3] if same_config and memo is not None else -float("inf")
+            tree._relieve_memo = (
+                tree.mutation_epoch,
+                self.branch_based,
+                self.subtree_only,
+                max(failed_cost, prev),
+            )
+        default_registry().observe(
+            names.PLANNER_PHASE_SECONDS,
+            time.perf_counter() - started,
+            phase="adjustment",
+        )
+        return relieved
 
     # ------------------------------------------------------------------
     def _relieve_node(self, tree: MonitoringTree, dc: NodeId, failed_cost: float) -> bool:
-        children = sorted(tree.children(dc), key=tree.send_cost)
-        if len(children) < 2 and tree.parent(dc) is not None:
+        child_set = tree.children(dc)
+        if len(child_set) < 2 and tree.parent(dc) is not None:
             # Pruning the only branch of a non-root just shifts the
             # problem to the parent without freeing overhead at dc's
-            # ancestors; skip.
+            # ancestors; skip (before paying for the child sort).
             return False
+        children = sorted(child_set, key=tree.send_cost)
         for branch in children:
             branch_cost = tree.send_cost(branch)
             targets = self._candidate_targets(tree, dc, branch, branch_cost, failed_cost)
@@ -95,19 +133,25 @@ class TreeAdjuster:
         branch_cost: float,
         failed_cost: float,
     ) -> List[NodeId]:
-        """Candidate re-attachment parents, deepest first (to grow height)."""
-        branch_nodes = set(tree.subtree_nodes(branch))
+        """Candidate re-attachment pool (unsorted; re-attachers filter
+        by their headroom bar first, then rank only the survivors)."""
+        children = tree._children
         if self.subtree_only and failed_cost <= branch_cost:
             # Theorem 1: hosts outside dc's subtree cannot accept the
             # branch, since they already refused the cheaper failed node.
-            pool = [
-                n
-                for n in tree.subtree_nodes(dc)
-                if n != dc and n not in branch_nodes
-            ]
-        else:
-            pool = [n for n in tree.nodes if n != dc and n not in branch_nodes]
-        return sorted(pool, key=lambda n: (-tree.depth(n), -tree.available(n), n))
+            # One walk of dc's subtree that never descends into the
+            # pruned branch replaces two full walks plus membership
+            # filtering; order is irrelevant (consumers rank by total
+            # orders).
+            pool: List[NodeId] = []
+            stack = [c for c in children[dc] if c != branch]
+            while stack:
+                current = stack.pop()
+                pool.append(current)
+                stack.extend(children[current])
+            return pool
+        branch_nodes = set(tree.subtree_nodes(branch))
+        return [n for n in tree.nodes if n != dc and n not in branch_nodes]
 
     def _reattach_branch(
         self, tree: MonitoringTree, dc: NodeId, branch: NodeId, targets: List[NodeId]
@@ -135,11 +179,31 @@ class TreeAdjuster:
             current = tree.parent(current)
         transferable = not tree.has_aggregation()
         blocked: set = set()
+        # Filter by the headroom bar before ranking: failed probes
+        # never mutate, so sorting only the survivors (deepest first,
+        # to grow height) probes the same targets in the same order as
+        # ranking the whole pool and skipping inside the loop.  The
+        # headroom expression reads the slot columns directly and is
+        # float-identical to MonitoringTree.available.
+        slot_tab = tree._slot
+        cap_a = tree._cap_a
+        send_a = tree._send_a
+        recv_a = tree._recv_a
+        depth_tab = tree._depth
+        keyed = []
         for target in targets:
             bar = branch_cost if target in relieved else min_headroom
-            if tree.available(target) < bar - 1e-9:
+            slot = slot_tab[target]
+            avail = cap_a[slot] - (send_a[slot] + recv_a[slot])
+            if avail < bar - 1e-9:
                 continue
-            if blocked and self._path_blocked(tree, target, blocked):
+            keyed.append((-depth_tab[target], -avail, target))
+        keyed.sort()
+        for _neg_depth, _neg_avail, target in keyed:
+            # ``blocked`` is the subtree closure of rejecting relay
+            # hops: a target routes through one iff it lies in that
+            # hop's subtree, so the skip test is a set lookup.
+            if target in blocked:
                 continue
             self.probe_count += 1
             if tree.move_branch(branch, target):
@@ -147,16 +211,12 @@ class TreeAdjuster:
             if transferable:
                 fail_node, minimal = tree.last_attach_failure()
                 if minimal and fail_node is not None and fail_node != target:
-                    blocked.add(fail_node)
-        return False
-
-    @staticmethod
-    def _path_blocked(tree: MonitoringTree, target: NodeId, blocked: "set") -> bool:
-        current = target
-        while current is not None:
-            if current in blocked:
-                return True
-            current = tree.parent(current)
+                    if fail_node == tree.root:
+                        # Everything routes through the root: no
+                        # remaining target can absorb the branch.
+                        return False
+                    if fail_node not in blocked:
+                        blocked.update(tree.subtree_nodes(fail_node))
         return False
 
     def _reattach_nodes(

@@ -12,11 +12,14 @@ the adjusting procedure.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.core.attributes import NodeId
 from repro.core.cost import AggregationMap, CostModel
+from repro.obs import names
+from repro.obs.metrics import default_registry
 from repro.trees.model import MonitoringTree, NodeDemand
 
 
@@ -32,9 +35,11 @@ class TreeBuildRequest:
         ``{node: {attribute: weight}}`` -- each candidate member's local
         contribution.  Nodes with empty demand are not candidates.
     capacities:
-        Capacity slice allocated to this tree per node.  Builders read
-        the mapping live, so an on-demand allocator may share one
-        mutable view across trees.
+        Capacity slice allocated to this tree per node.  The tree
+        snapshots each member's slice when it attaches (see
+        :class:`~repro.trees.model.MonitoringTree`), so the mapping
+        must be settled before :meth:`GreedyTreeBuilder.build` runs --
+        the sequential allocator passes a frozen ledger view.
     central_capacity:
         Collector-side capacity available to this tree's root message.
     aggregation:
@@ -119,6 +124,7 @@ class GreedyTreeBuilder:
 
     def build(self, request: TreeBuildRequest) -> TreeBuildResult:
         """Construct a tree for ``request`` and report exclusions."""
+        started = time.perf_counter()
         tree = MonitoringTree(
             attributes=request.attributes,
             cost_model=self.cost,
@@ -130,6 +136,11 @@ class GreedyTreeBuilder:
         for node in self.insertion_order(request):
             if not self._insert(tree, request, node):
                 excluded.append(node)
+        default_registry().observe(
+            names.PLANNER_PHASE_SECONDS,
+            time.perf_counter() - started,
+            phase="tree_construction",
+        )
         return TreeBuildResult(tree=tree, excluded=excluded)
 
     # -- helpers -----------------------------------------------------------
@@ -157,11 +168,15 @@ class GreedyTreeBuilder:
             # Minimal-delta failures transfer between candidate parents
             # (see MonitoringTree.last_attach_failure): once an ancestor
             # has rejected the insertion, every candidate routing
-            # through it can be skipped without probing.
+            # through it can be skipped without probing.  ``blocked``
+            # holds the *subtree closure* of rejecting nodes (a
+            # candidate routes through a rejecting node iff it sits in
+            # that node's subtree), so the skip test is one set lookup
+            # instead of an ancestor-path walk per candidate.
             transferable = not tree.has_aggregation()
             blocked: set = set()
             for idx, parent in enumerate(viable):
-                if blocked and self._path_blocked(tree, parent, blocked):
+                if parent in blocked:
                     failed.append(parent)
                     continue
                 if tree.add_node(node, parent, demand, msgw):
@@ -181,31 +196,32 @@ class GreedyTreeBuilder:
                         # probed parent itself does NOT -- the direct
                         # attach charges the new child's per-message
                         # overhead, which routed attaches avoid.
-                        blocked.add(fail_node)
+                        if fail_node == tree.root:
+                            # Everything routes through the root: all
+                            # remaining candidates fail without probing.
+                            failed.extend(viable[idx + 1 :])
+                            break
+                        if fail_node not in blocked:
+                            blocked.update(tree.subtree_nodes(fail_node))
             attempts += 1
             if attempts > self._max_retry_rounds():
                 return False
             # Every node that could not host the insertion -- whether it
             # failed the cheap headroom pre-filter or the full path walk
             # -- is congested in the paper's sense.
-            pruned = [p for p in tree.nodes if p not in set(viable)]
+            viable_set = set(viable)
+            pruned = [p for p in tree.nodes if p not in viable_set]
             if not self.on_saturated(tree, request, node, failed + pruned):
                 return False
-
-    @staticmethod
-    def _path_blocked(tree: MonitoringTree, parent: NodeId, blocked: "set") -> bool:
-        current: Optional[NodeId] = parent
-        while current is not None:
-            if current in blocked:
-                return True
-            current = tree.parent(current)
-        return False
 
     def _ordered_parents(self, tree: MonitoringTree, entry_cost: float = 0.0) -> List[NodeId]:
         # A parent must at least absorb the new child's message on its
         # receive side; anything with less headroom cannot host it, so
-        # skip the (much costlier) full path walk for those.
-        viable = [p for p in tree.nodes if tree.available(p) >= entry_cost - 1e-9]
+        # skip the (much costlier) full path walk for those.  The bulk
+        # kernel scans the flat capacity/send/recv columns (vectorized
+        # when numpy is available); preference keys are total orders,
+        # so the kernel's storage order never shows in the result.
+        viable = tree.viable_parents(entry_cost)
         viable.sort(key=lambda p: self.parent_preference(tree, p))
         if self.max_parent_candidates is not None:
             return viable[: self.max_parent_candidates]

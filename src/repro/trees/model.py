@@ -31,15 +31,43 @@ member node ``i``, ``send(i) + recv(i) <= capacity(i)``, where
 ``capacity(i)`` is the slice of node ``i``'s budget allocated to this
 tree.  The tree root additionally charges the central collector
 ``send(root)`` against the tree's ``central_capacity`` slice.
+
+Memory layout: scalar per-node state (capacity slice, send cost, recv
+cost) lives in flat ``array('d')`` columns indexed by a dense *slot*
+id assigned at attach time (struct of arrays), so headroom scans and
+ancestor delta walks read contiguous floats instead of chasing
+dict-of-dict pointers.  Per-attribute content stays in sparse dicts
+(most nodes carry a handful of the tree's attributes), but funnel
+dispatch is precompiled into dense per-attribute-id kind/k arrays.
+When numpy is importable (the ``perf`` extra) the bulk headroom
+kernel :meth:`MonitoringTree.viable_parents` evaluates
+``capacity - (send + recv)`` vectorized over a zero-copy view of the
+columns; the pure-Python fallback computes the identical floats
+(same IEEE operations element by element), and setting
+``REPRO_NO_NUMPY=1`` forces the fallback for testing.
 """
 
 from __future__ import annotations
 
 import math
+import os
+from array import array
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.attributes import AttributeId, NodeId
 from repro.core.cost import AggregationKind, AggregationMap, AggregationSpec, CostModel
+
+try:  # pragma: no cover - exercised via the fallback parity tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None  # type: ignore[assignment]
+
+#: Below this member count the vectorized headroom kernel costs more
+#: than the plain loop (array-view setup dominates), so small trees
+#: always take the Python path.
+_NUMPY_MIN_NODES = 16
 
 #: A node's local contribution to a tree: ``{attribute: weight}`` where
 #: weight is the expected number of values per collection period (1.0
@@ -57,6 +85,11 @@ _CHILD_DETACHED = -1
 #: Per-attribute delta of a child's outgoing content: ``(old, new)``
 #: value weights (0.0 encodes absence).
 _ValueDeltas = Dict[AttributeId, Tuple[float, float]]
+
+#: Shared read-only empty delta map; the fast probe path in
+#: ``_propagate_delta`` swaps it in so the general per-attribute loop
+#: below it iterates nothing.  Never mutate.
+_EMPTY_DELTAS: _ValueDeltas = {}
 
 
 class TreeInvariantError(AssertionError):
@@ -122,8 +155,10 @@ class MonitoringTree:
         The shared ``C + a*x`` model.
     capacities:
         Allocated capacity slice per node for *this* tree.  Nodes not in
-        the mapping cannot join.  The mapping is read live, so an
-        on-demand allocator can update it between attachments.
+        the mapping cannot join.  Each member's slice is snapshotted
+        into a flat column when it attaches; reassigning
+        :attr:`capacities` refreshes the snapshot for every member
+        (the pattern the adaptation path and tests use).
     central_capacity:
         Capacity slice at the central collector available to this
         tree's root message.
@@ -144,7 +179,7 @@ class MonitoringTree:
         if not self.attributes:
             raise ValueError("a monitoring tree must deliver at least one attribute")
         self.cost = cost_model
-        self.capacities = capacities
+        self._capacities = capacities
         self.central_capacity = central_capacity
         self._agg: Dict[AttributeId, AggregationSpec] = {}
         for attr, spec in (aggregation or {}).items():
@@ -156,6 +191,51 @@ class MonitoringTree:
         #: Fast-path flag: with no funnels, outgoing = incoming and the
         #: delta walk can skip the per-attribute funnel dispatch.
         self._has_agg = bool(self._agg)
+
+        # Dense attribute ids: funnel dispatch compiled into flat
+        # kind/k arrays so the hot walk never touches spec objects.
+        # Kind codes: 0 = identity (holistic), 1 = saturating
+        # single-partial funnel, 2 = top-k.
+        self._attr_of: List[AttributeId] = sorted(self.attributes)
+        self._attr_index: Dict[AttributeId, int] = {
+            a: i for i, a in enumerate(self._attr_of)
+        }
+        self._funnel_kind = array("b", bytes(len(self._attr_of)))
+        self._funnel_k = array("d", [0.0] * len(self._attr_of))
+        for attr, spec in self._agg.items():
+            ai = self._attr_index[attr]
+            if spec.kind is AggregationKind.TOP_K:
+                self._funnel_kind[ai] = 2
+                self._funnel_k[ai] = float(spec.k)
+            else:
+                self._funnel_kind[ai] = 1
+
+        # Struct-of-arrays node state: ``_slot`` assigns each member a
+        # dense slot id (its insertion order matches ``_parent`` so
+        # float accumulation orders are unchanged); freed slots are
+        # recycled LIFO with capacity poisoned to -inf so they can
+        # never pass a headroom bar in bulk scans.
+        self._slot: Dict[NodeId, int] = {}
+        self._node_of: List[NodeId] = []
+        self._free_slots: List[int] = []
+        self._cap_a = array("d")
+        self._send_a = array("d")
+        self._recv_a = array("d")
+        # Maintained outgoing-value total (sum of ``_out[n].values``)
+        # and node depth, mirrored per slot so hot walks and the bulk
+        # headroom kernels never rescan dicts.  ``_tot_a`` is written
+        # wherever outgoing content is committed; ``_depth_a`` wherever
+        # ``_depth`` is.  ``validate`` cross-checks both against a full
+        # recompute.
+        self._tot_a = array("d")
+        self._depth_a = array("d")
+        # Monotone counter bumped on every committed mutation; negative
+        # caches (e.g. the adjuster's relieve memo) key off it.
+        self._epoch = 0
+        self._relieve_memo: Optional[Tuple[int, bool, bool, float]] = None
+        # (branch_root, epoch, attach_deltas, detach_deltas) reused
+        # across consecutive move probes of the same branch.
+        self._move_deltas_cache: Optional[Tuple[NodeId, int, Dict, Dict]] = None
 
         self._parent: Dict[NodeId, Optional[NodeId]] = {}
         self._children: Dict[NodeId, Set[NodeId]] = {}
@@ -175,8 +255,6 @@ class MonitoringTree:
         # weights) achieve ``_out[node].msg_weight``.  A departing
         # contributor only forces a rescan when this count hits zero.
         self._msgw_count: Dict[NodeId, int] = {}
-        self._send: Dict[NodeId, float] = {}
-        self._recv: Dict[NodeId, float] = {}
         self._root: Optional[NodeId] = None
         self._pair_count = 0
         # Node at which the most recent check-mode walk failed (None if
@@ -187,6 +265,134 @@ class MonitoringTree:
         # builders can prune sibling candidate parents without probing.
         self._last_check_fail: Optional[NodeId] = None
         self._last_check_fail_minimal = True
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays slot management
+    # ------------------------------------------------------------------
+    @property
+    def capacities(self) -> Mapping[NodeId, float]:
+        """The per-node capacity-slice mapping this tree was built with."""
+        return self._capacities
+
+    @capacities.setter
+    def capacities(self, mapping: Mapping[NodeId, float]) -> None:
+        self._capacities = mapping
+        for node, slot in self._slot.items():
+            self._cap_a[slot] = mapping.get(node, 0.0)
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of committed mutations (for negative caches)."""
+        return self._epoch
+
+    def _acquire_slot(self, node: NodeId) -> int:
+        cap = self._capacities.get(node, 0.0)
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._node_of[slot] = node
+            self._cap_a[slot] = cap
+            self._send_a[slot] = 0.0
+            self._recv_a[slot] = 0.0
+            self._tot_a[slot] = 0.0
+            self._depth_a[slot] = 0.0
+        else:
+            slot = len(self._node_of)
+            self._node_of.append(node)
+            self._cap_a.append(cap)
+            self._send_a.append(0.0)
+            self._recv_a.append(0.0)
+            self._tot_a.append(0.0)
+            self._depth_a.append(0.0)
+        self._slot[node] = slot
+        return slot
+
+    def _release_slot(self, node: NodeId) -> None:
+        slot = self._slot.pop(node)
+        self._node_of[slot] = -1
+        self._cap_a[slot] = -math.inf
+        self._send_a[slot] = 0.0
+        self._recv_a[slot] = 0.0
+        self._tot_a[slot] = 0.0
+        self._depth_a[slot] = 0.0
+        self._free_slots.append(slot)
+
+    # ------------------------------------------------------------------
+    # Bulk headroom kernels
+    # ------------------------------------------------------------------
+    def viable_parents(self, min_headroom: float) -> List[NodeId]:
+        """Members with ``available(n) >= min_headroom - 1e-9``.
+
+        The numpy path evaluates ``capacity - (send + recv)`` over
+        zero-copy views of the flat columns; the fallback performs the
+        same IEEE operations per element, so both return identical
+        node sets.  Order is slot order, which callers must not rely
+        on (every downstream ranking uses a total-order sort key).
+        """
+        bar = min_headroom - 1e-9
+        if _np is not None and len(self._slot) >= _NUMPY_MIN_NODES:
+            # Views must be retaken per call: array('d') may realloc.
+            cap = _np.frombuffer(self._cap_a)
+            send = _np.frombuffer(self._send_a)
+            recv = _np.frombuffer(self._recv_a)
+            ok = (cap - (send + recv) >= bar).nonzero()[0]
+            node_of = self._node_of
+            return [node_of[i] for i in ok.tolist()]
+        cap_a, send_a, recv_a = self._cap_a, self._send_a, self._recv_a
+        return [
+            node
+            for node, slot in self._slot.items()
+            if cap_a[slot] - (send_a[slot] + recv_a[slot]) >= bar
+        ]
+
+    def viable_parent_stats(
+        self, min_headroom: float
+    ) -> List[Tuple[NodeId, int, float]]:
+        """Like :meth:`viable_parents` but yields ``(node, depth,
+        available)`` triples so rankers avoid per-node re-reads."""
+        bar = min_headroom - 1e-9
+        depth = self._depth
+        if _np is not None and len(self._slot) >= _NUMPY_MIN_NODES:
+            cap = _np.frombuffer(self._cap_a)
+            send = _np.frombuffer(self._send_a)
+            recv = _np.frombuffer(self._recv_a)
+            avail = cap - (send + recv)
+            ok = (avail >= bar).nonzero()[0]
+            node_of = self._node_of
+            return [
+                (node_of[i], depth[node_of[i]], float(avail[i])) for i in ok.tolist()
+            ]
+        cap_a, send_a, recv_a = self._cap_a, self._send_a, self._recv_a
+        result = []
+        for node, slot in self._slot.items():
+            avail = cap_a[slot] - (send_a[slot] + recv_a[slot])
+            if avail >= bar:
+                result.append((node, depth[node], avail))
+        return result
+
+    def viable_parent_arrays(
+        self, min_headroom: float
+    ) -> Optional[Tuple[List[NodeId], "object", "object"]]:
+        """Vectorized form of :meth:`viable_parent_stats`.
+
+        Returns ``(nodes, depths, avail)`` where ``depths`` and
+        ``avail`` are float64 ndarrays aligned with ``nodes``, or
+        ``None`` when the numpy kernel is inactive (no numpy, or a
+        small tree) -- callers then fall back to the per-node path.
+        Keeping the columns as arrays lets rankers compute their whole
+        sort key elementwise instead of per candidate.
+        """
+        if _np is None or len(self._slot) < _NUMPY_MIN_NODES:
+            return None
+        bar = min_headroom - 1e-9
+        cap = _np.frombuffer(self._cap_a)
+        send = _np.frombuffer(self._send_a)
+        recv = _np.frombuffer(self._recv_a)
+        avail = cap - (send + recv)
+        ok = (avail >= bar).nonzero()[0]
+        node_of = self._node_of
+        nodes = [node_of[i] for i in ok.tolist()]
+        depths = _np.frombuffer(self._depth_a)[ok]
+        return nodes, depths, avail[ok]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -243,25 +449,27 @@ class MonitoringTree:
 
     def send_cost(self, node: NodeId) -> float:
         """``u_i``: cost of the node's periodic update message(s)."""
-        return self._send[node]
+        return self._send_a[self._slot[node]]
 
     def recv_cost(self, node: NodeId) -> float:
         """Cost of receiving all children's update messages."""
-        return self._recv[node]
+        return self._recv_a[self._slot[node]]
 
     def used(self, node: NodeId) -> float:
         """Total capacity consumed at ``node`` by this tree."""
-        return self._send[node] + self._recv[node]
+        slot = self._slot[node]
+        return self._send_a[slot] + self._recv_a[slot]
 
     def available(self, node: NodeId) -> float:
         """Remaining allocated capacity at ``node`` for this tree."""
-        return self.capacities.get(node, 0.0) - self.used(node)
+        slot = self._slot[node]
+        return self._cap_a[slot] - (self._send_a[slot] + self._recv_a[slot])
 
     def central_used(self) -> float:
         """Cost charged to the central collector by this tree's root."""
         if self._root is None:
             return 0.0
-        return self._send[self._root]
+        return self._send_a[self._slot[self._root]]
 
     def outgoing_values(self, node: NodeId) -> float:
         """``y_i``: total value weight in the node's update message."""
@@ -325,17 +533,27 @@ class MonitoringTree:
         the volume of monitoring traffic per unit time -- used by the
         adaptation throttling formula.
         """
-        return sum(self._send.values())
+        send_a = self._send_a
+        # Membership order (not slot order) keeps the accumulation
+        # sequence identical to the pre-SoA dict-valued sum.
+        return sum(send_a[slot] for slot in self._slot.values())
 
     # ------------------------------------------------------------------
     # Funnel helpers
     # ------------------------------------------------------------------
     def _funnel(self, attr: AttributeId, incoming: float) -> float:
-        spec = self._agg.get(attr)
-        if spec is None or incoming <= 0.0:
+        if incoming <= 0.0:
             return max(incoming, 0.0)
-        if spec.kind is AggregationKind.TOP_K:
-            return min(float(spec.k), incoming)
+        # Attributes outside the tree (tolerated by entry-cost probes)
+        # and holistic members pass through unchanged.
+        ai = self._attr_index.get(attr)
+        if ai is None:
+            return incoming
+        kind = self._funnel_kind[ai]
+        if kind == 0:
+            return incoming
+        if kind == 2:
+            return min(self._funnel_k[ai], incoming)
         # SUM/MAX/MIN/AVG/COUNT collapse to one partial result; when the
         # incoming weight is already below one message-worth of values
         # (fractional frequencies) nothing can be saved.
@@ -403,19 +621,28 @@ class MonitoringTree:
         if check and not self._attach_feasible(content, parent, extra_node=(node, demand)):
             return False
 
-        send = self._send_cost_of(content)
+        total = content.total()
+        send = (
+            self.cost.weighted_message_cost(content.msg_weight, total)
+            if content.msg_weight > 0.0
+            else 0.0
+        )
         self._parent[node] = parent
         self._children[node] = set()
-        self._depth[node] = 0 if parent is None else self._depth[parent] + 1
+        depth = 0 if parent is None else self._depth[parent] + 1
+        self._depth[node] = depth
         self._local[node] = dict(demand)
         self._local_msgw[node] = msg_weight
         self._in[node] = dict(demand)
         self._in_count[node] = {a: 1 for a in demand}
         self._out[node] = content
         self._msgw_count[node] = 1
-        self._send[node] = send
-        self._recv[node] = 0.0
+        slot = self._acquire_slot(node)
+        self._send_a[slot] = send
+        self._tot_a[slot] = total
+        self._depth_a[slot] = float(depth)
         self._pair_count += len(demand)
+        self._epoch += 1
         if parent is None:
             self._root = node
         else:
@@ -493,8 +720,10 @@ class MonitoringTree:
         return True
 
     def _apply_local(self, node: NodeId, demand: NodeDemand, msgw: float) -> None:
+        slot = self._slot[node]
         old_out = self._out[node]
-        old_send = self._send[node]
+        old_send = self._send_a[slot]
+        self._epoch += 1
         self._local[node] = dict(demand)
         self._local_msgw[node] = msgw
         incoming: Dict[AttributeId, float] = dict(demand)
@@ -508,7 +737,14 @@ class MonitoringTree:
         new_out = self._compute_out(node)
         self._out[node] = new_out
         self._msgw_count[node] = self._count_msgw_contributors(node, new_out.msg_weight)
-        self._send[node] = self._send_cost_of(new_out)
+        new_total = new_out.total()
+        new_send = (
+            self.cost.weighted_message_cost(new_out.msg_weight, new_total)
+            if new_out.msg_weight > 0.0
+            else 0.0
+        )
+        self._send_a[slot] = new_send
+        self._tot_a[slot] = new_total
         parent = self._parent[node]
         if parent is not None:
             changed = _diff_values(old_out.values, new_out.values)
@@ -519,7 +755,7 @@ class MonitoringTree:
                 old_out.msg_weight,
                 new_out.msg_weight,
                 old_send,
-                self._send[node],
+                new_send,
                 _CHILD_MODIFIED,
                 commit=True,
             )
@@ -532,9 +768,12 @@ class MonitoringTree:
         return count
 
     def _path_within_capacity(self, node: NodeId) -> bool:
+        slot_tab, cap_a = self._slot, self._cap_a
+        send_a, recv_a = self._send_a, self._recv_a
         current: Optional[NodeId] = node
         while current is not None:
-            if self.used(current) > self.capacities.get(current, 0.0) + EPSILON:
+            slot = slot_tab[current]
+            if send_a[slot] + recv_a[slot] > cap_a[slot] + EPSILON:
                 return False
             current = self._parent[current]
         return self.central_used() <= self.central_capacity + EPSILON
@@ -571,7 +810,7 @@ class MonitoringTree:
                 {a: (w, 0.0) for a, w in branch_out.values.items()},
                 branch_out.msg_weight,
                 0.0,
-                self._send[branch_root],
+                self._send_a[self._slot[branch_root]],
                 0.0,
                 _CHILD_DETACHED,
                 commit=True,
@@ -580,6 +819,7 @@ class MonitoringTree:
             self._root = None
         for node in order:
             self._pair_count -= len(self._local[node])
+            self._release_slot(node)
             for table in (
                 self._parent,
                 self._children,
@@ -590,10 +830,9 @@ class MonitoringTree:
                 self._in_count,
                 self._out,
                 self._msgw_count,
-                self._send,
-                self._recv,
             ):
                 del table[node]
+        self._epoch += 1
         return records
 
     def move_branch(self, branch_root: NodeId, new_parent: NodeId, check: bool = True) -> bool:
@@ -624,7 +863,7 @@ class MonitoringTree:
             return False
 
         branch_out = self._out[branch_root]
-        branch_send = self._send[branch_root]
+        branch_send = self._send_a[self._slot[branch_root]]
         self._children[old_parent].discard(branch_root)
         self._propagate_delta(
             old_parent,
@@ -651,6 +890,7 @@ class MonitoringTree:
             commit=True,
         )
         self._refresh_depths(branch_root)
+        self._epoch += 1
         return True
 
     def can_move_branch(self, branch_root: NodeId, new_parent: NodeId) -> bool:
@@ -701,9 +941,20 @@ class MonitoringTree:
         old_parent = self._parent[branch_root]
         assert old_parent is not None
         branch_out = self._out[branch_root]
-        branch_send = self._send[branch_root]
+        branch_send = self._send_a[self._slot[branch_root]]
 
-        attach_deltas = {a: (0.0, w) for a, w in branch_out.values.items()}
+        # Consecutive probes of the same branch (one per candidate
+        # target) see identical content: reuse the delta maps until a
+        # committed mutation bumps the epoch.  Propagation only reads
+        # them, so sharing is safe.
+        cache = self._move_deltas_cache
+        if cache is not None and cache[0] == branch_root and cache[1] == self._epoch:
+            attach_deltas, detach_deltas = cache[2], cache[3]
+        else:
+            vals = branch_out.values
+            attach_deltas = {a: (0.0, w) for a, w in vals.items()}
+            detach_deltas = {a: (w, 0.0) for a, w in vals.items()}
+            self._move_deltas_cache = (branch_root, self._epoch, attach_deltas, detach_deltas)
         if self._propagate_delta(
             new_parent,
             None,
@@ -727,7 +978,7 @@ class MonitoringTree:
         self._propagate_delta(
             old_parent,
             branch_root,
-            {a: (w, 0.0) for a, w in branch_out.values.items()},
+            detach_deltas,
             branch_out.msg_weight,
             0.0,
             branch_send,
@@ -738,7 +989,7 @@ class MonitoringTree:
         return self._propagate_delta(
             new_parent,
             branch_root,
-            {a: (0.0, w) for a, w in branch_out.values.items()},
+            attach_deltas,
             0.0,
             branch_out.msg_weight,
             0.0,
@@ -754,10 +1005,14 @@ class MonitoringTree:
     def _refresh_depths(self, branch_root: NodeId) -> None:
         parent = self._parent[branch_root]
         base = 0 if parent is None else self._depth[parent] + 1
+        depth_tab = self._depth
+        depth_a = self._depth_a
+        slot_tab = self._slot
         stack = [(branch_root, base)]
         while stack:
             node, depth = stack.pop()
-            self._depth[node] = depth
+            depth_tab[node] = depth
+            depth_a[slot_tab[node]] = float(depth)
             for child in self._children[node]:
                 stack.append((child, depth + 1))
 
@@ -803,34 +1058,92 @@ class MonitoringTree:
         out_tab = self._out
         funnel = self._funnel
         has_agg = self._has_agg
-        capacities = self.capacities
+        slot_tab = self._slot
+        cap_a = self._cap_a
+        send_a = self._send_a
+        recv_a = self._recv_a
+        tot_a = self._tot_a
+        msgw_count_tab = self._msgw_count
+        weighted_cost = self.cost.weighted_message_cost
         if check:
             self._last_check_fail = None
             self._last_check_fail_minimal = True
         msgw_grew = False
         node: Optional[NodeId] = start
         while node is not None:
+            slot = slot_tab[node]
             entry = overlay.get(node) if overlay is not None else None
             real_out = out_tab[node]
             if entry is not None:
                 cur_msgw = entry.msg_weight
                 cur_count = entry.msgw_count
-                cur_total: Optional[float] = entry.total
+                cur_total = entry.total
                 cur_send = entry.send
                 cur_recv = entry.recv
             else:
                 cur_msgw = real_out.msg_weight
-                cur_count = self._msgw_count[node]
-                cur_total = None  # computed lazily, only if the message changes
-                cur_send = self._send[node]
-                cur_recv = self._recv[node]
+                cur_count = msgw_count_tab[node]
+                cur_total = tot_a[slot]
+                cur_send = send_a[slot]
+                cur_recv = recv_a[slot]
 
             # -- per-attribute incoming/outgoing deltas ----------------
             real_in = in_tab[node]
-            counts = self._in_count[node] if commit else None
             out_pairs: _ValueDeltas = {}
             out_delta = 0.0
             in_changes: Optional[Dict[AttributeId, float]] = {} if overlay is not None else None
+            if not commit and in_changes is None:
+                # Feasibility probes (the vast majority of walks) take
+                # this branch: it is the general loop below with the
+                # commit/overlay plumbing constant-folded away.  The
+                # arithmetic and its evaluation order are identical, so
+                # probe outcomes match the general path bit for bit.
+                out_vals = real_out.values
+                if has_agg:
+                    for attr, (ow, nw) in changed.items():
+                        new_in = real_in.get(attr, 0.0) + (nw - ow)
+                        old_out_w = out_vals.get(attr, 0.0)
+                        new_out_w = funnel(attr, new_in)
+                        if new_out_w != old_out_w:
+                            out_pairs[attr] = (old_out_w, new_out_w)
+                            out_delta += new_out_w - old_out_w
+                else:
+                    for attr, (ow, nw) in changed.items():
+                        new_in = real_in.get(attr, 0.0) + (nw - ow)
+                        old_out_w = out_vals.get(attr, 0.0)
+                        new_out_w = new_in if new_in > 0.0 else 0.0
+                        if new_out_w != old_out_w:
+                            out_pairs[attr] = (old_out_w, new_out_w)
+                            out_delta += new_out_w - old_out_w
+                changed = _EMPTY_DELTAS
+            elif not commit:
+                # Overlay simulations: the same constant-folding, with
+                # reads falling through entry -> real tables and the
+                # simulated incoming weights recorded for the entry.
+                out_vals = real_out.values
+                ev_in = entry.in_values if entry is not None else None
+                ev_out = entry.out_values if entry is not None else None
+                assert in_changes is not None
+                for attr, (ow, nw) in changed.items():
+                    if ev_in is not None and attr in ev_in:
+                        cur_in = ev_in[attr]
+                    else:
+                        cur_in = real_in.get(attr, 0.0)
+                    new_in = cur_in + (nw - ow)
+                    in_changes[attr] = new_in
+                    if ev_out is not None and attr in ev_out:
+                        old_out_w = ev_out[attr]
+                    else:
+                        old_out_w = out_vals.get(attr, 0.0)
+                    if has_agg:
+                        new_out_w = funnel(attr, new_in)
+                    else:
+                        new_out_w = new_in if new_in > 0.0 else 0.0
+                    if new_out_w != old_out_w:
+                        out_pairs[attr] = (old_out_w, new_out_w)
+                        out_delta += new_out_w - old_out_w
+                changed = _EMPTY_DELTAS
+            counts = self._in_count[node] if commit else None
             for attr, (ow, nw) in changed.items():
                 if commit:
                     counts_t = counts
@@ -918,8 +1231,8 @@ class MonitoringTree:
                 # Settle recv (and the msgw contributor count) here and
                 # stop walking.
                 if commit:
-                    self._recv[node] = new_recv
-                    self._msgw_count[node] = node_count
+                    recv_a[slot] = new_recv
+                    msgw_count_tab[node] = node_count
                 elif overlay is not None:
                     if entry is None:
                         entry = self._overlay_entry(node, cur_msgw, cur_count, real_out)
@@ -928,21 +1241,17 @@ class MonitoringTree:
                         entry.in_values.update(in_changes)
                     entry.msgw_count = node_count
                     entry.recv = new_recv
-                if check and cur_send + new_recv > capacities.get(node, 0.0) + EPSILON:
+                if check and cur_send + new_recv > cap_a[slot] + EPSILON:
                     self._last_check_fail = node
                     self._last_check_fail_minimal = not msgw_grew
                     return False
                 return True
 
-            if cur_total is None:
-                cur_total = sum(real_out.values.values())
             new_total = cur_total + out_delta
             node_send = (
-                self.cost.weighted_message_cost(node_msgw, new_total)
-                if node_msgw > 0.0
-                else 0.0
+                weighted_cost(node_msgw, new_total) if node_msgw > 0.0 else 0.0
             )
-            if check and node_send + new_recv > capacities.get(node, 0.0) + EPSILON:
+            if check and node_send + new_recv > cap_a[slot] + EPSILON:
                 self._last_check_fail = node
                 self._last_check_fail_minimal = not msgw_grew
                 return False
@@ -962,9 +1271,10 @@ class MonitoringTree:
                     else:
                         values.pop(attr, None)
                 real_out.msg_weight = node_msgw
-                self._msgw_count[node] = node_count
-                self._send[node] = node_send
-                self._recv[node] = new_recv
+                msgw_count_tab[node] = node_count
+                send_a[slot] = node_send
+                recv_a[slot] = new_recv
+                tot_a[slot] = new_total
             elif overlay is not None:
                 if entry is None:
                     entry = self._overlay_entry(node, cur_msgw, cur_count, real_out)
@@ -991,12 +1301,13 @@ class MonitoringTree:
     def _overlay_entry(
         self, node: NodeId, msgw: float, msgw_count: int, real_out: _Content
     ) -> _SimNodeState:
+        slot = self._slot[node]
         return _SimNodeState(
             msgw,
             msgw_count,
-            sum(real_out.values.values()),
-            self._send[node],
-            self._recv[node],
+            self._tot_a[slot],
+            self._send_a[slot],
+            self._recv_a[slot],
         )
 
     def _rescan_msgw(
@@ -1047,7 +1358,8 @@ class MonitoringTree:
         self._last_check_fail_minimal = True
         if extra_node is not None:
             node, _demand = extra_node
-            if new_msg_cost > self.capacities.get(node, 0.0) + EPSILON:
+            # The joining node has no slot yet; read the mapping.
+            if new_msg_cost > self._capacities.get(node, 0.0) + EPSILON:
                 # The new node's own send exceeds its own capacity: no
                 # choice of parent can fix that.
                 self._last_check_fail = node
@@ -1078,6 +1390,24 @@ class MonitoringTree:
         """
         if not self._parent:
             return
+        # Slot-table consistency: one live slot per member, back-pointer
+        # agreement, poisoned free slots, snapshot matching the mapping.
+        if set(self._slot) != set(self._parent):
+            raise TreeInvariantError("slot table out of sync with membership")
+        for node, slot in self._slot.items():
+            if self._node_of[slot] != node:
+                raise TreeInvariantError(f"slot back-pointer mismatch at {node}")
+            expected_cap = self._capacities.get(node, 0.0)
+            if self._cap_a[slot] != expected_cap:
+                raise TreeInvariantError(
+                    f"capacity snapshot drift at {node}: column {self._cap_a[slot]}, "
+                    f"mapping {expected_cap} (reassign tree.capacities to refresh)"
+                )
+        for slot in self._free_slots:
+            if self._node_of[slot] != -1 or self._cap_a[slot] != -math.inf:
+                raise TreeInvariantError(f"freed slot {slot} not poisoned")
+        if len(self._slot) + len(self._free_slots) != len(self._node_of):
+            raise TreeInvariantError("slot accounting leak")
         roots = [n for n, p in self._parent.items() if p is None]
         if len(roots) != 1 or roots[0] != self._root:
             raise TreeInvariantError(f"expected exactly one root, found {roots}")
@@ -1112,7 +1442,7 @@ class MonitoringTree:
                 for attr, weight in self._out[child].values.items():
                     incoming[attr] = incoming.get(attr, 0.0) + weight
                     counts[attr] = counts.get(attr, 0) + 1
-                recv += self._send[child]
+                recv += self._send_a[self._slot[child]]
                 child_msgw = self._out[child].msg_weight
                 if child_msgw > msgw:
                     msgw, msgw_count = child_msgw, 1
@@ -1151,19 +1481,32 @@ class MonitoringTree:
                     f"message weight contributor count drift at {node}: "
                     f"cached {self._msgw_count[node]}, actual {msgw_count}"
                 )
-            if abs(self._recv[node] - recv) > 1e-6:
+            slot = self._slot[node]
+            if abs(self._recv_a[slot] - recv) > 1e-6:
                 raise TreeInvariantError(
-                    f"recv drift at {node}: cached {self._recv[node]}, actual {recv}"
+                    f"recv drift at {node}: cached {self._recv_a[slot]}, actual {recv}"
                 )
             expected_send = self._send_cost_of(self._out[node])
-            if abs(self._send[node] - expected_send) > 1e-6:
+            if abs(self._send_a[slot] - expected_send) > 1e-6:
                 raise TreeInvariantError(
-                    f"send drift at {node}: cached {self._send[node]}, actual {expected_send}"
+                    f"send drift at {node}: cached {self._send_a[slot]}, "
+                    f"actual {expected_send}"
                 )
-            if self.used(node) > self.capacities.get(node, 0.0) + 1e-6:
+            expected_total = self._out[node].total()
+            if abs(self._tot_a[slot] - expected_total) > 1e-6:
+                raise TreeInvariantError(
+                    f"outgoing total drift at {node}: cached {self._tot_a[slot]}, "
+                    f"actual {expected_total}"
+                )
+            if self._depth_a[slot] != float(self._depth[node]):
+                raise TreeInvariantError(
+                    f"depth column drift at {node}: cached {self._depth_a[slot]}, "
+                    f"actual {self._depth[node]}"
+                )
+            if self.used(node) > self._cap_a[slot] + 1e-6:
                 raise TreeInvariantError(
                     f"capacity violated at {node}: used {self.used(node)}, "
-                    f"capacity {self.capacities.get(node, 0.0)}"
+                    f"capacity {self._cap_a[slot]}"
                 )
         if self.central_used() > self.central_capacity + 1e-6:
             raise TreeInvariantError(

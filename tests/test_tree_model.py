@@ -306,7 +306,7 @@ class TestFrequencyWeights:
 class TestValidation:
     def test_validate_catches_tampered_send(self):
         tree = chain_tree(3)
-        tree._send[1] += 1.0
+        tree._send_a[tree._slot[1]] += 1.0
         with pytest.raises(TreeInvariantError):
             tree.validate()
 
