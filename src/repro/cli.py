@@ -18,17 +18,25 @@ Five subcommands over synthetic workloads, mirroring the examples:
   tenants submit/update/delete tasks over HTTP, trigger adaptation,
   launch runs, and scrape ``/metrics``, over hash- or range-sharded
   collector roots;
+- ``trace``      merge a deploy rundir's per-process span artifacts
+  into one trace, with per-period critical-path and cross-process
+  latency summaries (``--strict`` fails when any worker's spans are
+  missing -- the CI completeness gate);
 - ``lint``       run the REMO4xx static source analysis
   (:mod:`repro.staticcheck`) over the given paths (exit 1 on
   findings, 2 on usage/IO errors).
 
 ``plan``, ``simulate``, ``adapt``, and ``run`` all accept ``--json``
 for machine-readable output, so CI and benches can consume results
-without screen-scraping.  The same four accept ``--trace PATH``
-(execution trace: ``.jsonl`` for the span log, anything else for
-Chrome trace-event JSON loadable in Perfetto / ``about:tracing``) and
-``--metrics PATH`` (Prometheus text-format snapshot of every counter,
-gauge, and histogram the command touched).
+without screen-scraping.  Those four plus ``deploy`` and ``serve``
+accept ``--trace PATH`` (execution trace: ``.jsonl`` for the span log,
+anything else for Chrome trace-event JSON loadable in Perfetto /
+``about:tracing``) and ``--metrics PATH`` (Prometheus text-format
+snapshot of every counter, gauge, and histogram the command touched).
+On ``deploy``, ``--trace`` also switches every child process into
+tracing mode: each writes ``trace-<role>.jsonl`` into the rundir, the
+supervisor folds them into the exported trace, and ``repro trace
+RUNDIR`` re-merges them after the fact.
 
 Usage::
 
@@ -43,6 +51,8 @@ Usage::
     python -m repro metrics run.prom
     python -m repro metrics run.prom --format prometheus
     python -m repro serve --preset quickstart --collectors 2 --port 8080
+    python -m repro deploy --workers 2 --trace deploy.trace.json --rundir run/
+    python -m repro trace run/ --out merged.trace.json --strict
     python -m repro lint src/ benchmarks/
     python -m repro lint --format github --rule REMO421 src/
 """
@@ -50,10 +60,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.checks import (
@@ -67,16 +79,18 @@ from repro.core.cost import CostModel
 from repro.core.plan import SHARD_MODES
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
-from repro.obs import names, trace
+from repro.obs import log, names, trace
 from repro.obs.export import (
     check_prometheus_text,
     parse_prometheus_text,
+    read_jsonl_spans,
     write_chrome_trace,
     write_jsonl_spans,
     write_prometheus,
 )
 from repro.net.deploy import (
     DeployError,
+    DeploySpec,
     make_spec,
     parse_chaos_kill,
     run_deploy,
@@ -520,6 +534,7 @@ def _deploy(args) -> int:
             rundir=args.rundir,
             host=args.host,
             collectors=args.collectors,
+            trace=getattr(args, "trace", None) is not None,
         )
     except DeployError as exc:
         print(f"repro deploy: {exc}", file=sys.stderr)
@@ -527,6 +542,7 @@ def _deploy(args) -> int:
     if shard_report.has_errors:
         print("shard assignment invalid, refusing to launch:", file=sys.stderr)
         print(shard_report.format(with_hints=True), file=sys.stderr)
+        _record_check_failure(spec, "shard", len(shard_report.errors))
         return 1
     check_summary: Optional[Dict[str, int]] = None
     if not args.no_verify:
@@ -540,6 +556,7 @@ def _deploy(args) -> int:
         if check_report.has_errors:
             print("plan verification failed, refusing to launch:", file=sys.stderr)
             print(check_report.format(with_hints=True), file=sys.stderr)
+            _record_check_failure(spec, "plan", len(check_report.errors))
             return 1
     try:
         outcome = run_deploy(
@@ -551,6 +568,15 @@ def _deploy(args) -> int:
     except DeployError as exc:
         print(f"repro deploy: {exc}", file=sys.stderr)
         return 1
+    # Fold every child process's span artifact into the supervisor's
+    # tracer: the ``--trace`` export then covers the whole deployment
+    # (one monitoring period = one trace id across all processes).
+    if trace.active_tracer() is not None:
+        for span_file in outcome.trace_files:
+            try:
+                trace.ingest(read_jsonl_spans(span_file))
+            except (OSError, ValueError) as exc:
+                print(f"repro deploy: skipping {span_file}: {exc}", file=sys.stderr)
     report = outcome.report
     if args.json:
         payload: Dict[str, Any] = {
@@ -562,6 +588,8 @@ def _deploy(args) -> int:
             "restarts": outcome.restarts,
             "worker_reports": outcome.worker_reports,
             "rundir": spec.rundir,
+            "trace_files": outcome.trace_files,
+            "flight_records": outcome.flight_records,
             "plan": _plan_summary(plan),
             "drop_policy": args.drop_policy,
         }
@@ -594,7 +622,24 @@ def _deploy(args) -> int:
             f"{spec.workers} workers, {outcome.restart_total()} restart(s))"
         )
     )
+    for flight in outcome.flight_records:
+        print(f"flight record: {flight}")
     return 0
+
+
+def _record_check_failure(spec: "DeploySpec", kind: str, errors: int) -> None:
+    """Flight-record a refused launch so the rundir explains itself."""
+    log.emit(
+        names.LOG_DEPLOY_CHECK_FAILED,
+        lane=names.LANE_DEPLOY,
+        severity="error",
+        check=kind,
+        errors=errors,
+    )
+    log.dump_flight(
+        spec.flight_path("supervisor"),
+        reason=f"{kind} check failed with {errors} error(s); launch refused",
+    )
 
 
 def _metrics(args) -> int:
@@ -633,6 +678,144 @@ def _metrics(args) -> int:
     rows = [[series, round(value, 4)] for series, value in sorted(samples.items())]
     print(format_table(f"metrics snapshot ({args.path})", ["series", "value"], rows))
     return 0
+
+
+def _critical_path(trace_spans) -> List[str]:
+    """Span names from the trace root to the last-finishing span.
+
+    Parent links cross process boundaries (the envelope carried the
+    context over TCP), so the chain walks back from the slowest leaf --
+    typically a worker-side wave -- through the collector's period root.
+    """
+    by_id = {s.span_id: s for s in trace_spans if s.span_id}
+    # The last-finishing *leaf*: enclosing spans (the period root) end
+    # after everything they contain, so restrict to spans no other span
+    # claims as parent before taking the latest end time.
+    parent_ids = {s.parent_id for s in trace_spans if s.parent_id}
+    leaves = [s for s in trace_spans if s.span_id not in parent_ids]
+    leaf = max(leaves or trace_spans, key=lambda s: s.start + s.duration)
+    chain: List[str] = []
+    seen = set()
+    current = leaf
+    while current is not None and current.span_id not in seen:
+        seen.add(current.span_id)
+        chain.append(current.name)
+        current = by_id.get(current.parent_id) if current.parent_id else None
+    chain.reverse()
+    return chain
+
+
+def _trace_cmd(args) -> int:
+    """Merge a deploy rundir's per-process span artifacts into one trace."""
+    files = sorted(glob.glob(os.path.join(args.rundir, "trace-*.jsonl")))
+    if not files:
+        print(
+            f"repro trace: no trace-*.jsonl artifacts in {args.rundir} "
+            "(was the deploy run with --trace?)",
+            file=sys.stderr,
+        )
+        return 2
+    by_file: Dict[str, list] = {}
+    spans = []
+    for path in files:
+        try:
+            by_file[os.path.basename(path)] = read_jsonl_spans(path)
+        except (OSError, ValueError) as exc:
+            print(f"repro trace: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        spans.extend(by_file[os.path.basename(path)])
+
+    problems: List[str] = []
+    if args.strict:
+        spec_path = os.path.join(args.rundir, "spec.json")
+        try:
+            with open(spec_path, encoding="utf-8") as fh:
+                spec = DeploySpec.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(
+                f"repro trace: --strict needs a readable {spec_path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        roles = ["collector"] + [f"worker-{rank}" for rank in range(spec.workers)]
+        for role in roles:
+            if not by_file.get(f"trace-{role}.jsonl"):
+                problems.append(f"{role} contributed no spans to the merged trace")
+
+    by_trace: Dict[str, list] = {}
+    for span in spans:
+        if span.trace_id is not None:
+            by_trace.setdefault(span.trace_id, []).append(span)
+    roots = sorted(
+        (s for s in spans if s.name == names.SPAN_RUNTIME_PERIOD and s.trace_id),
+        key=lambda s: (s.attrs.get("period", -1), s.start),
+    )
+    periods = []
+    for root in roots:
+        trace_spans = by_trace[root.trace_id]
+        last_end = max(s.start + s.duration for s in trace_spans)
+        periods.append(
+            {
+                "period": root.attrs.get("period"),
+                "trace_id": root.trace_id,
+                "spans": len(trace_spans),
+                "processes": len({s.pid for s in trace_spans}),
+                "duration_ms": root.duration * 1000.0,
+                "cross_process_ms": (last_end - root.start) * 1000.0,
+                "critical_path": _critical_path(trace_spans),
+            }
+        )
+
+    if args.out is not None:
+        if args.out.endswith(".jsonl"):
+            write_jsonl_spans(spans, args.out)
+        else:
+            write_chrome_trace(spans, args.out, epoch=min(s.start for s in spans))
+
+    if args.json:
+        _emit_json(
+            {
+                "command": "trace",
+                "rundir": args.rundir,
+                "files": sorted(by_file),
+                "spans": len(spans),
+                "out": args.out,
+                "periods": periods,
+                "problems": problems,
+            }
+        )
+        return 1 if problems else 0
+
+    rows = [
+        [
+            p["period"],
+            p["trace_id"][:8],
+            p["spans"],
+            p["processes"],
+            round(p["duration_ms"], 2),
+            round(p["cross_process_ms"], 2),
+        ]
+        for p in periods
+    ]
+    print(
+        format_table(
+            f"merged trace ({len(spans)} spans from {len(by_file)} processes)",
+            ["period", "trace", "spans", "procs", "duration_ms", "xproc_ms"],
+            rows,
+        )
+    )
+    if periods:
+        slowest = max(periods, key=lambda p: p["cross_process_ms"])
+        print()
+        print(
+            f"critical path (period {slowest['period']}): "
+            + " > ".join(slowest["critical_path"])
+        )
+    if args.out is not None:
+        print(f"merged trace written to {args.out}")
+    for problem in problems:
+        print(f"repro trace: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def _serve(args) -> int:
@@ -869,6 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(deploy_p)
     _add_json(deploy_p)
+    _add_obs(deploy_p)
     deploy_p.add_argument(
         "--preset",
         choices=["quickstart"],
@@ -935,6 +1119,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy_p.set_defaults(func=_deploy)
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="merge a deploy rundir's span artifacts into one trace",
+    )
+    trace_p.add_argument(
+        "rundir",
+        help="deploy run directory holding trace-*.jsonl span artifacts",
+    )
+    trace_p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the merged trace: .jsonl for the raw span log, any "
+        "other extension for Chrome trace-event JSON (Perfetto)",
+    )
+    trace_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 unless the collector and every worker listed in the "
+        "rundir's spec.json contributed spans (CI completeness gate)",
+    )
+    _add_json(trace_p)
+    trace_p.set_defaults(func=_trace_cmd)
+
     metrics_p = sub.add_parser(
         "metrics", help="validate and render a --metrics snapshot file"
     )
@@ -955,6 +1163,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the multi-tenant control-plane HTTP service",
     )
     _add_common(serve_p)
+    _add_obs(serve_p)
     serve_p.add_argument(
         "--preset",
         choices=["quickstart"],

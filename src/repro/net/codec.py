@@ -22,9 +22,17 @@ subclass, encoded as msgpack when the optional dependency is importable
 and JSON otherwise -- the codec byte says which, and a decoder missing
 msgpack rejects msgpack frames with :class:`CodecError` rather than
 guessing.  Version negotiation is deliberately minimal: the version
-byte must match exactly, and a mismatch is a :class:`FrameError` the
-connection handler treats as fatal for that connection (both ends of a
-deployment run the same build, so "negotiation" is refusal).
+byte must be one of :data:`COMPAT_VERSIONS`, and anything else is a
+:class:`FrameError` the connection handler treats as fatal for that
+connection (both ends of a deployment normally run the same build, so
+"negotiation" is refusal).
+
+Version history: v1 is the original frame; v2 (current) adds an
+*optional* ``"tc"`` key to tick/update payloads carrying the
+distributed-trace context as ``[trace_id_hex, span_id]``.  v1 frames
+-- and v2 frames without the key -- decode to envelopes with
+``trace_ctx=None``, so old peers interoperate for the payload schema
+both sides understand.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import struct
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.attributes import NodeAttributePair, NodeId
+from repro.obs.trace import TraceContext
 from repro.runtime.messages import (
     Envelope,
     HeartbeatEnvelope,
@@ -52,7 +61,11 @@ except ImportError:  # pragma: no cover - the common case in this image
 MAGIC = 0x524D
 
 #: Bump on any change to the frame layout or payload schema.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Versions this build decodes.  v1 payloads are a strict subset of
+#: v2 (no ``"tc"`` trace-context key), so accepting both is free.
+COMPAT_VERSIONS = frozenset({1, PROTOCOL_VERSION})
 
 #: Payload codec ids (the header's codec byte).
 CODEC_JSON = 0
@@ -94,22 +107,48 @@ def _payload_items(payload: Dict[NodeAttributePair, Reading]) -> List[List[Any]]
     ]
 
 
+def _trace_ctx_item(ctx: TraceContext) -> List[Any]:
+    return [ctx.trace_id, ctx.span_id]
+
+
+def _obj_trace_ctx(obj: Dict[str, Any]) -> Optional[TraceContext]:
+    """The optional ``"tc"`` key back into a context (``None`` if absent).
+
+    Malformed contexts raise (callers wrap into :class:`CodecError`):
+    a peer that *sends* the key must send it well-formed.
+    """
+    item = obj.get("tc")
+    if item is None:
+        return None
+    trace_id, span_id = item
+    if not isinstance(trace_id, str) or len(trace_id) != 32:
+        raise ValueError(f"bad trace id in trace context: {trace_id!r}")
+    int(trace_id, 16)
+    return TraceContext(trace_id=trace_id, span_id=int(span_id))
+
+
 def envelope_to_obj(envelope: Envelope) -> Dict[str, Any]:
     """Lower an envelope to a JSON/msgpack-safe tagged dict."""
     if isinstance(envelope, TickEnvelope):
-        return {
+        obj: Dict[str, Any] = {
             "kind": "tick",
             "period": envelope.period,
             "sent_monotonic": envelope.sent_monotonic,
         }
+        if envelope.trace_ctx is not None:
+            obj["tc"] = _trace_ctx_item(envelope.trace_ctx)
+        return obj
     if isinstance(envelope, UpdateEnvelope):
-        return {
+        obj = {
             "kind": "update",
             "sender": envelope.sender,
             "tree": sorted(envelope.tree),
             "period": envelope.period,
             "payload": _payload_items(envelope.payload),
         }
+        if envelope.trace_ctx is not None:
+            obj["tc"] = _trace_ctx_item(envelope.trace_ctx)
+        return obj
     if isinstance(envelope, HeartbeatEnvelope):
         return {"kind": "heartbeat", "sender": envelope.sender, "period": envelope.period}
     if isinstance(envelope, StopEnvelope):
@@ -119,7 +158,9 @@ def envelope_to_obj(envelope: Envelope) -> Dict[str, Any]:
 
 def _obj_tick(obj: Dict[str, Any]) -> Envelope:
     return TickEnvelope(
-        period=int(obj["period"]), sent_monotonic=float(obj["sent_monotonic"])
+        period=int(obj["period"]),
+        sent_monotonic=float(obj["sent_monotonic"]),
+        trace_ctx=_obj_trace_ctx(obj),
     )
 
 
@@ -135,6 +176,7 @@ def _obj_update(obj: Dict[str, Any]) -> Envelope:
         tree=frozenset(str(a) for a in obj["tree"]),
         period=int(obj["period"]),
         payload=payload,
+        trace_ctx=_obj_trace_ctx(obj),
     )
 
 
@@ -217,10 +259,10 @@ def decode_header(header: bytes) -> Tuple[int, NodeId, int]:
     magic, version, codec, dest, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise FrameError(f"bad magic 0x{magic:04x} (expected 0x{MAGIC:04x})")
-    if version != PROTOCOL_VERSION:
+    if version not in COMPAT_VERSIONS:
         raise FrameError(
             f"protocol version {version} not supported (this build speaks "
-            f"{PROTOCOL_VERSION})"
+            f"{sorted(COMPAT_VERSIONS)})"
         )
     if length > MAX_FRAME_BYTES:
         raise FrameError(

@@ -47,7 +47,7 @@ from repro.core.plan import MonitoringPlan, ShardedPlan
 from repro.core.planner import RemoPlanner
 from repro.core.schemes import OneSetPlanner, SingletonSetPlanner
 from repro.net.directory import Endpoint, PeerDirectory
-from repro.obs import names
+from repro.obs import log, names
 from repro.runtime.config import DropPolicy, RuntimeConfig
 from repro.runtime.messages import MAX_COLLECTOR_SHARDS, collector_shard_address
 from repro.runtime.metrics import RuntimeMetrics
@@ -132,6 +132,10 @@ class DeploySpec:
     #: Collector shards co-hosted in the collector process; every shard
     #: address resolves to the collector endpoint (hash-sharded trees).
     collectors: int = 1
+    #: When set, every child installs a tracer + JSONL log sink and
+    #: dumps its spans to :meth:`trace_path` on exit; ``repro trace``
+    #: merges the per-process artifacts into one Chrome trace.
+    trace: bool = False
 
     @property
     def workers(self) -> int:
@@ -194,6 +198,18 @@ class DeploySpec:
     def report_path(self, role: str) -> str:
         return os.path.join(self.rundir, f"report-{role}.json")
 
+    def trace_path(self, role: str) -> str:
+        """Per-process span artifact (JSONL) written when tracing is on."""
+        return os.path.join(self.rundir, f"trace-{role}.jsonl")
+
+    def log_path(self, role: str) -> str:
+        """Per-process structured-log JSONL sink (tracing runs only)."""
+        return os.path.join(self.rundir, f"log-{role}.jsonl")
+
+    def flight_path(self, role: str) -> str:
+        """Flight-recorder dump for ``role`` (crash / restart / check fail)."""
+        return os.path.join(self.rundir, f"flight-{role}.json")
+
     @property
     def go_path(self) -> str:
         """Written by the supervisor once every process is ready."""
@@ -211,6 +227,7 @@ class DeploySpec:
             "rundir": self.rundir,
             "config": self.config,
             "collectors": self.collectors,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -229,6 +246,7 @@ class DeploySpec:
             rundir=str(data["rundir"]),
             config=dict(data.get("config", {})),
             collectors=int(data.get("collectors", 1)),
+            trace=bool(data.get("trace", False)),
         )
 
     def save(self) -> str:
@@ -262,6 +280,7 @@ def make_spec(
     rundir: Optional[str] = None,
     host: str = "127.0.0.1",
     collectors: int = 1,
+    trace: bool = False,
 ) -> Tuple[DeploySpec, MonitoringPlan, Cluster, DiagnosticReport]:
     """Plan once, shard, allocate ports, and validate the assignment.
 
@@ -287,6 +306,7 @@ def make_spec(
         rundir=rundir,
         config=dict(config),
         collectors=collectors,
+        trace=trace,
     )
     cluster, _cost, plan = spec.build_plan()
     spec.shards = shard_nodes(participating_nodes(plan), workers)
@@ -314,6 +334,10 @@ class DeployOutcome:
     spec: DeploySpec
     restarts: Dict[int, int]
     worker_reports: int
+    #: Per-process span artifacts found in the rundir (tracing runs).
+    trace_files: List[str] = field(default_factory=list)
+    #: Flight-recorder dumps found in the rundir (crashes/restarts).
+    flight_records: List[str] = field(default_factory=list)
 
     def restart_total(self) -> int:
         return sum(self.restarts.values())
@@ -395,6 +419,13 @@ def run_deploy(
                 if now - go_at >= kill_after and workers[rank].is_alive():
                     # Chaos: SIGKILL, no cleanup -- the restart path
                     # below must bring the shard back on its own.
+                    log.emit(
+                        names.LOG_DEPLOY_CHAOS_KILL,
+                        lane=names.LANE_DEPLOY,
+                        severity="warning",
+                        rank=rank,
+                        after_seconds=kill_after,
+                    )
                     workers[rank].kill()
                     del pending_kill[rank]
             for rank, process in list(workers.items()):
@@ -406,6 +437,20 @@ def run_deploy(
                     continue
                 restarts[rank] += 1
                 merged.incr(names.DEPLOY_WORKER_RESTARTS, rank=rank)
+                # The SIGKILLed child cannot dump its own flight record
+                # -- the supervisor dumps what *it* saw instead.
+                log.emit(
+                    names.LOG_DEPLOY_WORKER_RESTART,
+                    lane=names.LANE_DEPLOY,
+                    severity="warning",
+                    rank=rank,
+                    restart=restarts[rank],
+                    exitcode=process.exitcode,
+                )
+                log.dump_flight(
+                    spec.flight_path("supervisor"),
+                    reason=f"worker-{rank} exited {process.exitcode}; restarting",
+                )
                 workers[rank] = spawn_worker(rank)
             time.sleep(0.02)
 
@@ -462,11 +507,20 @@ def run_deploy(
         metrics=merged,
         wall_seconds=time.monotonic() - started,
     )
+    roles = ["collector", "supervisor"] + [
+        f"worker-{rank}" for rank in range(spec.workers)
+    ]
     return DeployOutcome(
         report=report,
         spec=spec,
         restarts=restarts,
         worker_reports=worker_reports,
+        trace_files=[
+            p for p in (spec.trace_path(role) for role in roles) if os.path.exists(p)
+        ],
+        flight_records=[
+            p for p in (spec.flight_path(role) for role in roles) if os.path.exists(p)
+        ],
     )
 
 

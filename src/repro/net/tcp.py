@@ -38,7 +38,7 @@ from typing import Dict, Optional, Set
 from repro.core.attributes import NodeId
 from repro.net.codec import CodecError, FrameDecoder, encode_frame
 from repro.net.directory import Endpoint, PeerDirectory
-from repro.obs import names
+from repro.obs import log, names
 from repro.runtime.messages import Envelope
 from repro.runtime.metrics import RuntimeMetrics
 from repro.runtime.transport import MailboxTransport
@@ -90,6 +90,13 @@ class _PeerLink:
                     # queue keeps ordering, the bounded size keeps memory.
                     self._drop_writer()
                     metrics.incr(names.NET_RECONNECTS, endpoint=str(self.endpoint))
+                    log.emit(
+                        names.LOG_NET_RECONNECT,
+                        lane=names.LANE_TRANSPORT,
+                        severity="warning",
+                        endpoint=str(self.endpoint),
+                        backoff_seconds=backoff,
+                    )
                     await asyncio.sleep(backoff)
                     backoff = min(backoff * 2.0, self.transport.dial_backoff_cap)
 
@@ -210,6 +217,12 @@ class TcpTransport(MailboxTransport):
                     # Framing is lost; nothing on this stream can be
                     # trusted anymore.  Count and drop the connection.
                     self.metrics.incr(names.NET_FRAMES_DROPPED, reason="corrupt")
+                    log.emit(
+                        names.LOG_NET_FRAME_DROPPED,
+                        lane=names.LANE_TRANSPORT,
+                        severity="error",
+                        reason="corrupt",
+                    )
                     return
                 for dest, envelope in frames:
                     self._route_inbound(dest, envelope)
@@ -233,6 +246,13 @@ class TcpTransport(MailboxTransport):
             # ``dest``, but no such inbox lives here (stale shard map,
             # mid-restart window).  At-most-once: count and drop.
             self.metrics.incr(names.NET_FRAMES_DROPPED, reason="unknown_address")
+            log.emit(
+                names.LOG_NET_FRAME_DROPPED,
+                lane=names.LANE_TRANSPORT,
+                severity="warning",
+                reason="unknown_address",
+                dest=dest,
+            )
 
     # ------------------------------------------------------------------
     # Send path

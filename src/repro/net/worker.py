@@ -29,12 +29,14 @@ from __future__ import annotations
 import asyncio
 import os
 import time
-from typing import Dict
+from typing import Callable, Coroutine, Dict
 
 from repro.cluster.metrics import MetricRegistry
 from repro.core.attributes import NodeId
 from repro.net.deploy import DeploySpec, control_address, write_json_atomic
 from repro.net.tcp import TcpTransport
+from repro.obs import log, names, trace
+from repro.obs.export import write_jsonl_spans
 from repro.runtime.agent import NodeAgent
 from repro.runtime.collector import CollectorAgent
 from repro.runtime.engine import build_roles, collector_addresses, merge_period_samples
@@ -220,16 +222,39 @@ class CollectorRuntime:
         await self._await_go()
         try:
             for period in range(self.spec.periods):
-                self.registry.advance_all()
-                tick = TickEnvelope(period=period)
-                for address in self.collectors:
-                    self.transport.deliver_local(address, tick)
-                for rank in range(self.spec.workers):
-                    await self.transport.send(control_address(rank), tick)
-                await asyncio.sleep(self.config.period_seconds)
-                await self._settle()
-                for agent in self.collectors.values():
-                    agent.close_period(period)
+                # The clock owner mints one trace per period and stamps
+                # its context on every tick: each worker's agent waves
+                # join this trace with the period root span (recorded
+                # here, in the collector process) as their parent --
+                # the forward cross-process link over TCP.
+                period_ctx = (
+                    trace.new_root_context()
+                    if trace.active_tracer() is not None
+                    else None
+                )
+                with trace.attach(period_ctx):
+                    with trace.span(
+                        names.SPAN_RUNTIME_PERIOD,
+                        lane=names.LANE_ENGINE,
+                        period=period,
+                    ) as period_span:
+                        self.registry.advance_all()
+                        tick = TickEnvelope(
+                            period=period, trace_ctx=period_span.context()
+                        )
+                        for address in self.collectors:
+                            self.transport.deliver_local(address, tick)
+                        for rank in range(self.spec.workers):
+                            await self.transport.send(control_address(rank), tick)
+                        await asyncio.sleep(self.config.period_seconds)
+                        with trace.span(
+                            names.SPAN_RUNTIME_SETTLE,
+                            lane=names.LANE_ENGINE,
+                            period=period,
+                        ):
+                            await self._settle()
+                        for agent in self.collectors.values():
+                            agent.close_period(period)
             for rank in range(self.spec.workers):
                 await self.transport.send(control_address(rank), StopEnvelope())
             for address in self.collectors:
@@ -321,13 +346,51 @@ class CollectorRuntime:
 # ---------------------------------------------------------------------------
 # Spawn targets (must be importable module-level callables)
 # ---------------------------------------------------------------------------
+def _run_role(
+    spec: DeploySpec,
+    role: str,
+    runner: Callable[[], Coroutine[object, object, None]],
+) -> None:
+    """Shared child harness: tracing, log sink, crash flight dump.
+
+    When the spec enables tracing the child installs a process-local
+    tracer plus a JSONL log sink, and dumps its spans to the role's
+    trace artifact on the way out (clean or crashing).  The flight
+    recorder is always on: any crash dumps the last events/spans to the
+    role's flight artifact before the exception propagates -- a
+    SIGKILLed child cannot, which is why the supervisor also dumps its
+    own on restarts.
+    """
+    tracer = trace.install() if spec.trace else None
+    if spec.trace:
+        log.install_sink(spec.log_path(role))
+    log.emit(names.LOG_DEPLOY_WORKER_START, lane=names.LANE_DEPLOY, role=role)
+    try:
+        asyncio.run(runner())
+    except BaseException as exc:
+        log.emit(
+            names.LOG_DEPLOY_WORKER_CRASH,
+            lane=names.LANE_DEPLOY,
+            severity="error",
+            role=role,
+            error=repr(exc),
+        )
+        log.dump_flight(spec.flight_path(role), reason=f"{role} crashed: {exc!r}")
+        raise
+    finally:
+        log.emit(names.LOG_DEPLOY_WORKER_EXIT, lane=names.LANE_DEPLOY, role=role)
+        if tracer is not None:
+            write_jsonl_spans(tracer.spans(), spec.trace_path(role))
+        log.uninstall_sink()
+
+
 def worker_main(spec_path: str, rank: int) -> None:
     """Entrypoint of worker process ``rank``."""
     spec = DeploySpec.load(spec_path)
-    asyncio.run(WorkerRuntime(spec, rank).run())
+    _run_role(spec, f"worker-{rank}", lambda: WorkerRuntime(spec, rank).run())
 
 
 def collector_main(spec_path: str) -> None:
     """Entrypoint of the collector process."""
     spec = DeploySpec.load(spec_path)
-    asyncio.run(CollectorRuntime(spec).run())
+    _run_role(spec, "collector", lambda: CollectorRuntime(spec).run())

@@ -49,6 +49,7 @@ def span_to_dict(span: Span) -> Dict[str, object]:
         "parent_id": span.parent_id,
         "kind": span.kind,
         "lane": span.lane,
+        "trace_id": span.trace_id,
     }
 
 
@@ -66,6 +67,9 @@ def span_from_dict(payload: Dict[str, object]) -> Span:
         ),
         kind=str(payload.get("kind", "span")),
         lane=(None if payload.get("lane") is None else str(payload["lane"])),
+        trace_id=(
+            None if payload.get("trace_id") is None else str(payload["trace_id"])
+        ),
     )
 
 
@@ -111,13 +115,19 @@ def chrome_trace_events(
         else:
             tid = span.tid
         ts = max(span.start - epoch, 0.0) * 1e6
+        args = dict(span.attrs)
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
         base: Dict[str, object] = {
             "name": span.name,
             "cat": "remo",
             "ts": ts,
             "pid": span.pid,
             "tid": tid,
-            "args": dict(span.attrs),
+            "args": args,
         }
         if span.kind == "instant":
             base["ph"] = "i"

@@ -10,9 +10,10 @@ a silent dead series that dashboards quietly stop seeing.
 The static analyzer (:mod:`repro.staticcheck`) parses this module
 *without importing it*: declarations must stay simple enough for that
 -- module-level ``UPPER_CASE = "literal"`` assignments, the
-``METRICS`` / ``SPANS`` / ``LANES`` / ``LANE_PREFIXES`` collections of
-those constants, and the two lane helper functions.  Keep it that way;
-anything dynamic belongs elsewhere.
+``METRICS`` / ``SPANS`` / ``LOG_EVENTS`` / ``LANES`` /
+``LANE_PREFIXES`` collections of those constants, and the two lane
+helper functions.  Keep it that way; anything dynamic belongs
+elsewhere.
 
 Naming conventions:
 
@@ -53,6 +54,10 @@ TRANSPORT_ENVELOPES_DELIVERED = "transport_envelopes_delivered"
 
 # Deployment supervisor counters (``repro deploy``).
 DEPLOY_WORKER_RESTARTS = "deploy_worker_restarts"
+
+# Observability self-accounting: spans discarded once a bounded
+# Tracer hits its cap (soak runs must not OOM the tracer).
+TRACE_SPANS_DROPPED = "trace_spans_dropped"
 
 # Wire-level counters (repro.net only; zero on the in-process path).
 NET_FRAMES_SENT = "net_frames_sent"
@@ -128,6 +133,7 @@ METRICS = frozenset(
         TRANSPORT_ENVELOPES_SENT,
         TRANSPORT_ENVELOPES_DELIVERED,
         DEPLOY_WORKER_RESTARTS,
+        TRACE_SPANS_DROPPED,
         NET_FRAMES_SENT,
         NET_FRAMES_RECEIVED,
         NET_FRAMES_DROPPED,
@@ -190,6 +196,11 @@ SPAN_RUNTIME_PERIOD = "runtime.period"
 SPAN_RUNTIME_SETTLE = "runtime.settle"
 SPAN_AGENT_WAVE = "agent.wave"
 SPAN_AGENT_CHILD_WAIT = "agent.child_wait"
+# Instant events marking an update's arrival, linked to the *sender's*
+# wave span via the envelope's trace context -- the reverse-direction
+# cross-process edge in a merged trace.
+EVENT_AGENT_RECV = "agent.recv"
+EVENT_COLLECTOR_RECV = "collector.recv"
 SPAN_COLLECTOR_CLOSE_PERIOD = "collector.close_period"
 
 SPAN_SERVE_REQUEST = "serve.request"
@@ -212,10 +223,44 @@ SPANS = frozenset(
         SPAN_RUNTIME_SETTLE,
         SPAN_AGENT_WAVE,
         SPAN_AGENT_CHILD_WAIT,
+        EVENT_AGENT_RECV,
+        EVENT_COLLECTOR_RECV,
         SPAN_COLLECTOR_CLOSE_PERIOD,
         SPAN_SERVE_REQUEST,
         SPAN_CONTROLPLANE_ADAPT,
         SPAN_CONTROLPLANE_RUN,
+    }
+)
+
+# ---------------------------------------------------------------------------
+# Structured-log event names (``repro.obs.log`` -- same manifest
+# contract as metrics/spans; ``repro lint`` REMO435 enforces it)
+# ---------------------------------------------------------------------------
+LOG_SERVE_READY = "serve.ready"
+LOG_SERVE_STOPPED = "serve.stopped"
+LOG_DEPLOY_WORKER_START = "deploy.worker_start"
+LOG_DEPLOY_WORKER_EXIT = "deploy.worker_exit"
+LOG_DEPLOY_WORKER_CRASH = "deploy.worker_crash"
+LOG_DEPLOY_WORKER_RESTART = "deploy.worker_restart"
+LOG_DEPLOY_CHAOS_KILL = "deploy.chaos_kill"
+LOG_DEPLOY_CHECK_FAILED = "deploy.check_failed"
+LOG_NET_RECONNECT = "net.reconnect"
+LOG_NET_FRAME_DROPPED = "net.frame_dropped"
+LOG_FLIGHT_DUMP = "obs.flight_dump"
+
+LOG_EVENTS = frozenset(
+    {
+        LOG_SERVE_READY,
+        LOG_SERVE_STOPPED,
+        LOG_DEPLOY_WORKER_START,
+        LOG_DEPLOY_WORKER_EXIT,
+        LOG_DEPLOY_WORKER_CRASH,
+        LOG_DEPLOY_WORKER_RESTART,
+        LOG_DEPLOY_CHAOS_KILL,
+        LOG_DEPLOY_CHECK_FAILED,
+        LOG_NET_RECONNECT,
+        LOG_NET_FRAME_DROPPED,
+        LOG_FLIGHT_DUMP,
     }
 )
 
@@ -230,6 +275,7 @@ LANE_COLLECTOR = "collector"
 LANE_TRANSPORT = "transport"
 LANE_SERVE = "serve"
 LANE_CONTROLPLANE = "controlplane"
+LANE_DEPLOY = "deploy"
 
 #: Prefixes of the per-instance lanes built by the helpers below.
 NODE_LANE_PREFIX = "node-"
@@ -245,6 +291,7 @@ LANES = frozenset(
         LANE_TRANSPORT,
         LANE_SERVE,
         LANE_CONTROLPLANE,
+        LANE_DEPLOY,
     }
 )
 

@@ -22,7 +22,14 @@ Context propagation:
 - **forked planner workers**: a worker inherits the installed tracer
   through ``fork``, records spans locally (attributed by candidate
   rank), and ships them back to the parent alongside its results via
-  :func:`drain_local` / :func:`ingest`.
+  :func:`drain_local` / :func:`ingest`;
+- **across processes**: a :class:`TraceContext` (128-bit trace id plus
+  the sender's span id) travels on runtime envelopes and in W3C
+  ``traceparent`` HTTP headers.  :func:`attach` adopts a received
+  context so locally recorded spans join the remote trace, with their
+  ``parent_id`` pointing at the remote span.  Span ids are minted from
+  a per-process random base so ids stay unique after merging
+  per-worker span artifacts into one trace.
 
 ``timer(...)`` is the span helper for code that needs the elapsed time
 itself (``PlanningStats.elapsed_seconds``,
@@ -45,6 +52,95 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 #: Parent span id for the calling context (asyncio-task scoped).
 _CURRENT_SPAN: ContextVar[Optional[int]] = ContextVar("repro_obs_span", default=None)
 
+#: Trace id for the calling context; spans recorded while set carry it.
+_CURRENT_TRACE: ContextVar[Optional[str]] = ContextVar(
+    "repro_obs_trace", default=None
+)
+
+#: Default cap on stored spans per tracer (satellite: soak runs must
+#: not OOM the tracer).  Overflow drops the incoming span and bumps the
+#: ``trace_spans_dropped`` counter on the ambient metrics registry.
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """W3C-traceparent-style context: 128-bit trace id + parent span id.
+
+    ``trace_id`` is 32 lowercase hex characters; ``span_id`` is the
+    integer id of the span that was current when the context was
+    captured (0 means "root of the trace, no parent span").
+    """
+
+    trace_id: str
+    span_id: int = 0
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_root_context() -> TraceContext:
+    """Mint a context starting a brand-new trace (no parent span)."""
+    return TraceContext(trace_id=new_trace_id(), span_id=0)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Render a context as a W3C ``traceparent`` header value."""
+    return f"00-{ctx.trace_id}-{ctx.span_id & 0xFFFFFFFFFFFFFFFF:016x}-01"
+
+
+def parse_traceparent(value: str) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed."""
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_hex, _flags = parts
+    if len(version) != 2 or len(trace_id) != 32 or len(span_hex) != 16:
+        return None
+    try:
+        int(version, 16)
+        int(trace_id, 16)
+        span_id = int(span_hex, 16)
+    except ValueError:
+        return None
+    if trace_id == "0" * 32:
+        return None
+    return TraceContext(trace_id=trace_id.lower(), span_id=span_id)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context a child process/request should inherit, or ``None``.
+
+    Captures the ambient trace id plus the *current* span id, so a
+    context taken inside ``with span(...)`` links remote children to
+    that span.
+    """
+    trace_id = _CURRENT_TRACE.get()
+    if trace_id is None:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=_CURRENT_SPAN.get() or 0)
+
+
+@contextmanager
+def attach(ctx: Optional[TraceContext]) -> Iterator[None]:
+    """Adopt a received context: spans recorded inside join its trace.
+
+    ``attach(None)`` is a cheap no-op so call sites can pass an
+    envelope's (possibly absent) context unconditionally.
+    """
+    if ctx is None:
+        yield
+        return
+    trace_token = _CURRENT_TRACE.set(ctx.trace_id)
+    span_token = _CURRENT_SPAN.set(ctx.span_id or None)
+    try:
+        yield
+    finally:
+        _CURRENT_SPAN.reset(span_token)
+        _CURRENT_TRACE.reset(trace_token)
+
 
 @dataclass
 class Span:
@@ -60,14 +156,38 @@ class Span:
     parent_id: Optional[int] = None
     kind: str = "span"  # "span" | "instant"
     lane: Optional[str] = None  # logical actor row for trace viewers
+    trace_id: Optional[str] = None  # 32-hex distributed trace id
+
+
+def _span_id_base() -> int:
+    """A per-process random base keeping span ids unique across workers.
+
+    32 random bits shifted left 32: each process can mint ~4 billion
+    sequential ids before touching another base's range, and two
+    processes collide only on a 2^-32 birthday event -- good enough for
+    a deploy's handful of workers whose spans get merged into one
+    Chrome trace.
+    """
+    return int.from_bytes(os.urandom(4), "big") << 32
 
 
 class Tracer:
-    """Collects finished spans; one per process (workers inherit a copy)."""
+    """Collects finished spans; one per process (workers inherit a copy).
 
-    def __init__(self) -> None:
+    Storage is bounded by ``max_spans``: once full, incoming spans are
+    dropped (keep-first, so a trace's early structure survives) and
+    counted both locally (:attr:`dropped`) and on the ambient metrics
+    registry as ``trace_spans_dropped``.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
         self._spans: List[Span] = []
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(_span_id_base() + 1)
+        self.max_spans = max_spans
+        #: Spans discarded because the cap was hit.
+        self.dropped = 0
         #: perf_counter at creation: exporters rebase timestamps on it.
         self.epoch = time.perf_counter()
 
@@ -75,11 +195,28 @@ class Tracer:
         return next(self._ids)
 
     def record(self, span: Span) -> None:
+        if len(self._spans) >= self.max_spans:
+            self._drop(1)
+            return
         self._spans.append(span)
 
+    def _drop(self, count: int) -> None:
+        self.dropped += count
+        from .metrics import default_registry
+        from . import names
+
+        default_registry().incr(names.TRACE_SPANS_DROPPED, count)
+
     def ingest(self, spans: Iterable[Span]) -> None:
-        """Merge spans shipped back from a forked worker."""
-        self._spans.extend(spans)
+        """Merge spans shipped back from a forked worker (cap applies)."""
+        room = self.max_spans - len(self._spans)
+        incoming = list(spans)
+        if len(incoming) > room:
+            kept, lost = incoming[:room], len(incoming) - room
+            self._spans.extend(kept)
+            self._drop(lost)
+        else:
+            self._spans.extend(incoming)
 
     def spans(self) -> List[Span]:
         return list(self._spans)
@@ -143,6 +280,9 @@ class _NullSpan:
     def set(self, **attrs: object) -> None:
         return None
 
+    def context(self) -> Optional[TraceContext]:
+        return current_context()
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -167,12 +307,15 @@ class _PlainTimer:
     def set(self, **attrs: object) -> None:
         return None
 
+    def context(self) -> Optional[TraceContext]:
+        return current_context()
+
 
 class _LiveSpan:
     """Context manager recording one span into the installed tracer."""
 
     __slots__ = ("elapsed", "_tracer", "_name", "_attrs", "_lane", "_start",
-                 "_span_id", "_parent_id", "_token")
+                 "_span_id", "_parent_id", "_trace_id", "_token")
 
     def __init__(
         self,
@@ -189,6 +332,7 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         self._parent_id = _CURRENT_SPAN.get()
+        self._trace_id = _CURRENT_TRACE.get()
         self._span_id = self._tracer.next_id()
         self._token = _CURRENT_SPAN.set(self._span_id)
         self._start = time.perf_counter()
@@ -210,6 +354,7 @@ class _LiveSpan:
                 parent_id=self._parent_id,
                 kind="span",
                 lane=self._lane,
+                trace_id=self._trace_id,
             )
         )
         return None
@@ -217,6 +362,12 @@ class _LiveSpan:
     def set(self, **attrs: object) -> None:
         """Attach attributes discovered mid-span (e.g. a verdict)."""
         self._attrs.update(attrs)
+
+    def context(self) -> Optional[TraceContext]:
+        """A context pointing at *this* span, for stamping on envelopes."""
+        if self._trace_id is None:
+            return None
+        return TraceContext(trace_id=self._trace_id, span_id=self._span_id)
 
 
 #: What instrumentation sites receive: a context manager exposing
@@ -261,6 +412,7 @@ def event(name: str, lane: Optional[str] = None, **attrs: object) -> None:
             parent_id=_CURRENT_SPAN.get(),
             kind="instant",
             lane=lane,
+            trace_id=_CURRENT_TRACE.get(),
         )
     )
 

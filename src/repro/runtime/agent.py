@@ -158,12 +158,27 @@ class NodeAgent:
         if self.down(tick.period):
             self.metrics.incr(names.AGENT_DOWN_PERIODS, node=self.node_id)
             return
-        if tick.period % self.config.heartbeat_every == 0:
-            self._spawn(self._send_heartbeat(tick.period))
-        for role in self.roles:
-            self._spawn(self._send_update(role, tick.period))
+        # Adopt the tick's trace context while spawning: asyncio tasks
+        # snapshot contextvars at creation, so every wave spawned here
+        # records spans inside the period's trace with the (possibly
+        # remote) period root span as parent.
+        with trace.attach(tick.trace_ctx):
+            if tick.period % self.config.heartbeat_every == 0:
+                self._spawn(self._send_heartbeat(tick.period))
+            for role in self.roles:
+                self._spawn(self._send_update(role, tick.period))
 
     def _on_update(self, envelope: UpdateEnvelope) -> None:
+        if envelope.trace_ctx is not None and trace.active_tracer() is not None:
+            # Linked to the sender's wave span: the reverse-direction
+            # cross-process edge in a merged trace.
+            with trace.attach(envelope.trace_ctx):
+                trace.event(
+                    names.EVENT_AGENT_RECV,
+                    lane=self._lane,
+                    sender=envelope.sender,
+                    period=envelope.period,
+                )
         if self.down(self._current_period):
             self.metrics.incr(names.MESSAGES_DROPPED_FAILURE, node=self.node_id)
             return
@@ -233,7 +248,11 @@ class NodeAgent:
             await self.transport.send(
                 role.receiver,
                 UpdateEnvelope(
-                    sender=self.node_id, tree=role.attr_set, period=period, payload=shaped
+                    sender=self.node_id,
+                    tree=role.attr_set,
+                    period=period,
+                    payload=shaped,
+                    trace_ctx=wave.context(),
                 ),
             )
 

@@ -109,6 +109,16 @@ class CollectorAgent:
         self._tick_monotonic[tick.period] = tick.sent_monotonic
 
     def _on_update(self, envelope: UpdateEnvelope) -> None:
+        if envelope.trace_ctx is not None and trace.active_tracer() is not None:
+            # Linked to the sending agent's wave span -- in a deploy
+            # this edge crosses the worker->collector TCP boundary.
+            with trace.attach(envelope.trace_ctx):
+                trace.event(
+                    names.EVENT_COLLECTOR_RECV,
+                    lane=names.LANE_COLLECTOR,
+                    sender=envelope.sender,
+                    period=envelope.period,
+                )
         charge = envelope.cost(self.cost)
         if self.config.enforce_capacity:
             if self._budget < charge - _EPS:

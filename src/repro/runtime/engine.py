@@ -225,14 +225,29 @@ class MonitoringRuntime:
         )
         try:
             for period in range(n_periods):
-                with trace.span(names.SPAN_RUNTIME_PERIOD, lane=names.LANE_ENGINE, period=period):
-                    self.registry.advance_all()
-                    tick = TickEnvelope(period=period)
-                    await self._broadcast(tick)
-                    await asyncio.sleep(self.config.period_seconds)
-                    with trace.span(names.SPAN_RUNTIME_SETTLE, lane=names.LANE_ENGINE, period=period):
-                        await self._settle()
-                    self._close_period(period)
+                # One monitoring period is one trace: mint a fresh
+                # 128-bit trace id, root it at the period span, and
+                # stamp the context on the tick so every agent's wave
+                # joins the same trace (this is the in-process twin of
+                # the deploy collector's cross-process clock).
+                period_ctx = (
+                    trace.new_root_context()
+                    if trace.active_tracer() is not None
+                    else None
+                )
+                with trace.attach(period_ctx):
+                    with trace.span(
+                        names.SPAN_RUNTIME_PERIOD, lane=names.LANE_ENGINE, period=period
+                    ) as period_span:
+                        self.registry.advance_all()
+                        tick = TickEnvelope(
+                            period=period, trace_ctx=period_span.context()
+                        )
+                        await self._broadcast(tick)
+                        await asyncio.sleep(self.config.period_seconds)
+                        with trace.span(names.SPAN_RUNTIME_SETTLE, lane=names.LANE_ENGINE, period=period):
+                            await self._settle()
+                        self._close_period(period)
             await self._broadcast(StopEnvelope())
             await asyncio.wait(tasks, timeout=5.0)
         finally:

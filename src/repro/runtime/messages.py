@@ -23,9 +23,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict
 
+from typing import Optional
+
 from repro.core.attributes import NodeAttributePair, NodeId
 from repro.core.cost import CostModel
 from repro.core.partition import AttributeSet
+from repro.obs.trace import TraceContext
 from repro.simulation.messages import Reading
 
 #: Address of the central collector on any transport.  With sharded
@@ -60,20 +63,36 @@ class TickEnvelope(Envelope):
     ``sent_monotonic`` anchors wall-clock latency measurement: the
     collector reports collection latency as arrival time minus the
     tick's send time.
+
+    ``trace_ctx`` carries the period's distributed-trace identity (the
+    clock owner mints one trace per period): agents that adopt it make
+    one monitoring period one trace across every process.  Excluded
+    from equality so pre-tracing round-trip expectations still hold.
     """
 
     period: int
     sent_monotonic: float = field(default_factory=time.monotonic)
+    trace_ctx: Optional[TraceContext] = field(
+        default=None, compare=False, repr=False
+    )
 
 
 @dataclass(frozen=True)
 class UpdateEnvelope(Envelope):
-    """A batched monitoring update for one tree, one hop."""
+    """A batched monitoring update for one tree, one hop.
+
+    ``trace_ctx`` points at the sending agent's wave span so the
+    receiver (parent agent or collector, possibly across TCP) can emit
+    events linked into the same per-period trace.
+    """
 
     sender: NodeId
     tree: AttributeSet
     period: int
     payload: Dict[NodeAttributePair, Reading]
+    trace_ctx: Optional[TraceContext] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cost(self, model: CostModel) -> float:
         """Capacity charge on each endpoint (the ``C + a*x`` model)."""

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.obs import names, trace
+
 #: Protects the header parser from unbounded memory on garbage input.
 MAX_HEADER_BYTES = 64 * 1024
 #: Largest accepted request body (task submissions are tiny).
@@ -206,7 +208,28 @@ class HttpServer:
                 if request is None:
                     break
                 started = loop.time()
-                response = await self._dispatch(request)
+                # Every request runs inside a serve.request root span:
+                # an inbound W3C ``traceparent`` header is adopted (the
+                # caller's trace continues through the control plane's
+                # handler spans), otherwise a fresh trace is minted.
+                # The response always echoes a ``traceparent`` so
+                # clients can correlate either way.
+                header = request.headers.get("traceparent", "")
+                inbound = trace.parse_traceparent(header) if header else None
+                ctx = inbound if inbound is not None else trace.new_root_context()
+                with trace.attach(ctx):
+                    with trace.span(
+                        names.SPAN_SERVE_REQUEST,
+                        lane=names.LANE_SERVE,
+                        method=request.method,
+                        path=request.path,
+                    ) as req_span:
+                        response = await self._dispatch(request)
+                        req_span.set(status=response.status)
+                    out_ctx = req_span.context() or ctx
+                response.headers.setdefault(
+                    "traceparent", trace.format_traceparent(out_ctx)
+                )
                 if self.observer is not None:
                     self.observer(
                         request.method, request.path, response.status, loop.time() - started

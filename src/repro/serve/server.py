@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import sys
 from typing import Dict, Optional
 
 from repro.core.tasks import (
@@ -36,7 +37,7 @@ from repro.core.tasks import (
     InvalidTenantError,
     UnknownTaskError,
 )
-from repro.obs import names
+from repro.obs import log, names
 from repro.obs.export import prometheus_text
 from repro.serve.controlplane import ControlPlane, NoPlanError, parse_task, task_as_dict
 from repro.serve.http import HttpError, HttpRequest, HttpResponse, HttpServer, Router
@@ -245,9 +246,19 @@ async def _serve_async(
     await server.start()
     if announce:
         _write_announce(announce, server.host, server.port)
+    # Structured instead of an ad-hoc print: the event lands in the
+    # flight-recorder ring (and any JSONL sink) with trace identity,
+    # and echoes one human-readable line to stdout when asked to.
     if ready_message:
-        print(f"repro serve listening on http://{server.host}:{server.port}", flush=True)
+        log.set_console(sys.stdout)
     try:
+        log.emit(
+            names.LOG_SERVE_READY,
+            lane=names.LANE_SERVE,
+            host=server.host,
+            port=server.port,
+            url=f"http://{server.host}:{server.port}",
+        )
         if max_seconds is not None:
             await asyncio.sleep(max_seconds)
         else:
@@ -255,6 +266,9 @@ async def _serve_async(
                 await asyncio.sleep(3600.0)
     finally:
         await server.stop()
+        log.emit(names.LOG_SERVE_STOPPED, lane=names.LANE_SERVE)
+        if ready_message:
+            log.set_console(None)
 
 
 def run_serve(

@@ -13,9 +13,9 @@ module boundaries:
 - **class attribute maps**: for every class, the instance attributes
   assigned via ``self.x = ...`` anywhere in its body, plus which
   methods are coroutines (REMO421's shared-state analysis);
-- the **obs manifest**: metric/span/lane names statically extracted
-  from ``repro/obs/names.py`` -- parsed, never imported, so linting a
-  broken tree cannot execute it.
+- the **obs manifest**: metric/span/lane/log-event names statically
+  extracted from ``repro/obs/names.py`` -- parsed, never imported, so
+  linting a broken tree cannot execute it.
 
 The context serializes to JSON keyed by per-file SHA-256, so CI caches
 it across runs (:meth:`AnalysisContext.load_or_build`): when no source
@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-CONTEXT_CACHE_VERSION = 1
+CONTEXT_CACHE_VERSION = 2
 
 #: Where the obs manifest lives, relative to a project root.
 MANIFEST_RELPATH = Path("src") / "repro" / "obs" / "names.py"
@@ -60,6 +60,8 @@ class ObsManifest:
     #: Helper functions (``node_lane``, ``worker_lane``) whose return
     #: values are legal dynamic lanes.
     lane_helpers: frozenset
+    #: Structured-log event names (the LOG_EVENTS set; REMO435).
+    log_events: frozenset = frozenset()
 
 
 def _resolve_str(node: ast.expr, symbols: Dict[str, str]) -> Optional[str]:
@@ -117,6 +119,7 @@ def parse_obs_manifest(tree: ast.Module) -> ObsManifest:
         lane_prefixes=tuple(collections.get("LANE_PREFIXES", [])),
         symbols=symbols,
         lane_helpers=frozenset(helpers),
+        log_events=frozenset(collections.get("LOG_EVENTS", [])),
     )
 
 
@@ -299,6 +302,7 @@ class AnalysisContext:
                 "lane_prefixes": list(self.obs.lane_prefixes),
                 "symbols": dict(sorted(self.obs.symbols.items())),
                 "lane_helpers": sorted(self.obs.lane_helpers),
+                "log_events": sorted(self.obs.log_events),
             }
         return payload
 
@@ -314,6 +318,7 @@ class AnalysisContext:
                 lane_prefixes=tuple(obs_raw.get("lane_prefixes", [])),
                 symbols=dict(obs_raw.get("symbols", {})),
                 lane_helpers=frozenset(obs_raw.get("lane_helpers", [])),
+                log_events=frozenset(obs_raw.get("log_events", [])),
             )
         return cls(
             root=str(payload.get("root", ".")),

@@ -15,7 +15,10 @@ imported).
   f-string, or a manifest lane helper (``names.node_lane(...)``);
 - REMO434: ``trace.span``/``trace.timer`` return context managers that
   record on *exit* -- calling one outside a ``with`` header produces a
-  span that never closes.
+  span that never closes;
+- REMO435: ``log.emit`` must use a declared structured-log event name
+  (the manifest's ``LOG_EVENTS`` set) -- ad-hoc event strings fragment
+  the flight-recorder ring and every JSONL log pipeline keyed on them.
 
 Dynamic names (a lowercase variable forwarded through a shim) are
 deliberately skipped: the rules check what is statically checkable and
@@ -66,6 +69,17 @@ def _is_trace_call(node: ast.Call) -> Optional[str]:
     ):
         return func.attr
     return None
+
+
+def _is_log_emit(node: ast.Call) -> bool:
+    """True for ``log.emit(...)`` -- the structured-logging entry point."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "emit"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "log"
+    )
 
 
 def _declared_name(node: ast.expr, ctx: AnalysisContext) -> Optional[str]:
@@ -214,6 +228,38 @@ class UndeclaredLaneRule(Rule):
             )
         # A plain variable: dynamic, not statically checkable.
         return None
+
+
+@rule
+class UndeclaredLogEventRule(Rule):
+    code = "REMO435"
+    title = "log event name not declared in the obs manifest"
+    family = "obs-consistency"
+    hint = (
+        "declare the event in repro/obs/names.py (and its LOG_EVENTS set) "
+        "and reference the LOG_* constant; ad-hoc strings fragment the "
+        "flight-recorder and JSONL log streams"
+    )
+
+    def check(
+        self, module: ModuleUnderAnalysis, ctx: AnalysisContext
+    ) -> Iterator[LintDiagnostic]:
+        if ctx.obs is None or _is_manifest(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if not _is_log_emit(node):
+                continue
+            name = _declared_name(node.args[0], ctx)
+            if name is not None and name not in ctx.obs.log_events:
+                yield self.diagnostic(
+                    module,
+                    node.lineno,
+                    node.col_offset + 1,
+                    f"log event name {name!r} is not declared in "
+                    "repro/obs/names.py (LOG_EVENTS)",
+                )
 
 
 @rule

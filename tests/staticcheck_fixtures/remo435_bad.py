@@ -1,0 +1,8 @@
+"""Bait: structured-log event names not in the manifest (REMO435)."""
+
+from repro.obs import log, names
+
+
+def announce(port):
+    log.emit("server_started", port=port)
+    log.emit(names.SPAN_AGENT_WAVE)  # a span name is not a log event

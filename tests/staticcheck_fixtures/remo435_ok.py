@@ -1,0 +1,9 @@
+"""Clean: declared log event names, by literal or constant."""
+
+from repro.obs import log, names
+
+
+def announce(event, port):
+    log.emit(names.LOG_SERVE_READY, lane=names.LANE_SERVE, port=port)
+    log.emit("serve.stopped")
+    log.emit(event, port=port)  # dynamic: not statically checkable

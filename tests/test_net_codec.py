@@ -11,6 +11,7 @@ from repro.core.attributes import NodeAttributePair
 from repro.net.codec import (
     CODEC_JSON,
     CODEC_MSGPACK,
+    COMPAT_VERSIONS,
     HEADER_BYTES,
     MAGIC,
     MAX_FRAME_BYTES,
@@ -25,6 +26,7 @@ from repro.net.codec import (
     envelope_from_obj,
     envelope_to_obj,
 )
+from repro.obs.trace import TraceContext
 from repro.runtime.messages import (
     HeartbeatEnvelope,
     StopEnvelope,
@@ -99,6 +101,67 @@ class TestRoundTripProperties:
             out.extend(decoder.feed(stream[start : start + chunk]))
         assert out == batch
         assert decoder.buffered == 0
+
+
+class TestTraceContext:
+    """The optional ``tc`` envelope field added by wire version 2."""
+
+    CTX = TraceContext(trace_id="0af7651916cd43dd8448eb211c80319c", span_id=0x1234ABCD5678)
+
+    def test_tick_trace_context_survives_json(self):
+        tick = TickEnvelope(period=3, trace_ctx=self.CTX)
+        codec, payload = encode_payload(tick, CODEC_JSON)
+        assert decode_payload(codec, payload).trace_ctx == self.CTX
+
+    def test_update_trace_context_survives_preferred_codec(self):
+        # Whichever codec the deployment lands on (msgpack when the
+        # dependency is present, the JSON fallback otherwise), the
+        # context must come back intact.
+        update = UpdateEnvelope(
+            sender=7, tree=frozenset({"cpu"}), period=2, payload={}, trace_ctx=self.CTX
+        )
+        try:
+            import msgpack  # noqa: F401
+
+            codec, payload = encode_payload(update, CODEC_MSGPACK)
+        except ImportError:
+            codec, payload = encode_payload(update, CODEC_JSON)
+        assert decode_payload(codec, payload).trace_ctx == self.CTX
+
+    def test_absent_trace_context_decodes_to_none(self):
+        obj = envelope_to_obj(TickEnvelope(period=1))
+        assert "tc" not in obj
+        assert envelope_from_obj(obj).trace_ctx is None
+
+    def test_version1_frame_without_tc_still_decodes(self):
+        # A frame hand-built by an old (version-1) peer: same payload
+        # schema minus the tc field.  New builds must keep decoding it.
+        payload = json.dumps(
+            {"kind": "tick", "period": 9, "sent_monotonic": 0.0}
+        ).encode()
+        header = _HEADER.pack(MAGIC, 1, CODEC_JSON, 5, len(payload))
+        frames = FrameDecoder().feed(header + payload)
+        assert frames == [(5, TickEnvelope(period=9, sent_monotonic=0.0))]
+        assert frames[0][1].trace_ctx is None
+
+    def test_compat_set_covers_both_versions(self):
+        assert PROTOCOL_VERSION == 2
+        assert COMPAT_VERSIONS == frozenset({1, 2})
+
+    @pytest.mark.parametrize(
+        "tc",
+        [
+            ["not-hex-and-short", 1],
+            ["zz" * 16, 1],  # right length, not hex
+            "0af7651916cd43dd8448eb211c80319c",  # not a pair
+            ["0af7651916cd43dd8448eb211c80319c"],  # missing the span id
+        ],
+    )
+    def test_malformed_trace_context_rejected(self, tc):
+        obj = envelope_to_obj(TickEnvelope(period=1))
+        obj["tc"] = tc
+        with pytest.raises(CodecError):
+            envelope_from_obj(obj)
 
 
 class TestRejection:

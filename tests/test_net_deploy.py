@@ -7,12 +7,15 @@ effects.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.checks import check_shard_assignment
 from repro.cli import main
 from repro.cluster.metrics import MetricRegistry
+from repro.obs import names
+from repro.obs.export import read_jsonl_spans
 from repro.net.deploy import (
     CONTROL_ADDRESS_BASE,
     DeploySpec,
@@ -204,6 +207,81 @@ class TestDeployEndToEnd:
         assert outcome.report.final_coverage > 0.5
 
 
+class TestDeployTracing:
+    """End-to-end distributed tracing: one period == one trace id."""
+
+    ROLES = ("collector", "worker-0", "worker-1")
+
+    def _spans_by_role(self, spec):
+        return {role: read_jsonl_spans(spec.trace_path(role)) for role in self.ROLES}
+
+    def test_every_period_is_one_trace_across_processes(self, tmp_path):
+        spec, plan, _cluster, report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=5, config=CONFIG,
+            rundir=str(tmp_path), trace=True,
+        )
+        assert not report.has_errors
+        outcome = run_deploy(spec, plan=plan)
+        assert sorted(outcome.trace_files) == sorted(
+            spec.trace_path(role) for role in self.ROLES
+        )
+        by_role = self._spans_by_role(spec)
+        merged = [span for spans in by_role.values() for span in spans]
+        roots = [s for s in merged if s.name == names.SPAN_RUNTIME_PERIOD]
+        assert sorted(r.attrs["period"] for r in roots) == [0, 1, 2, 3, 4]
+        assert len({r.trace_id for r in roots}) == 5
+        collector_pids = {s.pid for s in by_role["collector"]}
+        for root in roots:
+            trace_spans = [s for s in merged if s.trace_id == root.trace_id]
+            # The collector process and both worker processes all
+            # contribute spans carrying this period's trace id.
+            assert len({s.pid for s in trace_spans}) >= 3
+            # Parent links cross the TCP boundary: worker-side spans
+            # chain directly to the collector-minted period root.
+            crossed = [
+                s
+                for s in trace_spans
+                if s.pid not in collector_pids and s.parent_id == root.span_id
+            ]
+            assert crossed, "no worker span chained to the period root over TCP"
+            span_ids = {s.span_id for s in trace_spans}
+            for span in trace_spans:
+                if span.parent_id is not None:
+                    assert span.parent_id in span_ids
+
+    def test_trace_context_survives_chaos_restart(self, tmp_path):
+        spec, plan, _cluster, report = make_spec(
+            WORKLOAD, "remo", workers=2, periods=8, config=CONFIG,
+            rundir=str(tmp_path), trace=True,
+        )
+        assert not report.has_errors
+        outcome = run_deploy(spec, plan=plan, chaos_kill={1: 0.15})
+        assert outcome.restarts[1] >= 1
+        # The supervisor flight-records every restart (the SIGKILLed
+        # child cannot dump its own ring).
+        assert spec.flight_path("supervisor") in outcome.flight_records
+        flight = json.loads(Path(spec.flight_path("supervisor")).read_text())
+        assert flight["flight_record"] == 1
+        assert "restarting" in flight["reason"]
+        assert any(
+            event["event"] == names.LOG_FLIGHT_DUMP for event in flight["events"]
+        )
+        # The restarted worker-1 -- a brand-new process -- rejoins the
+        # collector-minted period traces carried by tick envelopes.
+        by_role = self._spans_by_role(spec)
+        period_of = {
+            s.trace_id: s.attrs["period"]
+            for s in by_role["collector"]
+            if s.name == names.SPAN_RUNTIME_PERIOD
+        }
+        rejoined = {
+            period_of[s.trace_id]
+            for s in by_role["worker-1"]
+            if s.trace_id in period_of
+        }
+        assert rejoined, "restarted worker produced no spans in any period trace"
+
+
 class TestDeployCli:
     def test_deploy_json_has_run_schema(self, tmp_path, capsys):
         rc = main(
@@ -226,6 +304,61 @@ class TestDeployCli:
     def test_deploy_rejects_malformed_chaos_spec(self):
         with pytest.raises(SystemExit):
             main(["deploy", "--chaos-kill", "nonsense"])
+
+
+class TestTraceCli:
+    """``repro deploy --trace`` + ``repro trace`` merge and gate."""
+
+    def _deploy(self, rundir, trace_out):
+        rc = main(
+            [
+                "deploy",
+                "--nodes", "12", "--tasks", "3", "--pool", "6",
+                "--workers", "2", "--periods", "3", "--period-seconds", "0.05",
+                "--seed", "4", "--rundir", str(rundir),
+                "--trace", str(trace_out), "--json",
+            ]
+        )
+        assert rc == 0
+
+    def test_deploy_trace_merges_children_into_export(self, tmp_path, capsys):
+        rundir, trace_out = tmp_path / "run", tmp_path / "deploy.trace.json"
+        self._deploy(rundir, trace_out)
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["trace_files"]) == 3  # collector + 2 workers
+        events = json.loads(trace_out.read_text())["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len({e["pid"] for e in spans}) >= 3
+
+    def test_trace_subcommand_merges_and_summarizes(self, tmp_path, capsys):
+        rundir = tmp_path / "run"
+        self._deploy(rundir, tmp_path / "deploy.trace.json")
+        capsys.readouterr()
+        merged_path = tmp_path / "merged.trace.json"
+        rc = main(
+            ["trace", str(rundir), "--strict", "--json", "--out", str(merged_path)]
+        )
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["problems"] == []
+        assert [p["period"] for p in out["periods"]] == [0, 1, 2]
+        for period in out["periods"]:
+            assert period["processes"] >= 3
+            assert period["cross_process_ms"] > 0
+            assert period["critical_path"]
+        assert json.loads(merged_path.read_text())["traceEvents"]
+
+    def test_strict_fails_when_worker_spans_missing(self, tmp_path, capsys):
+        rundir = tmp_path / "run"
+        self._deploy(rundir, tmp_path / "deploy.trace.json")
+        (rundir / "trace-worker-1.jsonl").unlink()
+        capsys.readouterr()
+        assert main(["trace", str(rundir), "--strict"]) == 1
+        assert "worker-1" in capsys.readouterr().err
+
+    def test_trace_on_empty_rundir_is_usage_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 2
+        assert "no trace-" in capsys.readouterr().err
 
 
 def test_control_addresses_are_reserved_negative():

@@ -241,3 +241,118 @@ class TestTracerBasics:
     def test_ids_are_unique(self):
         tracer = Tracer()
         assert tracer.next_id() != tracer.next_id()
+
+
+class TestBoundedTracer:
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_record_keeps_first_and_counts_drops(self):
+        from repro.obs import names
+        from repro.obs.metrics import use_registry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(max_spans=2)
+        with use_registry(registry):
+            for i in range(5):
+                tracer.record(Span(name=f"s{i}", start=float(i), duration=0.1))
+        assert [s.name for s in tracer.spans()] == ["s0", "s1"]
+        assert tracer.dropped == 3
+        assert registry.counter(names.TRACE_SPANS_DROPPED) == 3
+
+    def test_ingest_respects_cap(self):
+        from repro.obs import names
+        from repro.obs.metrics import use_registry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(max_spans=3)
+        tracer.record(Span(name="own", start=0.0, duration=0.1))
+        with use_registry(registry):
+            tracer.ingest(
+                Span(name=f"w{i}", start=float(i), duration=0.1) for i in range(4)
+            )
+        assert [s.name for s in tracer.spans()] == ["own", "w0", "w1"]
+        assert tracer.dropped == 2
+        assert registry.counter(names.TRACE_SPANS_DROPPED) == 2
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        ctx = trace.new_root_context()
+        assert ctx.span_id == 0
+        parsed = trace.parse_traceparent(trace.format_traceparent(ctx))
+        assert parsed == ctx
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "",
+            "junk",
+            "00-short-0000000000000001-01",
+            "00-" + "0" * 32 + "-0000000000000001-01",  # all-zero trace id
+            "00-" + "g" * 32 + "-0000000000000001-01",  # non-hex
+            "00-" + "a" * 32 + "-xyz-01",
+        ],
+    )
+    def test_malformed_traceparent_returns_none(self, value):
+        assert trace.parse_traceparent(value) is None
+
+    def test_attach_sets_current_context(self):
+        assert trace.current_context() is None
+        ctx = trace.new_root_context()
+        with trace.attach(ctx):
+            assert trace.current_context() == ctx
+        assert trace.current_context() is None
+
+    def test_attach_none_is_noop(self):
+        with trace.attach(None):
+            assert trace.current_context() is None
+
+    def test_spans_join_the_attached_trace(self):
+        ctx = trace.new_root_context()
+        with trace.installed() as tracer:
+            with trace.attach(ctx):
+                with trace.span("outer") as outer:
+                    child_ctx = outer.context()
+                    with trace.span("inner"):
+                        pass
+                    trace.event("mark")
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].trace_id == ctx.trace_id
+        assert spans["outer"].parent_id is None
+        assert child_ctx is not None and child_ctx.trace_id == ctx.trace_id
+        assert spans["inner"].trace_id == ctx.trace_id
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["mark"].trace_id == ctx.trace_id
+
+    def test_trace_id_survives_jsonl_round_trip(self, tmp_path):
+        ctx = trace.new_root_context()
+        with trace.installed() as tracer:
+            with trace.attach(ctx):
+                with trace.span("x"):
+                    pass
+        path = tmp_path / "spans.jsonl"
+        write_jsonl_spans(tracer.spans(), str(path))
+        (loaded,) = read_jsonl_spans(str(path))
+        assert loaded.trace_id == ctx.trace_id
+
+    def test_tasks_inherit_context_at_spawn_time(self):
+        # asyncio tasks snapshot contextvars at creation: attaching
+        # around ensure_future is how tick handlers hand the period's
+        # trace to their wave tasks.
+        ctx = trace.new_root_context()
+
+        async def wave(tracer):
+            with trace.span("wave"):
+                await asyncio.sleep(0)
+
+        async def scenario():
+            with trace.installed() as tracer:
+                with trace.attach(ctx):
+                    task = asyncio.ensure_future(wave(tracer))
+                await task
+                return tracer.spans()
+
+        (span,) = asyncio.run(scenario())
+        assert span.trace_id == ctx.trace_id

@@ -7,8 +7,10 @@ script would.
 """
 
 import asyncio
+import http.client
 import importlib
 import json
+import re
 import sys
 import threading
 from pathlib import Path
@@ -16,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.attributes import NodeAttributePair
+from repro.obs import names, trace
 from repro.obs.export import check_prometheus_text, parse_prometheus_text
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime import RuntimeConfig
@@ -80,6 +83,55 @@ def client(controlplane):
     with ControlPlaneClient("127.0.0.1", port) as cli:
         yield cli
     server.stop()
+
+
+@pytest.fixture()
+def server_port(controlplane):
+    server = ServerThread(controlplane)
+    port = server.start()
+    yield port
+    server.stop()
+
+
+class TestTraceparent:
+    """Every response carries a W3C traceparent; inbound ones are adopted."""
+
+    PATTERN = re.compile(r"^00-([0-9a-f]{32})-[0-9a-f]{16}-01$")
+    INBOUND = "00-" + "ab" * 16 + "-00000000000000ff-01"
+
+    def _get(self, port, headers=None):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            conn.request("GET", "/health", headers=headers or {})
+            response = conn.getresponse()
+            response.read()
+            return response.getheader("traceparent")
+        finally:
+            conn.close()
+
+    def test_response_mints_traceparent(self, server_port):
+        header = self._get(server_port)
+        match = self.PATTERN.match(header or "")
+        assert match, f"malformed traceparent {header!r}"
+        assert match.group(1) != "0" * 32
+
+    def test_inbound_traceparent_adopted(self, server_port):
+        header = self._get(server_port, headers={"traceparent": self.INBOUND})
+        match = self.PATTERN.match(header or "")
+        assert match
+        assert match.group(1) == "ab" * 16  # same trace, the server's span
+
+    def test_request_span_joins_inbound_trace(self, server_port):
+        with trace.installed() as tracer:
+            self._get(server_port, headers={"traceparent": self.INBOUND})
+            spans = [
+                s for s in tracer.spans() if s.name == names.SPAN_SERVE_REQUEST
+            ]
+        assert spans, "no serve.request span recorded"
+        (span,) = spans
+        assert span.trace_id == "ab" * 16
+        assert span.attrs["path"] == "/health"
+        assert span.attrs["status"] == 200
 
 
 class TestTwoTenantEndToEnd:

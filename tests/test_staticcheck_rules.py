@@ -39,6 +39,7 @@ RULE_FIXTURES = {
     "REMO432": ("remo432_bad.py", "remo432_ok.py"),
     "REMO433": ("remo433_bad.py", "remo433_ok.py"),
     "REMO434": ("remo434_bad.py", "remo434_ok.py"),
+    "REMO435": ("remo435_bad.py", "remo435_ok.py"),
 }
 
 #: Fixtures whose bait contains more than one instance of the defect.
@@ -51,6 +52,7 @@ EXPECTED_BAD_COUNTS = {
     "REMO431": 2,
     "REMO432": 2,
     "REMO433": 2,
+    "REMO435": 2,
 }
 
 
